@@ -1,0 +1,68 @@
+// Ablation: what does LRU buy? (DESIGN.md design decision 3)
+//
+// The paper chooses in-bucket LRU (§3.2, Fig. 4) but notes the choice only
+// in passing. LRU needs a touch-on-hit update path in SRAM; FIFO and random
+// replacement are cheaper. This bench quantifies the eviction-rate cost of
+// the cheaper policies across geometries at the paper's 32-Mbit design
+// point and across the size sweep — if LRU were not meaningfully better,
+// the hardware could drop the update path.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/cache.hpp"
+#include "trace/flow_session.hpp"
+
+namespace {
+
+using namespace perfq;
+
+double eviction_fraction(const trace::TraceConfig& config,
+                         kv::CacheGeometry geometry, kv::EvictionPolicy policy) {
+  auto kernel = std::make_shared<kv::CountKernel>();
+  kv::Cache cache(geometry, kernel, 0x5eedcafe, policy);
+  cache.set_eviction_sink({});
+  trace::FlowSessionGenerator gen(config);
+  while (auto rec = gen.next()) {
+    const auto bytes = rec->pkt.flow.to_bytes();
+    cache.process(
+        kv::Key{std::span<const std::byte>{bytes.data(), bytes.size()}}, *rec);
+  }
+  return cache.stats().eviction_fraction();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_from_env(1.0 / 64.0);
+  const trace::TraceConfig config = bench::scaled_caida(scale);
+  bench::print_scale_banner("Ablation: in-bucket eviction policy", scale,
+                            config);
+
+  TextTable table("Eviction fraction by replacement policy (8-way cache)");
+  table.set_header(
+      {"cache (Mbit, full-scale)", "LRU (paper)", "FIFO", "random"});
+  for (int log2_pairs = 16; log2_pairs <= 20; ++log2_pairs) {
+    const std::uint64_t full_pairs = 1ull << log2_pairs;
+    auto pairs =
+        static_cast<std::uint64_t>(static_cast<double>(full_pairs) * scale);
+    pairs = std::max<std::uint64_t>(pairs - pairs % 8, 8);
+    const auto geom = kv::CacheGeometry::set_associative(pairs, 8);
+    table.add_row(
+        {fmt_double(kv::mbits_for_pairs(full_pairs, 128), 0),
+         fmt_percent(eviction_fraction(config, geom, kv::EvictionPolicy::kLru)),
+         fmt_percent(eviction_fraction(config, geom, kv::EvictionPolicy::kFifo)),
+         fmt_percent(
+             eviction_fraction(config, geom, kv::EvictionPolicy::kRandom))});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: LRU <= random <= FIFO-ish; the gap narrows as the\n"
+      "cache grows (when everything fits, policy stops mattering). If the\n"
+      "LRU advantage at the 32-Mbit point is small, a touch-free policy is\n"
+      "a defensible hardware simplification.\n");
+  return 0;
+}

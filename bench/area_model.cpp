@@ -1,0 +1,39 @@
+// §3.3 / §4 "Cache memory size": the SRAM area feasibility table.
+//
+// Regenerates the paper's claims: a 32-Mbit cache costs < 2.5% of a 200 mm^2
+// die at 7000 Kb/mm^2 SRAM density, while holding all 3.8 M trace flows
+// on-chip would need ~486 Mbit (~38% of the die) — and grows without bound
+// in an always-on system, which is the argument for the split design.
+#include <cstdio>
+
+#include "analysis/area_model.hpp"
+#include "common/table.hpp"
+#include "kvstore/geometry.hpp"
+
+int main() {
+  using namespace perfq;
+  const analysis::AreaModel model;
+  constexpr int kBitsPerPair = 128;
+
+  TextTable table("SRAM area model (7000 Kb/mm^2 density, 200 mm^2 die)");
+  table.set_header({"cache (Mbit)", "pairs", "SRAM mm^2", "% of die"});
+  for (const double mbits : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 486.0}) {
+    table.add_row({fmt_double(mbits, 0),
+                   fmt_si(static_cast<double>(
+                       kv::pairs_for_mbits(mbits, kBitsPerPair))),
+                   fmt_double(model.sram_mm2(mbits), 2),
+                   fmt_percent(model.area_fraction(mbits), 2)});
+  }
+  table.print();
+
+  const double all_flows_mbits =
+      analysis::AreaModel::required_mbits(3'800'000, kBitsPerPair);
+  std::printf(
+      "\nPaper checkpoints:\n"
+      "  32-Mbit cache:       %.2f%% of die   (paper: < 2.5%%)\n"
+      "  all 3.8M flows:      %.0f Mbit => %.0f%% of die  (paper: 486 Mbit, "
+      "38%%)\n",
+      model.area_fraction(32.0) * 100.0, all_flows_mbits,
+      model.area_fraction(all_flows_mbits) * 100.0);
+  return 0;
+}

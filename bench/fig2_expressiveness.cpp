@@ -1,0 +1,139 @@
+// Figure 2: the expressiveness table. Every example query from the paper is
+// written in the query language, compiled, classified by the linear-in-state
+// analyzer (the "Linear in state?" column), and executed end-to-end over a
+// synthetic workload. The harness prints one row per query: classification
+// (with the paper's expected value), result-table size, and processing rate.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "runtime/engine.hpp"
+#include "trace/flow_session.hpp"
+
+namespace {
+
+using namespace perfq;
+
+struct Fig2Query {
+  std::string name;
+  std::string source;
+  std::map<std::string, double> params;
+  std::string paper_linearity;  // Fig. 2's column
+};
+
+std::vector<Fig2Query> fig2_queries() {
+  return {
+      {"Per-flow counters",
+       "SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip",
+       {},
+       "Yes"},
+      {"Latency EWMA",
+       R"(def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple)",
+       {{"alpha", 0.125}},
+       "Yes"},
+      {"TCP out of sequence",
+       R"(def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple WHERE proto == TCP)",
+       {},
+       "Yes"},
+      {"TCP non-monotonic",
+       R"(def nonmt ((maxseq, nm_count), (tcpseq)):
+    if maxseq > tcpseq: nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple WHERE proto == TCP)",
+       {},
+       "No"},
+      {"Per-flow high latency packets",
+       R"(def sum_lat (lat, (tin, tout)): lat = lat + tout - tin
+
+R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq
+R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L)",
+       {{"L", 3'000'000.0}},
+       "Yes"},
+      {"Per-flow loss rate",
+       R"(R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple)",
+       {},
+       "Yes"},
+      {"High 99th percentile queue size",
+       R"(def perc ((tot, high), qin):
+    if qin > K: high = high + 1
+    tot = tot + 1
+
+R1 = SELECT qid, perc GROUPBY qid
+R2 = SELECT * FROM R1 WHERE perc.high / perc.tot > 0.01)",
+       {{"K", 40.0}},
+       "Yes"},
+  };
+}
+
+std::string classify(const compiler::CompiledProgram& program) {
+  // Worst (least mergeable) classification across the program's switch
+  // queries; a program with no switch GROUPBY is trivially "Yes" (stateless).
+  bool linear = true;
+  for (const auto& plan : program.switch_plans) {
+    if (plan.linearity == kv::Linearity::kNotLinear) linear = false;
+  }
+  return linear ? "Yes" : "No";
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_from_env(1.0 / 256.0);
+  trace::TraceConfig config = bench::scaled_caida(scale);
+  config.duration = 30_s;  // expressiveness needs breadth, not trace length
+  bench::print_scale_banner("Figure 2: query expressiveness table", scale,
+                            config);
+
+  TextTable table("Fig 2: example queries through the full pipeline");
+  table.set_header({"query", "linear-in-state", "paper says", "switch stores",
+                    "result rows", "Mpkts/s"});
+
+  for (const auto& q : fig2_queries()) {
+    auto program = compiler::compile_source(q.source, q.params);
+    const std::string linearity = classify(program);
+
+    runtime::EngineConfig engine_config;
+    engine_config.geometry = kv::CacheGeometry::set_associative(1u << 12, 8);
+    runtime::QueryEngine engine(std::move(program), engine_config);
+
+    trace::FlowSessionGenerator gen(config);
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t packets = 0;
+    while (auto rec = gen.next()) {
+      engine.process(*rec);
+      ++packets;
+    }
+    engine.finish(config.duration);
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    table.add_row({q.name, linearity, q.paper_linearity,
+                   std::to_string(engine.program().switch_plans.size()),
+                   std::to_string(engine.result().row_count()),
+                   fmt_double(static_cast<double>(packets) / elapsed / 1e6, 2)});
+    if (linearity != q.paper_linearity) {
+      std::printf("!! classification mismatch for '%s'\n", q.name.c_str());
+    }
+  }
+
+  table.print();
+  std::printf(
+      "# Matches Fig. 2 iff every row's classification equals the paper's "
+      "column (only 'TCP non-monotonic' is No).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) of the key-value store primitives:
+// per-packet cache operations across geometries, fold-kernel update costs
+// (hand-written vs compiled), merge cost, and TCAM lookup. These support the
+// §3.3 feasibility discussion: the per-packet work is one hash, one bucket
+// LRU touch, and one small affine update — the kind of logic the paper
+// argues is cheap relative to the SRAM array.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "compiler/program.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/kvstore.hpp"
+#include "switchsim/match_compiler.hpp"
+#include "trace/simple.hpp"
+
+namespace {
+
+using namespace perfq;
+
+std::vector<PacketRecord> workload(std::uint64_t n, std::uint32_t flows) {
+  return trace::zipf_records(n, flows, 1.1, 99);
+}
+
+std::vector<kv::Key> keys_of(const std::vector<PacketRecord>& records) {
+  std::vector<kv::Key> keys;
+  keys.reserve(records.size());
+  for (const auto& rec : records) {
+    const auto bytes = rec.pkt.flow.to_bytes();
+    keys.emplace_back(std::span<const std::byte>{bytes.data(), bytes.size()});
+  }
+  return keys;
+}
+
+void BM_CacheProcess(benchmark::State& state, kv::CacheGeometry geometry) {
+  const auto records = workload(1 << 16, 4096);
+  const auto keys = keys_of(records);
+  auto kernel = std::make_shared<kv::CountKernel>();
+  kv::Cache cache(geometry, kernel);
+  cache.set_eviction_sink({});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.process(keys[i], records[i]);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CacheHashTable(benchmark::State& state) {
+  BM_CacheProcess(state, kv::CacheGeometry::hash_table(1 << 12));
+}
+void BM_Cache8Way(benchmark::State& state) {
+  BM_CacheProcess(state, kv::CacheGeometry::set_associative(1 << 12, 8));
+}
+void BM_CacheFullyAssociative(benchmark::State& state) {
+  BM_CacheProcess(state, kv::CacheGeometry::fully_associative(1 << 12));
+}
+BENCHMARK(BM_CacheHashTable);
+BENCHMARK(BM_Cache8Way);
+BENCHMARK(BM_CacheFullyAssociative);
+
+void BM_SplitStoreWithMerge(benchmark::State& state) {
+  // Full split store (cache + merging backing store) under heavy eviction.
+  const auto records = workload(1 << 16, 4096);
+  const auto keys = keys_of(records);
+  auto kernel = std::make_shared<kv::EwmaKernel>(0.125);
+  kv::KeyValueStore store(kv::CacheGeometry::set_associative(512, 8), kernel);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.process(keys[i], records[i]);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SplitStoreWithMerge);
+
+template <typename Kernel>
+void BM_KernelUpdate(benchmark::State& state, Kernel kernel) {
+  const auto records = workload(4096, 64);
+  kv::StateVector s = kernel.initial_state();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    kernel.update(s, records[i]);
+    benchmark::DoNotOptimize(s);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_UpdateCount(benchmark::State& state) {
+  BM_KernelUpdate(state, kv::CountKernel{});
+}
+void BM_UpdateEwma(benchmark::State& state) {
+  BM_KernelUpdate(state, kv::EwmaKernel{0.125});
+}
+void BM_UpdateOutOfSeq(benchmark::State& state) {
+  BM_KernelUpdate(state, kv::OutOfSeqKernel{});
+}
+BENCHMARK(BM_UpdateCount);
+BENCHMARK(BM_UpdateEwma);
+BENCHMARK(BM_UpdateOutOfSeq);
+
+void BM_CompiledEwmaUpdate(benchmark::State& state) {
+  // Interpreted compiled fold vs. the hand-written kernel above.
+  const auto analysis = lang::analyze_source(R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+)",
+                                             {{"alpha", 0.125}});
+  const compiler::CompiledFoldKernel kernel(analysis.folds[0], {});
+  const auto records = workload(4096, 64);
+  kv::StateVector s = kernel.initial_state();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    kernel.update(s, records[i]);
+    benchmark::DoNotOptimize(s);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompiledEwmaUpdate);
+
+void BM_TcamLookup(benchmark::State& state) {
+  const auto analysis = lang::analyze_source(
+      "SELECT COUNT GROUPBY 5tuple WHERE proto == TCP and qsize > 100");
+  const auto entries =
+      sw::compile_where_to_tcam(*analysis.queries[0].def.where, 1);
+  sw::TcamTable table;
+  for (auto e : *entries) table.install(std::move(e));
+  const auto records = workload(4096, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(records[i]));
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TcamLookup);
+
+void BM_KeyExtractAndPack(benchmark::State& state) {
+  const auto program = compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
+  const auto records = workload(4096, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiler::extract_key(program.switch_plans[0], records[i]));
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KeyExtractAndPack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Per-flow loss rates over a congested dumbbell — Fig. 2's "Per-flow loss
+// rate" query (two GROUPBYs joined on the 5-tuple) against simulator ground
+// truth.
+//
+// Build & run:  ./build/examples/flow_loss_rates
+#include <cstdio>
+#include <map>
+
+#include "netsim/network.hpp"
+#include "runtime/engine.hpp"
+
+int main() {
+  using namespace perfq;
+
+  // Dumbbell: 8 senders -> switch A -> (bottleneck) -> switch B -> 8 sinks.
+  net::Network network(3);
+  const net::NodeId sw_a = network.add_switch("A");
+  const net::NodeId sw_b = network.add_switch("B");
+  net::LinkConfig edge{10.0, 1000_ns, 64};
+  net::LinkConfig bottleneck{2.0, 5000_ns, 32};  // 2 Gb/s shared pipe
+  network.connect(sw_a, sw_b, bottleneck);
+  std::vector<FiveTuple> flows;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const std::uint32_t src_ip = ipv4_from_string("10.1.0.1") + i;
+    const std::uint32_t dst_ip = ipv4_from_string("10.2.0.1") + i;
+    const net::NodeId src = network.add_host(src_ip);
+    const net::NodeId dst = network.add_host(dst_ip);
+    network.connect(src, sw_a, edge);
+    network.connect(dst, sw_b, edge);
+    flows.push_back(FiveTuple{src_ip, dst_ip,
+                              static_cast<std::uint16_t>(40000 + i), 5001,
+                              static_cast<std::uint8_t>(IpProto::kUdp)});
+  }
+  network.finalize_routes();
+
+  // Fig. 2's loss-rate query, verbatim structure.
+  const char* source = R"(
+R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple
+)";
+  runtime::QueryEngine engine(compiler::compile_source(source));
+  network.set_telemetry_sink(
+      [&engine](const PacketRecord& rec) { engine.process(rec); });
+
+  // Heterogeneous offered loads: flow i sends at (i+1) x 180 Mb/s, so later
+  // flows overdrive the bottleneck harder and should lose more.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double rate_pps = (static_cast<double>(i) + 1.0) * 15000.0;
+    network.add_udp_flow(flows[i], 0_ns, 40000, 1500, rate_pps);
+  }
+  network.run_until(500_ms);
+  engine.finish(network.now());
+
+  runtime::ResultTable r3 = engine.table("R3");
+  r3.sort_desc("R2.COUNT / R1.COUNT");
+  std::printf("%s", r3.to_text("per-flow loss rate (R2.COUNT / R1.COUNT)").c_str());
+
+  const runtime::ResultTable& r1 = engine.table("R1");
+  const runtime::ResultTable& r2 = engine.table("R2");
+  std::printf(
+      "\nflows observed: %zu, flows with drops: %zu\n"
+      "expected shape: loss rate increases with the flow's offered load "
+      "(srcip 10.1.0.1 lowest, 10.1.0.8 highest)\n",
+      r1.row_count(), r2.row_count());
+
+  // Independent check: total drops reported by the bottleneck queue equals
+  // the sum of R2 counts (every loss happens at the bottleneck).
+  const std::uint32_t qid = network.queue_id(sw_a, sw_b);
+  double r2_total = 0;
+  for (const auto& row : r2.rows()) r2_total += row[r2.column("COUNT")];
+  std::printf("bottleneck '%s' drops: %llu; R2 total: %.0f  %s\n",
+              network.queue_name(qid).c_str(),
+              static_cast<unsigned long long>(network.queue_stats(qid).dropped),
+              r2_total,
+              static_cast<double>(network.queue_stats(qid).dropped) == r2_total
+                  ? "(exact match)"
+                  : "(MISMATCH)");
+  return 0;
+}

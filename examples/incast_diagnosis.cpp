@@ -1,0 +1,113 @@
+// Incast diagnosis — the use case the paper's introduction leads with
+// ("localize queues suffering from incast", "detecting flows contributing
+// to incast at a switch", which endpoint methods cannot do directly).
+//
+// We build a 4-leaf/2-spine fabric in the network simulator, run background
+// traffic plus a synchronized 24-sender incast into one host, and ask three
+// questions in the query language:
+//   Q1: which queues are dropping?             (drops per qid)
+//   Q2: which queues have persistently high occupancy?  (Fig. 2's perc)
+//   Q3: which flows contribute to the hot queue?        (count per flow @ qid)
+//
+// Build & run:  ./build/examples/incast_diagnosis
+#include <cstdio>
+
+#include "netsim/network.hpp"
+#include "runtime/engine.hpp"
+
+int main() {
+  using namespace perfq;
+
+  // ---- fabric ---------------------------------------------------------
+  net::Network network(/*seed=*/7);
+  net::LinkConfig edge{10.0, 1500_ns, 64};     // 10G host links, 64-pkt queues
+  net::LinkConfig fabric{40.0, 2000_ns, 128};  // 40G fabric
+  const net::LeafSpine topo = net::build_leaf_spine(network, 4, 2, 8, edge, fabric);
+
+  // ---- queries, installed before traffic ------------------------------
+  const char* source = R"(
+# Q1: drop counts per queue
+Q1 = SELECT COUNT GROUPBY qid WHERE tout == infinity
+
+# Q2: queues whose occupancy exceeds K for >1% of packets (Fig. 2)
+def perc ((tot, high), qin):
+    if qin > K: high = high + 1
+    tot = tot + 1
+
+P1 = SELECT qid, perc GROUPBY qid
+Q2 = SELECT * FROM P1 WHERE perc.high / perc.tot > 0.01
+
+# Q3: per-flow packet counts per queue (who is hitting which queue)
+Q3 = SELECT COUNT GROUPBY srcip, dstip, qid
+)";
+  runtime::EngineConfig config;
+  config.geometry = kv::CacheGeometry::set_associative(4096, 8);
+  runtime::QueryEngine engine(compiler::compile_source(source, {{"K", 32.0}}),
+                              config);
+  network.set_telemetry_sink(
+      [&engine](const PacketRecord& rec) { engine.process(rec); });
+
+  // ---- traffic ---------------------------------------------------------
+  // Background: every host sends a modest long-lived flow to a random peer.
+  Rng rng(99);
+  for (std::uint32_t l = 0; l < 4; ++l) {
+    for (std::uint32_t h = 0; h < 8; ++h) {
+      const std::uint32_t peer_leaf = (l + 1 + rng.below(3)) % 4;
+      FiveTuple flow{net::leaf_spine_ip(l, h),
+                     net::leaf_spine_ip(peer_leaf, static_cast<std::uint32_t>(
+                                                       rng.below(8))),
+                     static_cast<std::uint16_t>(20000 + h), 8080,
+                     static_cast<std::uint8_t>(IpProto::kTcp)};
+      network.add_window_flow(flow, 0_ns, 400, 1000, 4, 5_ms);
+    }
+  }
+  // Incast: 24 senders (leaves 1-3) fire simultaneously into host (0,0).
+  const std::uint32_t victim_ip = net::leaf_spine_ip(0, 0);
+  for (std::uint32_t l = 1; l < 4; ++l) {
+    for (std::uint32_t h = 0; h < 8; ++h) {
+      FiveTuple flow{net::leaf_spine_ip(l, h), victim_ip,
+                     static_cast<std::uint16_t>(30000 + l * 8 + h), 9000,
+                     static_cast<std::uint8_t>(IpProto::kTcp)};
+      network.add_window_flow(flow, 10_ms, 300, 1500, 16, 4_ms);
+    }
+  }
+  network.run_until(200_ms);
+  engine.finish(network.now());
+
+  // ---- diagnosis -------------------------------------------------------
+  const std::uint32_t hot_q = network.queue_id(topo.leaves[0], topo.hosts[0]);
+  std::printf("ground truth: fan-in queue is qid %u (%s), %llu drops\n\n",
+              hot_q, network.queue_name(hot_q).c_str(),
+              static_cast<unsigned long long>(
+                  network.queue_stats(hot_q).dropped));
+
+  runtime::ResultTable q1 = engine.table("Q1");
+  q1.sort_desc("COUNT");
+  std::printf("%s", q1.to_text("Q1: drops per queue", 5).c_str());
+  if (q1.row_count() > 0 &&
+      static_cast<std::uint32_t>(q1.rows()[0][q1.column("qid")]) == hot_q) {
+    std::printf("=> Q1 localizes the incast drop queue correctly\n\n");
+  }
+
+  std::printf("%s",
+              engine.table("Q2").to_text("Q2: persistently deep queues").c_str());
+
+  runtime::ResultTable q3 = engine.table("Q3");
+  q3.sort_desc("COUNT");
+  std::printf("\nQ3: top contributors at the hot queue:\n");
+  const std::size_t qid_col = q3.column("qid");
+  const std::size_t src_col = q3.column("srcip");
+  const std::size_t cnt_col = q3.column("COUNT");
+  int shown = 0;
+  for (const auto& row : q3.rows()) {
+    if (static_cast<std::uint32_t>(row[qid_col]) != hot_q) continue;
+    std::printf("  %-16s -> victim: %6.0f pkts\n",
+                ipv4_to_string(static_cast<std::uint32_t>(row[src_col])).c_str(),
+                row[cnt_col]);
+    if (++shown == 8) break;
+  }
+  std::printf(
+      "\nThis is the paper's pitch: per-queue, per-flow attribution from "
+      "inside the network, not inferred at endpoints.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Count-Min sketch baseline (§5 positions performance queries against
+// sketch-based systems: OpenSketch, UnivMon, Counter Braids). Sketches give
+// fixed memory but pay an accuracy-memory tradeoff that the paper's
+// linear-in-state design sidesteps for a broad query class.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "packet/record.hpp"
+
+namespace perfq::baselines {
+
+class CountMinSketch {
+ public:
+  /// depth rows x width counters; optional conservative update.
+  CountMinSketch(std::size_t depth, std::size_t width, std::uint64_t seed = 7,
+                 bool conservative = false)
+      : depth_(depth), width_(width), conservative_(conservative),
+        counters_(depth * width, 0) {
+    if (depth == 0 || width == 0) throw ConfigError{"CountMinSketch: zero size"};
+    for (std::size_t d = 0; d < depth; ++d) {
+      seeds_.push_back(mix64(seed + d * 0x9E3779B97F4A7C15ULL));
+    }
+  }
+
+  void add(const FiveTuple& flow, std::uint64_t count = 1) {
+    if (!conservative_) {
+      for (std::size_t d = 0; d < depth_; ++d) slot(d, flow) += count;
+      total_ += count;
+      return;
+    }
+    // Conservative update: raise only the minimal counters.
+    std::uint64_t current = estimate(flow);
+    for (std::size_t d = 0; d < depth_; ++d) {
+      auto& c = slot(d, flow);
+      c = std::max(c, current + count);
+    }
+    total_ += count;
+  }
+
+  [[nodiscard]] std::uint64_t estimate(const FiveTuple& flow) const {
+    std::uint64_t est = ~std::uint64_t{0};
+    for (std::size_t d = 0; d < depth_; ++d) {
+      est = std::min(est, slot(d, flow));
+    }
+    return est;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Memory in Mbit at `bits_per_counter`.
+  [[nodiscard]] double mbits(int bits_per_counter = 32) const {
+    return static_cast<double>(depth_ * width_) *
+           static_cast<double>(bits_per_counter) / (1024.0 * 1024.0);
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t& slot(std::size_t d, const FiveTuple& flow) {
+    return counters_[d * width_ + reduce_range(flow.hash(seeds_[d]), width_)];
+  }
+  [[nodiscard]] const std::uint64_t& slot(std::size_t d,
+                                          const FiveTuple& flow) const {
+    return counters_[d * width_ + reduce_range(flow.hash(seeds_[d]), width_)];
+  }
+
+  std::size_t depth_;
+  std::size_t width_;
+  bool conservative_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<std::uint64_t> seeds_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace perfq::baselines

@@ -1,0 +1,89 @@
+// NetFlow-style baselines the paper positions against (§1, §5): exact
+// unbounded per-flow tables (infeasible in SRAM at line rate) and packet-
+// sampled collection (cheap but approximate).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "packet/record.hpp"
+
+namespace perfq::baselines {
+
+/// Per-flow counters tracked by the NetFlow-style baselines.
+struct FlowCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Exact, unbounded flow table — the semantics GROUPBY 5tuple wants, with
+/// the memory footprint §4 shows is infeasible on-chip (3.8 M flows would
+/// need a 486-Mbit / 38%-of-die SRAM).
+class ExactFlowTable {
+ public:
+  void process(const PacketRecord& rec) {
+    auto& c = table_[rec.pkt.flow];
+    ++c.packets;
+    c.bytes += rec.pkt.pkt_len;
+  }
+
+  [[nodiscard]] const FlowCounters* lookup(const FiveTuple& flow) const {
+    const auto it = table_.find(flow);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t flows() const { return table_.size(); }
+
+  /// On-chip bits this table would need at `bits_per_pair` per entry.
+  [[nodiscard]] double required_mbits(int bits_per_pair = 128) const {
+    return static_cast<double>(table_.size()) *
+           static_cast<double>(bits_per_pair) / (1024.0 * 1024.0);
+  }
+
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [flow, counters] : table_) fn(flow, counters);
+  }
+
+ private:
+  std::unordered_map<FiveTuple, FlowCounters> table_;
+};
+
+/// 1-in-N packet-sampled NetFlow: what sFlow/NetFlow actually deploy (§1's
+/// "sampling" citation). Estimates scale counts by N; small flows are
+/// frequently missed entirely.
+class SampledFlowTable {
+ public:
+  SampledFlowTable(std::uint32_t sample_every, std::uint64_t seed)
+      : n_(sample_every), rng_(seed) {
+    if (n_ == 0) throw ConfigError{"SampledFlowTable: N must be positive"};
+  }
+
+  void process(const PacketRecord& rec) {
+    ++seen_;
+    if (rng_.below(n_) != 0) return;
+    auto& c = table_[rec.pkt.flow];
+    ++c.packets;
+    c.bytes += rec.pkt.pkt_len;
+  }
+
+  /// Estimated packet count (sampled count x N); 0 if never sampled.
+  [[nodiscard]] double estimate_packets(const FiveTuple& flow) const {
+    const auto it = table_.find(flow);
+    if (it == table_.end()) return 0.0;
+    return static_cast<double>(it->second.packets) * n_;
+  }
+
+  [[nodiscard]] std::size_t flows_observed() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t packets_seen() const { return seen_; }
+  [[nodiscard]] std::uint32_t sampling_rate() const { return n_; }
+
+ private:
+  std::uint32_t n_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::unordered_map<FiveTuple, FlowCounters> table_;
+};
+
+}  // namespace perfq::baselines

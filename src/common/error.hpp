@@ -1,0 +1,68 @@
+// Error handling for the perfq library.
+//
+// Following the Core Guidelines (I.10, E.2) we signal failures with
+// exceptions. The hierarchy distinguishes user-facing query errors (bad
+// syntax, type errors, uncompilable constructs) from internal invariant
+// violations, so callers like the REPL example can catch QueryError and keep
+// running while programming bugs still terminate loudly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace perfq {
+
+/// Base class of all perfq exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A problem with a user-supplied query: lexing, parsing, type checking, or
+/// a construct the compiler cannot lower to the switch primitives.
+class QueryError : public Error {
+ public:
+  QueryError(std::string stage, std::string message, int line = 0, int column = 0)
+      : Error(format(stage, message, line, column)),
+        stage_(std::move(stage)),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] const std::string& stage() const { return stage_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  static std::string format(const std::string& stage, const std::string& message,
+                            int line, int column) {
+    std::string out = stage + " error";
+    if (line > 0) {
+      out += " at " + std::to_string(line) + ":" + std::to_string(column);
+    }
+    out += ": " + message;
+    return out;
+  }
+  std::string stage_;
+  int line_;
+  int column_;
+};
+
+/// Misconfiguration of a simulator/hardware component (e.g. zero-slot cache).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in perfq itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throw InternalError if `condition` is false. Cheap enough to keep enabled
+/// in release builds; used for invariants that guard data integrity.
+inline void check(bool condition, const char* message) {
+  if (!condition) throw InternalError{message};
+}
+
+}  // namespace perfq

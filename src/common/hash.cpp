@@ -1,0 +1,94 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace perfq {
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+constexpr std::uint64_t rotl(std::uint64_t v, int r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t round_step(std::uint64_t acc, std::uint64_t lane) {
+  acc += lane * kPrime2;
+  acc = rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+}  // namespace
+
+std::uint64_t hash_bytes(std::span<const std::byte> data, std::uint64_t seed) {
+  const std::byte* p = data.data();
+  const std::byte* const end = p + data.size();
+  std::uint64_t h = 0;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = round_step(v1, read_u64(p));
+      v2 = round_step(v2, read_u64(p + 8));
+      v3 = round_step(v3, read_u64(p + 16));
+      v4 = round_step(v4, read_u64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = (h ^ round_step(0, v1)) * kPrime1 + kPrime4;
+    h = (h ^ round_step(0, v2)) * kPrime1 + kPrime4;
+    h = (h ^ round_step(0, v3)) * kPrime1 + kPrime4;
+    h = (h ^ round_step(0, v4)) * kPrime1 + kPrime4;
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= round_step(0, read_u64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read_u32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(*p)) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+std::uint64_t hash_string(std::string_view s, std::uint64_t seed) {
+  return hash_bytes(std::as_bytes(std::span{s.data(), s.size()}), seed);
+}
+
+}  // namespace perfq

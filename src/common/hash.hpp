@@ -1,0 +1,45 @@
+// Hash functions used across the project.
+//
+// The cache in src/kvstore indexes hash-table buckets by a 64-bit hash of the
+// aggregation key (§3.2, Fig. 4). We provide:
+//   - xxhash64-style mixing over arbitrary byte spans (fast, good avalanche);
+//   - seeded variants so that independent structures (cache index, sketch
+//     rows, trace generation) never share hash functions;
+//   - a small utility for reducing a hash onto [0, n) without modulo bias.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace perfq {
+
+/// 64-bit hash of a byte span, xxhash64-inspired construction.
+[[nodiscard]] std::uint64_t hash_bytes(std::span<const std::byte> data,
+                                       std::uint64_t seed = 0);
+
+/// Convenience overload for string data (e.g. field names).
+[[nodiscard]] std::uint64_t hash_string(std::string_view s, std::uint64_t seed = 0);
+
+/// Strong 64-bit integer mixer (splitmix64 finalizer). Bijective.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost-style but 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+}
+
+/// Map a 64-bit hash uniformly onto [0, n) using the multiply-shift trick
+/// (Lemire); avoids the bias and cost of `h % n`.
+[[nodiscard]] constexpr std::uint64_t reduce_range(std::uint64_t h, std::uint64_t n) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * static_cast<unsigned __int128>(n)) >> 64);
+}
+
+}  // namespace perfq

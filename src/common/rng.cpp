@@ -1,0 +1,59 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perfq {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument{"ZipfDistribution: n must be positive"};
+  if (s < 0) throw std::invalid_argument{"ZipfDistribution: exponent must be >= 0"};
+  if (n_ <= kTableLimit) {
+    cdf_.resize(n_);
+    double acc = 0.0;
+    for (std::uint64_t k = 0; k < n_; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+      cdf_[k] = acc;
+    }
+    const double total = cdf_.back();
+    for (double& c : cdf_) c /= total;
+  } else {
+    // Hörmann rejection-inversion setup (works for s != 1 and s == 1 via h()).
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    threshold_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s_));
+  }
+}
+
+double ZipfDistribution::h(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::h_inv(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  if (!cdf_.empty()) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::uint64_t>(it - cdf_.begin());
+    return std::min(idx, n_ - 1);
+  }
+  // Rejection-inversion: sample until accepted; expected O(1) iterations.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n_)));
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= h(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+}  // namespace perfq

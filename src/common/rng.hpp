@@ -1,0 +1,129 @@
+// Deterministic pseudo-random number generation and the distributions the
+// workload generators need.
+//
+// Everything in the repository that is random takes an explicit seed so that
+// every experiment, test, and benchmark is reproducible bit-for-bit.
+// The core generator is xoshiro256** (public domain, Blackman & Vigna), which
+// is fast, has 256 bits of state, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace perfq {
+
+/// xoshiro256** pseudo-random generator. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // Seed expansion via splitmix64, per the xoshiro authors' recommendation.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      s = mix64(x);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) { return reduce_range((*this)(), n); }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as a log() argument.
+  double uniform_pos() {
+    return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double exponential(double lambda) { return -std::log(uniform_pos()) / lambda; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  double normal() {
+    const double u1 = uniform_pos();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(mu + sigma * normal()); }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed flow sizes).
+  double pareto(double xm, double alpha) {
+    return xm / std::pow(uniform_pos(), 1.0 / alpha);
+  }
+
+  /// Split off an independent generator; children of distinct indices are
+  /// decorrelated from each other and from the parent.
+  [[nodiscard]] Rng split(std::uint64_t index) const {
+    return Rng{mix64(state_[0] ^ mix64(index + 0x517CC1B727220A95ULL))};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int r) {
+    return (v << r) | (v >> (64 - r));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}: P(k) proportional to 1/(k+1)^s.
+///
+/// Uses the bisection-over-CDF method with a precomputed prefix table for
+/// small n and rejection-inversion (Hörmann) for large n, so construction is
+/// O(min(n, 1)) memory for the large case and sampling is O(1) expected.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t size() const { return n_; }
+  [[nodiscard]] double exponent() const { return s_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;          // integral of 1/x^s
+  [[nodiscard]] double h_inv(double x) const;      // inverse of h
+  std::uint64_t n_;
+  double s_;
+  // Rejection-inversion constants.
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+  // Small-n exact CDF table (used when n_ <= kTableLimit).
+  static constexpr std::uint64_t kTableLimit = 1u << 16;
+  std::vector<double> cdf_;
+};
+
+}  // namespace perfq

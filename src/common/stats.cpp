@@ -1,0 +1,36 @@
+#include "common/stats.hpp"
+
+#include <stdexcept>
+
+namespace perfq {
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile: q outside [0,1]"};
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(counts_.front());
+  if (cum >= target && counts_.front() > 0) return lo_;
+  const std::size_t nb = counts_.size() - 2;
+  const double width = (hi_ - lo_) / static_cast<double>(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const double next = cum + static_cast<double>(counts_[i + 1]);
+    if (next >= target && counts_[i + 1] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i + 1]);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double QuantileSample::quantile(double q) const {
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile: q outside [0,1]"};
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace perfq

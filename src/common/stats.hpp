@@ -1,0 +1,93 @@
+// Streaming statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace perfq {
+
+/// Streaming mean/variance/min/max (Welford). O(1) space.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++counts_.front();
+    } else if (x >= hi_) {
+      ++counts_.back();
+    } else {
+      const auto b = static_cast<std::size_t>(
+          (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size() - 2));
+      ++counts_[b + 1];
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return counts_.front(); }
+  [[nodiscard]] std::uint64_t overflow() const { return counts_.back(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i + 1]; }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size() - 2; }
+
+  /// Bucket-interpolated quantile; q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantiles over a stored sample (used where samples are modest).
+class QuantileSample {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+
+  /// q in [0, 1]; nearest-rank on a sorted copy.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace perfq

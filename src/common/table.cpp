@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace perfq {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) throw std::logic_error{"TextTable: header after rows"};
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::logic_error{"TextTable: row arity mismatch"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_text() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = "== " + title_ + " ==\n" + sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      line += row[c];
+    }
+    return line + "\n";
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void TextTable::print() const { std::fputs(to_text().c_str(), stdout); }
+
+std::string fmt_double(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string{buf.data()};
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f%%", precision, fraction * 100.0);
+  return std::string{buf.data()};
+}
+
+std::string fmt_si(double v, int precision) {
+  std::array<char, 64> buf{};
+  const double a = std::abs(v);
+  if (a >= 1e9) {
+    std::snprintf(buf.data(), buf.size(), "%.*fG", precision, v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf.data(), buf.size(), "%.*fM", precision, v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf.data(), buf.size(), "%.*fK", precision, v / 1e3);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace perfq

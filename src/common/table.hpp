@@ -1,0 +1,48 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it as an aligned ASCII table plus (optionally) CSV, so results can
+// be diffed and re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace perfq {
+
+/// Column-aligned text table with a title and optional CSV output.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render aligned ASCII to a string.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Render RFC-4180-ish CSV (no quoting needed for our cell values).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stdout (text form).
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used by bench output.
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 2);
+[[nodiscard]] std::string fmt_si(double v, int precision = 2);  // 802K, 3.2M, ...
+
+}  // namespace perfq

@@ -1,0 +1,24 @@
+#include "common/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace perfq {
+
+std::string to_string(Nanos t) {
+  if (t.is_infinite()) return "inf";
+  const double ns = static_cast<double>(t.count());
+  std::array<char, 64> buf{};
+  if (t.count() < 1'000) {
+    std::snprintf(buf.data(), buf.size(), "%lld ns", static_cast<long long>(t.count()));
+  } else if (t.count() < 1'000'000) {
+    std::snprintf(buf.data(), buf.size(), "%.3f us", ns / 1e3);
+  } else if (t.count() < 1'000'000'000) {
+    std::snprintf(buf.data(), buf.size(), "%.3f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.3f s", ns / 1e9);
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace perfq

@@ -1,0 +1,74 @@
+// Simulation time types.
+//
+// All simulator components exchange time as integer nanoseconds wrapped in a
+// strong type so that raw integers (packet counts, byte counts, ...) cannot be
+// accidentally used as timestamps. The paper's hardware runs a 1 GHz pipeline,
+// i.e. one packet per nanosecond, so nanosecond resolution is exact for every
+// experiment in §4.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace perfq {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+class Nanos {
+ public:
+  constexpr Nanos() = default;
+  constexpr explicit Nanos(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ns_; }
+
+  /// Sentinel used for "packet was dropped": the paper assigns tout = infinity
+  /// to dropped packets so that WHERE tout == infinity selects drops.
+  [[nodiscard]] static constexpr Nanos infinity() {
+    return Nanos{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  friend constexpr auto operator<=>(Nanos, Nanos) = default;
+
+  constexpr Nanos& operator+=(Nanos d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+  constexpr Nanos& operator-=(Nanos d) {
+    ns_ -= d.ns_;
+    return *this;
+  }
+  friend constexpr Nanos operator+(Nanos a, Nanos b) { return Nanos{a.ns_ + b.ns_}; }
+  friend constexpr Nanos operator-(Nanos a, Nanos b) { return Nanos{a.ns_ - b.ns_}; }
+  friend constexpr Nanos operator*(Nanos a, std::int64_t k) { return Nanos{a.ns_ * k}; }
+  friend constexpr Nanos operator*(std::int64_t k, Nanos a) { return Nanos{a.ns_ * k}; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Nanos operator""_ns(unsigned long long v) {
+  return Nanos{static_cast<std::int64_t>(v)};
+}
+constexpr Nanos operator""_us(unsigned long long v) {
+  return Nanos{static_cast<std::int64_t>(v) * 1'000};
+}
+constexpr Nanos operator""_ms(unsigned long long v) {
+  return Nanos{static_cast<std::int64_t>(v) * 1'000'000};
+}
+constexpr Nanos operator""_s(unsigned long long v) {
+  return Nanos{static_cast<std::int64_t>(v) * 1'000'000'000};
+}
+
+/// Seconds as a double, for reporting only (never for simulation arithmetic).
+[[nodiscard]] inline double to_seconds(Nanos t) {
+  return static_cast<double>(t.count()) * 1e-9;
+}
+
+/// Human-readable rendering, e.g. "1.500 ms" or "inf".
+[[nodiscard]] std::string to_string(Nanos t);
+
+}  // namespace perfq

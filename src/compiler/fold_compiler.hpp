@@ -1,0 +1,151 @@
+// Lowering fold definitions to executable kernels.
+//
+// A CompiledFoldKernel interprets the user's fold body for the ground-truth
+// update(), and — when the linearity analyzer proved the fold linear —
+// evaluates the extracted (A, B) coefficient expressions per packet for the
+// cache's running-product maintenance and the backing store's exact merge.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "compiler/scalar_expr.hpp"
+#include "kvstore/fold.hpp"
+#include "lang/sema.hpp"
+
+namespace perfq::compiler {
+
+/// Slot depth used for state-variable references inside fold bodies.
+inline constexpr int kStateDepth = -1;
+
+/// ValueSource adapter exposing fold state alongside an inner source.
+class StatefulSource final : public ValueSource {
+ public:
+  StatefulSource(const ValueSource& inner, std::span<const double> state)
+      : inner_(inner), state_(state) {}
+  [[nodiscard]] double value(Slot slot) const override {
+    if (slot.depth == kStateDepth) {
+      return state_[static_cast<std::size_t>(slot.index)];
+    }
+    return inner_.value(slot);
+  }
+
+ private:
+  const ValueSource& inner_;
+  std::span<const double> state_;
+};
+
+/// A fold body compiled against a name resolver (state vars resolve
+/// internally; everything else through `resolver`). Reused by both the
+/// on-switch kernel (records) and the collection-layer GROUPBY (rows).
+class FoldBody {
+ public:
+  [[nodiscard]] static FoldBody compile(const lang::FoldDef& fold,
+                                        const Resolver& resolver);
+
+  /// Run the body once: state is read and written in place; `input` supplies
+  /// non-state names.
+  void execute(std::span<double> state, const ValueSource& input) const;
+
+  [[nodiscard]] std::size_t state_dims() const { return dims_; }
+
+ private:
+  struct CompiledStmt {
+    bool is_if = false;
+    int target = -1;       // assign
+    ScalarExpr expr;       // assign value or if condition
+    std::vector<CompiledStmt> then_body;
+    std::vector<CompiledStmt> else_body;
+  };
+
+  static std::vector<CompiledStmt> compile_block(
+      const std::vector<lang::Stmt>& body, const lang::FoldDef& fold,
+      const Resolver& resolver);
+  static void exec_block(const std::vector<CompiledStmt>& block,
+                         std::span<double> state, const ValueSource& input);
+
+  std::vector<CompiledStmt> body_;
+  std::size_t dims_ = 0;
+};
+
+/// kv::FoldKernel lowered from an analyzed fold, with packet arguments bound
+/// to base-schema expressions (identity bindings for direct GROUPBY over T;
+/// substituted expressions when the stream passed through SELECT renames).
+class CompiledFoldKernel final : public kv::FoldKernel {
+ public:
+  /// `arg_bindings` maps packet-arg names to base-stream expressions; args
+  /// not present bind to the base field of the same name.
+  CompiledFoldKernel(const lang::AnalyzedFold& fold,
+                     const std::map<std::string, const lang::Expr*>& arg_bindings);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t state_dims() const override { return dims_; }
+  [[nodiscard]] kv::StateVector initial_state() const override {
+    return kv::StateVector(dims_);
+  }
+  void update(kv::StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] kv::Linearity linearity() const override { return linearity_; }
+  [[nodiscard]] std::size_t history_window() const override { return history_; }
+  [[nodiscard]] kv::AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] kv::SmallMatrix constant_a() const override;
+
+  [[nodiscard]] const std::string& linearity_reason() const { return reason_; }
+
+ private:
+  std::string name_;
+  std::size_t dims_ = 0;
+  kv::Linearity linearity_ = kv::Linearity::kNotLinear;
+  std::size_t history_ = 0;
+  std::string reason_;
+  FoldBody body_;
+  // Extracted update: rows_[i] = (coeff exprs over window, constant expr).
+  struct CompiledRow {
+    std::vector<ScalarExpr> coeffs;
+    ScalarExpr constant;
+  };
+  std::vector<CompiledRow> rows_;
+  kv::SmallMatrix const_a_;  ///< precomputed when kLinearConstA
+};
+
+/// SUM(expr) aggregation kernel (linear, A = I, h = 0).
+class SumExprKernel final : public kv::FoldKernel {
+ public:
+  SumExprKernel(std::string display_name, ScalarExpr expr)
+      : name_(std::move(display_name)), expr_(std::move(expr)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] kv::StateVector initial_state() const override {
+    return kv::StateVector(1);
+  }
+  void update(kv::StateVector& state, const PacketRecord& rec) const override {
+    state[0] += expr_.eval(RecordSource({&rec, 1}));
+  }
+  [[nodiscard]] kv::Linearity linearity() const override {
+    return kv::Linearity::kLinearConstA;
+  }
+  [[nodiscard]] kv::AffineTransform transform(
+      std::span<const PacketRecord> window) const override {
+    kv::AffineTransform t{kv::SmallMatrix::identity(1), kv::StateVector(1)};
+    t.b[0] = expr_.eval(RecordSource(window.subspan(window.size() - 1)));
+    return t;
+  }
+  [[nodiscard]] kv::SmallMatrix constant_a() const override {
+    return kv::SmallMatrix::identity(1);
+  }
+
+ private:
+  std::string name_;
+  ScalarExpr expr_;
+};
+
+/// Replace name references with bound expressions (stream-SELECT renames are
+/// pushed into fold bodies and WHERE clauses this way). A "prev$x" reference
+/// substitutes the binding of "x" with all of *its* names prev$-renamed.
+/// Names without a binding are left untouched.
+[[nodiscard]] lang::ExprPtr substitute_names(
+    const lang::Expr& expr,
+    const std::map<std::string, const lang::Expr*>& bindings);
+
+}  // namespace perfq::compiler

@@ -1,0 +1,234 @@
+#include "compiler/program.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/combined.hpp"
+#include "lang/parser.hpp"
+
+namespace perfq::compiler {
+namespace {
+
+using lang::AnalyzedProgram;
+using lang::AnalyzedQuery;
+using lang::Expr;
+using lang::ExprPtr;
+
+const lang::Schema& base_schema() {
+  static const lang::Schema kBase = lang::Schema::base();
+  return kBase;
+}
+
+/// The upstream SELECT chain of an on-switch GROUPBY, flattened: a composed
+/// column map (output column -> expression over T) and the conjunction of
+/// all WHERE predicates along the chain.
+struct StreamView {
+  std::map<std::string, ExprPtr> columns;  ///< absent = identity base field
+  std::vector<ExprPtr> filters;            ///< each over T
+};
+
+[[nodiscard]] std::map<std::string, const Expr*> as_pointer_map(
+    const std::map<std::string, ExprPtr>& owned) {
+  std::map<std::string, const Expr*> out;
+  for (const auto& [k, v] : owned) out.emplace(k, v.get());
+  return out;
+}
+
+StreamView build_stream_view(const AnalyzedProgram& analysis, int query_index) {
+  // Collect the SELECT chain base..query_index (exclusive of the groupby).
+  std::vector<const AnalyzedQuery*> chain;
+  int idx = query_index;
+  while (idx >= 0) {
+    const AnalyzedQuery& q = analysis.queries[static_cast<std::size_t>(idx)];
+    check(q.def.kind == lang::QueryDef::Kind::kSelect,
+          "stream chain contains a non-SELECT stage");
+    chain.push_back(&q);
+    idx = q.input;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  StreamView view;
+  for (const AnalyzedQuery* q : chain) {
+    const auto bindings = as_pointer_map(view.columns);
+    if (q->def.where != nullptr) {
+      view.filters.push_back(substitute_names(*q->def.where, bindings));
+    }
+    std::map<std::string, ExprPtr> next;
+    for (const auto& proj : q->projections) {
+      next.emplace(proj.column, substitute_names(*proj.expr, bindings));
+    }
+    view.columns = std::move(next);
+  }
+  return view;
+}
+
+/// Builds the conjunction of the chain's filters (as AST); null = no filter.
+[[nodiscard]] ExprPtr conjoin_filters(const StreamView& view,
+                                      const Expr* groupby_where,
+                                      const std::map<std::string, const Expr*>&
+                                          bindings) {
+  std::vector<ExprPtr> all;
+  for (const auto& f : view.filters) all.push_back(f->clone());
+  if (groupby_where != nullptr) {
+    all.push_back(substitute_names(*groupby_where, bindings));
+  }
+  if (all.empty()) return nullptr;
+  ExprPtr conj = std::move(all.front());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    conj = lang::make_binary(lang::BinaryOp::kAnd, std::move(conj),
+                             std::move(all[i]));
+  }
+  return conj;
+}
+
+SwitchQueryPlan build_switch_plan(const AnalyzedProgram& analysis,
+                                  int query_index) {
+  const AnalyzedQuery& q = analysis.queries[static_cast<std::size_t>(query_index)];
+  const StreamView view = build_stream_view(analysis, q.input);
+  const auto bindings = as_pointer_map(view.columns);
+  const lang::Schema& in_schema =
+      q.input < 0 ? base_schema() : analysis.queries[static_cast<std::size_t>(
+                                        q.input)].output;
+
+  SwitchQueryPlan plan;
+  plan.query_index = query_index;
+  plan.name = q.def.result_name.empty() ? "result" : q.def.result_name;
+  plan.prefilter_ast = conjoin_filters(view, q.def.where.get(), bindings);
+  if (plan.prefilter_ast != nullptr) {
+    plan.prefilter =
+        ScalarExpr::compile(*plan.prefilter_ast, base_record_resolver());
+  }
+
+  // Key components: column expressions composed down to T.
+  for (const auto& col : q.key_columns) {
+    const lang::Column* column = in_schema.find(col);
+    check(column != nullptr, "switch plan: key column missing from schema");
+    KeyComponent comp;
+    comp.column = col;
+    comp.bytes = (column->bits + 7) / 8;
+    const auto it = bindings.find(col);
+    const ExprPtr name_expr = lang::make_name(col);
+    const Expr& source_expr = it != bindings.end() ? *it->second : *name_expr;
+    comp.expr = ScalarExpr::compile(source_expr, base_record_resolver());
+    plan.key.push_back(std::move(comp));
+  }
+
+  // Aggregation kernels.
+  std::vector<std::shared_ptr<const kv::FoldKernel>> parts;
+  for (const auto& agg : q.aggregations) {
+    switch (agg.kind) {
+      case lang::AggregationSpec::Kind::kCount:
+        parts.push_back(std::make_shared<kv::CountKernel>());
+        break;
+      case lang::AggregationSpec::Kind::kSum: {
+        const ExprPtr bound = substitute_names(*agg.sum_expr, bindings);
+        parts.push_back(std::make_shared<SumExprKernel>(
+            agg.column,
+            ScalarExpr::compile(*bound, base_record_resolver())));
+        break;
+      }
+      case lang::AggregationSpec::Kind::kFold: {
+        const int fi = analysis.fold_index(agg.fold_name);
+        check(fi >= 0, "switch plan: unknown fold");
+        const lang::AnalyzedFold& fold =
+            analysis.folds[static_cast<std::size_t>(fi)];
+        // Bind packet args through the stream view's column map.
+        std::map<std::string, const Expr*> arg_bindings;
+        for (const auto& arg : fold.def.packet_args) {
+          const auto it = bindings.find(arg);
+          if (it != bindings.end()) arg_bindings.emplace(arg, it->second);
+        }
+        parts.push_back(
+            std::make_shared<CompiledFoldKernel>(fold, arg_bindings));
+        break;
+      }
+    }
+    for (const auto& col : agg.out_columns) plan.value_columns.push_back(col);
+  }
+  if (parts.size() == 1) {
+    plan.kernel = parts.front();
+  } else {
+    plan.kernel = std::make_shared<kv::CombinedKernel>(std::move(parts));
+  }
+  plan.linearity = plan.kernel->linearity();
+  return plan;
+}
+
+}  // namespace
+
+CompiledStreamSelect compile_stream_select(const AnalyzedProgram& analysis,
+                                           int query_index) {
+  const AnalyzedQuery& q = analysis.queries.at(static_cast<std::size_t>(query_index));
+  check(q.def.kind == lang::QueryDef::Kind::kSelect && q.output.stream_over_base,
+        "compile_stream_select: not a stream SELECT");
+  const StreamView view = build_stream_view(analysis, query_index);
+
+  CompiledStreamSelect out;
+  out.query_index = query_index;
+  if (const ExprPtr conj = conjoin_filters(view, nullptr, {})) {
+    out.filter = ScalarExpr::compile(*conj, base_record_resolver());
+  }
+  for (const auto& col : q.output.columns()) {
+    const auto it = view.columns.find(col.name);
+    const ExprPtr name_expr = lang::make_name(col.name);
+    const Expr& source = it != view.columns.end() ? *it->second : *name_expr;
+    out.projections.emplace_back(
+        col.name, ScalarExpr::compile(source, base_record_resolver()));
+  }
+  return out;
+}
+
+CompiledProgram compile_program(AnalyzedProgram analysis) {
+  CompiledProgram out;
+  out.analysis = std::move(analysis);
+  for (std::size_t i = 0; i < out.analysis.queries.size(); ++i) {
+    const AnalyzedQuery& q = out.analysis.queries[i];
+    if (q.def.kind == lang::QueryDef::Kind::kGroupBy && q.on_switch) {
+      out.switch_plans.push_back(
+          build_switch_plan(out.analysis, static_cast<int>(i)));
+    }
+  }
+  return out;
+}
+
+CompiledProgram compile_source(std::string_view source,
+                               const std::map<std::string, double>& params) {
+  return compile_program(lang::analyze_source(source, params));
+}
+
+kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
+  const RecordSource source({&rec, 1});
+  std::array<std::uint64_t, 16> values{};
+  std::array<std::uint8_t, 16> widths{};
+  check(plan.key.size() <= 16, "extract_key: too many key components");
+  for (std::size_t i = 0; i < plan.key.size(); ++i) {
+    const double v = plan.key[i].expr.eval(source);
+    // Key fields are integer-valued; clamp defensively (e.g. infinity).
+    const double clamped =
+        std::clamp(v, 0.0, 18446744073709549568.0 /* ~2^64 */);
+    values[i] = static_cast<std::uint64_t>(clamped);
+    widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
+  }
+  return kv::Key::pack({values.data(), plan.key.size()},
+                       {widths.data(), plan.key.size()});
+}
+
+std::vector<double> unpack_key(const SwitchQueryPlan& plan, const kv::Key& key) {
+  std::vector<double> out;
+  const auto bytes = key.bytes();
+  std::size_t pos = 0;
+  for (const auto& comp : plan.key) {
+    check(pos + static_cast<std::size_t>(comp.bytes) <= bytes.size(),
+          "unpack_key: key too short");
+    std::uint64_t v = 0;
+    for (int b = 0; b < comp.bytes; ++b) {
+      v = (v << 8) | std::to_integer<std::uint64_t>(bytes[pos++]);
+    }
+    out.push_back(static_cast<double>(v));
+  }
+  return out;
+}
+
+}  // namespace perfq::compiler

@@ -1,0 +1,94 @@
+// Whole-program compilation: analyzed queries -> switch configurations.
+//
+// The paper sketches this mapping in §3.1-3.2: WHERE predicates become
+// match conditions in the match-action pipeline, GROUPBYs become
+// programmable key-value store instances keyed by the aggregation fields.
+// compile_program() walks each on-switch GROUPBY's upstream SELECT chain,
+// pushes projections/renames into the fold's argument bindings and the
+// composed prefilter, and emits one SwitchQueryPlan per GROUPBY. Everything
+// downstream of an aggregate (SELECT over results, soft GROUPBYs, JOINs) is
+// executed by the collection layer in src/runtime directly from the
+// analysis.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/fold_compiler.hpp"
+#include "compiler/scalar_expr.hpp"
+#include "kvstore/fold.hpp"
+#include "kvstore/key.hpp"
+#include "lang/sema.hpp"
+
+namespace perfq::compiler {
+
+/// One key component: which output column it fills, how to compute it from a
+/// packet, and how many bytes of the packed key it occupies.
+struct KeyComponent {
+  std::string column;
+  ScalarExpr expr;
+  int bytes = 8;
+};
+
+/// Configuration of one on-switch GROUPBY (one key-value store instance).
+struct SwitchQueryPlan {
+  int query_index = -1;  ///< into AnalyzedProgram::queries
+  std::string name;      ///< result table name (or "result")
+  std::optional<ScalarExpr> prefilter;  ///< composed WHERE chain over T
+  lang::ExprPtr prefilter_ast;  ///< same predicate as AST (for TCAM lowering)
+  std::vector<KeyComponent> key;
+  std::shared_ptr<const kv::FoldKernel> kernel;  ///< combined aggregations
+  std::vector<std::string> value_columns;  ///< per state dim, output order
+  kv::Linearity linearity = kv::Linearity::kNotLinear;
+
+  [[nodiscard]] int key_bytes() const {
+    int total = 0;
+    for (const auto& k : key) total += k.bytes;
+    return total;
+  }
+};
+
+struct CompiledProgram {
+  lang::AnalyzedProgram analysis;
+  std::vector<SwitchQueryPlan> switch_plans;
+
+  /// The switch plan for query index `q`, or nullptr.
+  [[nodiscard]] const SwitchQueryPlan* plan_for(int q) const {
+    for (const auto& p : switch_plans) {
+      if (p.query_index == q) return &p;
+    }
+    return nullptr;
+  }
+};
+
+/// A stream SELECT compiled down to the base table: the composed filter and
+/// per-output-column expressions over T. Used by the runtime to deliver
+/// streaming results (e.g. §2's "SELECT srcip, qid WHERE tout - tin > 1ms").
+struct CompiledStreamSelect {
+  int query_index = -1;
+  std::optional<ScalarExpr> filter;
+  std::vector<std::pair<std::string, ScalarExpr>> projections;  ///< schema order
+};
+
+/// Compile a stream SELECT query (kind kSelect with stream_over_base output).
+[[nodiscard]] CompiledStreamSelect compile_stream_select(
+    const lang::AnalyzedProgram& analysis, int query_index);
+
+/// Lower an analyzed program. Throws QueryError on uncompilable constructs.
+[[nodiscard]] CompiledProgram compile_program(lang::AnalyzedProgram analysis);
+
+/// Parse + analyze + compile.
+[[nodiscard]] CompiledProgram compile_source(
+    std::string_view source, const std::map<std::string, double>& params = {});
+
+/// Extract the packed key for one record under a plan.
+[[nodiscard]] kv::Key extract_key(const SwitchQueryPlan& plan,
+                                  const PacketRecord& rec);
+
+/// Inverse of extract_key: unpack component values from a packed key.
+[[nodiscard]] std::vector<double> unpack_key(const SwitchQueryPlan& plan,
+                                             const kv::Key& key);
+
+}  // namespace perfq::compiler

@@ -1,0 +1,108 @@
+#include "kvstore/backing_store.hpp"
+
+#include "common/error.hpp"
+
+namespace perfq::kv {
+
+BackingStore::BackingStore(std::shared_ptr<const FoldKernel> kernel)
+    : kernel_(std::move(kernel)) {
+  if (kernel_ == nullptr) throw ConfigError{"BackingStore: null kernel"};
+  linear_ = is_linear(kernel_->linearity());
+  associative_ = kernel_->has_associative_merge();
+}
+
+StateVector BackingStore::replay(StateVector state,
+                                 const std::vector<PacketRecord>& records) const {
+  for (const PacketRecord& rec : records) kernel_->update(state, rec);
+  return state;
+}
+
+void BackingStore::absorb(const EvictedValue& ev) {
+  ++writes_;
+  if (!ev.final_flush) ++capacity_writes_;
+
+  auto [it, inserted] = entries_.try_emplace(ev.key);
+  Entry& entry = it->second;
+
+  if (!linear_ && associative_) {
+    // Extension: exact non-linear merge for semilattice-style folds.
+    entry.packets += ev.packets;
+    if (inserted) {
+      entry.value = ev.state;
+    } else {
+      kernel_->merge_values(entry.value, ev.state);
+    }
+    return;
+  }
+
+  if (!linear_) {
+    // §3.2 "Operations that are not linear in state": keep one value per
+    // epoch; >1 segment ⇒ invalid over the full window.
+    entry.segments.push_back(
+        ValueSegment{ev.first_tin, ev.evict_time, ev.state, ev.packets});
+    entry.value = ev.state;
+    entry.packets += ev.packets;
+    return;
+  }
+
+  entry.packets += ev.packets;
+  if (inserted) {
+    // First epoch for this key: the cache folded from the true initial state,
+    // so the evicted value is already exact.
+    entry.value = ev.state;
+    return;
+  }
+
+  const std::size_t h = kernel_->history_window();
+  if (ev.packets <= h) {
+    // The whole epoch sits inside the boundary window: replay it outright.
+    check(ev.boundary.size() == ev.packets,
+          "BackingStore: boundary/packet count mismatch");
+    entry.value = replay(entry.value, ev.boundary);
+    return;
+  }
+
+  // General exact merge. `corrected` is what S_h would have been had the
+  // epoch started from the true backing value instead of S_0.
+  check(ev.boundary.size() == h, "BackingStore: expected h boundary records");
+  const StateVector corrected = replay(entry.value, ev.boundary);
+
+  SmallMatrix p = ev.product;
+  if (kernel_->linearity() == Linearity::kLinearConstA) {
+    p = kernel_->constant_a().power(ev.packets - h);
+  }
+
+  StateVector delta = corrected - ev.state_after_h;
+  entry.value = ev.state + p.apply(delta);
+}
+
+const StateVector* BackingStore::lookup(const Key& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.value;
+}
+
+const std::vector<ValueSegment>* BackingStore::segments(const Key& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.segments;
+}
+
+bool BackingStore::valid(const Key& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  return linear_ || it->second.segments.size() <= 1;
+}
+
+AccuracyStats BackingStore::accuracy() const {
+  AccuracyStats stats;
+  stats.total_keys = entries_.size();
+  if (linear_) {
+    stats.valid_keys = stats.total_keys;
+    return stats;
+  }
+  for (const auto& [key, e] : entries_) {
+    if (e.segments.size() <= 1) ++stats.valid_keys;
+  }
+  return stats;
+}
+
+}  // namespace perfq::kv

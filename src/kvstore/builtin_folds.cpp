@@ -1,0 +1,175 @@
+#include "kvstore/builtin_folds.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfq::kv {
+namespace {
+
+double latency_of(const PacketRecord& rec) {
+  if (rec.dropped()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>((rec.tout - rec.tin).count());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- count ----
+
+void CountKernel::update(StateVector& state, const PacketRecord& /*rec*/) const {
+  state[0] += 1.0;
+}
+
+AffineTransform CountKernel::transform(std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "count: bad window");
+  AffineTransform t{SmallMatrix::identity(1), StateVector(1)};
+  t.b[0] = 1.0;
+  return t;
+}
+
+// ------------------------------------------------------------------ sum ----
+
+void SumKernel::update(StateVector& state, const PacketRecord& rec) const {
+  state[0] += field_value(rec, field_);
+}
+
+AffineTransform SumKernel::transform(std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "sum: bad window");
+  AffineTransform t{SmallMatrix::identity(1), StateVector(1)};
+  t.b[0] = field_value(window.back(), field_);
+  return t;
+}
+
+// ------------------------------------------------------------ count+sum ----
+
+void CountSumKernel::update(StateVector& state, const PacketRecord& rec) const {
+  state[0] += 1.0;
+  state[1] += static_cast<double>(rec.pkt.pkt_len);
+}
+
+AffineTransform CountSumKernel::transform(
+    std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "count+sum: bad window");
+  AffineTransform t{SmallMatrix::identity(2), StateVector(2)};
+  t.b[0] = 1.0;
+  t.b[1] = static_cast<double>(window.back().pkt.pkt_len);
+  return t;
+}
+
+// ----------------------------------------------------------------- ewma ----
+
+EwmaKernel::EwmaKernel(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    throw ConfigError{"EwmaKernel: alpha must be in (0, 1]"};
+  }
+}
+
+void EwmaKernel::update(StateVector& state, const PacketRecord& rec) const {
+  if (rec.dropped()) return;  // skip drops; see header comment
+  state[0] = (1.0 - alpha_) * state[0] +
+             alpha_ * static_cast<double>((rec.tout - rec.tin).count());
+}
+
+AffineTransform EwmaKernel::transform(std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "ewma: bad window");
+  const PacketRecord& rec = window.back();
+  AffineTransform t{SmallMatrix(1), StateVector(1)};
+  if (rec.dropped()) {
+    t.a.at(0, 0) = 1.0;  // identity: drop leaves the EWMA untouched
+    t.b[0] = 0.0;
+  } else {
+    t.a.at(0, 0) = 1.0 - alpha_;
+    t.b[0] = alpha_ * static_cast<double>((rec.tout - rec.tin).count());
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- outofseq ----
+
+// State: [0] = lastseq, [1] = oos_count.   (Fig. 2 "TCP out of sequence")
+void OutOfSeqKernel::update(StateVector& state, const PacketRecord& rec) const {
+  const auto seq = static_cast<double>(rec.pkt.tcp_seq);
+  if (state[0] + 1.0 != seq) state[1] += 1.0;
+  state[0] = seq + static_cast<double>(rec.pkt.payload_len);
+}
+
+AffineTransform OutOfSeqKernel::transform(
+    std::span<const PacketRecord> window) const {
+  check(window.size() == 2, "outofseq: bad window");
+  const PacketRecord& prev = window[0];
+  const PacketRecord& cur = window[1];
+  // lastseq after `prev` is a pure function of prev: prev.seq + prev.payload.
+  const double lastseq = static_cast<double>(prev.pkt.tcp_seq) +
+                         static_cast<double>(prev.pkt.payload_len);
+  const bool oos = (lastseq + 1.0) != static_cast<double>(cur.pkt.tcp_seq);
+  AffineTransform t{SmallMatrix(2), StateVector(2)};
+  // Row 0 (lastseq'): depends only on the current packet.
+  t.b[0] = static_cast<double>(cur.pkt.tcp_seq) +
+           static_cast<double>(cur.pkt.payload_len);
+  // Row 1 (oos_count'): oos_count + indicator(window).
+  t.a.at(1, 1) = 1.0;
+  t.b[1] = oos ? 1.0 : 0.0;
+  return t;
+}
+
+// ---------------------------------------------------------------- nonmt ----
+
+// State: [0] = maxseq, [1] = nm_count.   (Fig. 2 "TCP non-monotonic")
+void NonMonotonicKernel::update(StateVector& state, const PacketRecord& rec) const {
+  const auto seq = static_cast<double>(rec.pkt.tcp_seq);
+  if (state[0] > seq) state[1] += 1.0;
+  if (seq > state[0]) state[0] = seq;
+}
+
+// ----------------------------------------------------------------- perc ----
+
+// State: [0] = tot, [1] = high.   (Fig. 2 "High 99th percentile queue size")
+void HighPercentileKernel::update(StateVector& state, const PacketRecord& rec) const {
+  if (static_cast<double>(rec.qsize) > threshold_) state[1] += 1.0;
+  state[0] += 1.0;
+}
+
+AffineTransform HighPercentileKernel::transform(
+    std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "perc: bad window");
+  AffineTransform t{SmallMatrix::identity(2), StateVector(2)};
+  t.b[0] = 1.0;
+  t.b[1] = static_cast<double>(window.back().qsize) > threshold_ ? 1.0 : 0.0;
+  return t;
+}
+
+// ------------------------------------------------------------- extremum ----
+
+StateVector ExtremumKernel::initial_state() const {
+  StateVector s(1);
+  s[0] = mode_ == Mode::kMax ? -std::numeric_limits<double>::infinity()
+                             : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+void ExtremumKernel::update(StateVector& state, const PacketRecord& rec) const {
+  const double v = field_value(rec, field_);
+  state[0] = mode_ == Mode::kMax ? std::max(state[0], v) : std::min(state[0], v);
+}
+
+void ExtremumKernel::merge_values(StateVector& backing,
+                                  const StateVector& evicted) const {
+  backing[0] = mode_ == Mode::kMax ? std::max(backing[0], evicted[0])
+                                   : std::min(backing[0], evicted[0]);
+}
+
+// -------------------------------------------------------------- sum_lat ----
+
+void SumLatencyKernel::update(StateVector& state, const PacketRecord& rec) const {
+  state[0] += latency_of(rec);
+}
+
+AffineTransform SumLatencyKernel::transform(
+    std::span<const PacketRecord> window) const {
+  check(window.size() == 1, "sum_lat: bad window");
+  AffineTransform t{SmallMatrix::identity(1), StateVector(1)};
+  t.b[0] = latency_of(window.back());
+  return t;
+}
+
+}  // namespace perfq::kv

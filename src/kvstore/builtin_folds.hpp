@@ -1,0 +1,203 @@
+// Hand-written fold kernels for every aggregation in the paper's Fig. 2.
+//
+// These serve three purposes: (1) unit/property tests of the cache + merge
+// machinery independent of the query compiler, (2) microbenchmarks, and
+// (3) a reference the compiler-generated kernels are differential-tested
+// against (same fold written in the query language must behave identically).
+//
+// Linearity notes (matching Fig. 2's "Linear in state?" column):
+//   count, sum, count+sum     : S' = S + B(pkt), A = I            -> const-A
+//   ewma                      : S' = (1-alpha)S + alpha*(t_out-t_in) -> const-A
+//   out-of-seq                : lastseq is a history variable (a function of
+//                               the previous packet only); given a 1-packet
+//                               window the update is affine          -> linear, h = 1
+//   non-monotonic (nonmt)     : predicate maxseq > tcpseq reads unbounded
+//                               state                                -> NOT linear
+//   high-percentile queue size: two saturating counters, A = I      -> const-A
+#pragma once
+
+#include <memory>
+
+#include "kvstore/fold.hpp"
+
+namespace perfq::kv {
+
+/// S' = S + 1 (per-key packet count). 1 state dim. Linearity: const-A, h=0.
+class CountKernel final : public FoldKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "count"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kLinearConstA;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    return SmallMatrix::identity(1);
+  }
+};
+
+/// S' = S + field(pkt). 1 state dim. Linearity: const-A, h=0.
+class SumKernel final : public FoldKernel {
+ public:
+  explicit SumKernel(FieldId field) : field_(field) {}
+  [[nodiscard]] std::string name() const override {
+    return std::string{"sum("} + std::string{field_name(field_)} + ")";
+  }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kLinearConstA;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    return SmallMatrix::identity(1);
+  }
+
+ private:
+  FieldId field_;
+};
+
+/// Fig. 2 "Per-flow counters": state = (count, byte_sum). const-A, h=0.
+class CountSumKernel final : public FoldKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "count+sum(pkt_len)"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 2; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kLinearConstA;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    return SmallMatrix::identity(2);
+  }
+};
+
+/// Fig. 2 "Latency EWMA": S' = (1-alpha)S + alpha*(tout - tin). const-A, h=0.
+/// Dropped packets (tout = infinity) are skipped (identity transform): an
+/// infinite latency would destroy the average, and the paper's drop queries
+/// are expressed separately via WHERE tout == infinity.
+class EwmaKernel final : public FoldKernel {
+ public:
+  explicit EwmaKernel(double alpha);
+  [[nodiscard]] std::string name() const override { return "ewma"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    // A = (1-alpha) for live packets but I for drops, so A is *not* packet
+    // independent: classified kLinear (running-product aux), h = 0.
+    return Linearity::kLinear;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+/// Fig. 2 "TCP out of sequence": state = (lastseq, oos_count).
+/// lastseq is a pure function of the previous packet => history window 1;
+/// the oos_count update is affine given that window. Linearity: kLinear, h=1.
+class OutOfSeqKernel final : public FoldKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "outofseq"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 2; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override { return Linearity::kLinear; }
+  [[nodiscard]] std::size_t history_window() const override { return 1; }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+};
+
+/// Fig. 2 "TCP non-monotonic": state = (maxseq, nm_count). The predicate
+/// maxseq > tcpseq reads a state variable with unbounded history, so no merge
+/// function exists (paper §3.2 "Operations that are not linear in state").
+class NonMonotonicKernel final : public FoldKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "nonmt"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 2; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override { return Linearity::kNotLinear; }
+};
+
+/// Fig. 2 "High 99th percentile queue size": state = (tot, high);
+/// high += qin > K; tot += 1. const-A, h=0.
+class HighPercentileKernel final : public FoldKernel {
+ public:
+  explicit HighPercentileKernel(double threshold) : threshold_(threshold) {}
+  [[nodiscard]] std::string name() const override { return "perc"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 2; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kLinearConstA;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    return SmallMatrix::identity(2);
+  }
+
+ private:
+  double threshold_;
+};
+
+/// Per-key running extremum of a field (e.g. max queue depth seen by a flow,
+/// min per-packet latency). NOT linear in state — `max(S, f(p))` is outside
+/// §3.2's condition — but exactly mergeable anyway: the fold is a semilattice
+/// homomorphism, so backing ∪ epoch = extremum(backing, epoch). This is the
+/// extension hook FoldKernel::has_associative_merge() exists for, pointing
+/// at the paper's follow-up work on mergeable aggregations.
+class ExtremumKernel final : public FoldKernel {
+ public:
+  enum class Mode : std::uint8_t { kMax, kMin };
+  ExtremumKernel(FieldId field, Mode mode) : field_(field), mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override {
+    return std::string{mode_ == Mode::kMax ? "max(" : "min("} +
+           std::string{field_name(field_)} + ")";
+  }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] StateVector initial_state() const override;  // merge identity
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kNotLinear;
+  }
+  [[nodiscard]] bool has_associative_merge() const override { return true; }
+  void merge_values(StateVector& backing, const StateVector& evicted) const override;
+
+ private:
+  FieldId field_;
+  Mode mode_;
+};
+
+/// Fig. 2 "Per-flow high latency packets" stage 1: sum of (tout - tin).
+/// const-A, h=0. Drops contribute infinity, matching the composed query's
+/// intent of flagging flows whose packets were delayed or lost.
+class SumLatencyKernel final : public FoldKernel {
+ public:
+  [[nodiscard]] std::string name() const override { return "sum_lat"; }
+  [[nodiscard]] std::size_t state_dims() const override { return 1; }
+  [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
+  void update(StateVector& state, const PacketRecord& rec) const override;
+  [[nodiscard]] Linearity linearity() const override {
+    return Linearity::kLinearConstA;
+  }
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override;
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    return SmallMatrix::identity(1);
+  }
+};
+
+}  // namespace perfq::kv

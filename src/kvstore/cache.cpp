@@ -1,0 +1,204 @@
+#include "kvstore/cache.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfq::kv {
+
+Cache::Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
+             std::uint64_t hash_seed, EvictionPolicy policy)
+    : geometry_(geometry),
+      kernel_(std::move(kernel)),
+      hash_seed_(hash_seed),
+      policy_(policy),
+      victim_rng_state_(mix64(hash_seed ^ 0xF00DF00DULL) | 1) {
+  if (kernel_ == nullptr) throw ConfigError{"Cache: null kernel"};
+  const std::uint64_t total = geometry_.total_slots();
+  if (total == 0) throw ConfigError{"Cache: zero slots"};
+  if (total > std::numeric_limits<std::uint32_t>::max() - 1) {
+    throw ConfigError{"Cache: too many slots for 32-bit slot indices"};
+  }
+  slots_.resize(total);
+  buckets_.resize(geometry_.num_buckets);
+  index_.reserve(total);
+}
+
+void Cache::process(const Key& key, const PacketRecord& rec) {
+  ++stats_.packets;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Hit: one *update* operation.
+    ++stats_.hits;
+    const std::uint32_t idx = it->second;
+    Slot& slot = slots_[idx];
+    fold_record(slot, rec);
+    if (policy_ == EvictionPolicy::kLru) {
+      // Touch-on-hit: only LRU reorders; FIFO/random keep insertion order.
+      const std::uint64_t b = idx / geometry_.associativity;
+      unlink(buckets_[b], idx);
+      push_mru(buckets_[b], idx);
+    }
+    return;
+  }
+
+  // Miss: one *initialize* operation, possibly preceded by an eviction.
+  ++stats_.initializations;
+  const std::uint64_t b = bucket_of(key);
+  Bucket& bucket = buckets_[b];
+  std::uint32_t idx;
+  if (bucket.used < geometry_.associativity) {
+    // Free slot exists: bucket b owns the contiguous slot range; scan it.
+    // (Buckets only fill at startup; once warm this path is rare.)
+    const std::uint64_t base = b * geometry_.associativity;
+    idx = kInvalid;
+    for (std::uint32_t s = 0; s < geometry_.associativity; ++s) {
+      if (!slots_[base + s].occupied) {
+        idx = static_cast<std::uint32_t>(base + s);
+        break;
+      }
+    }
+    check(idx != kInvalid, "Cache: bucket.used inconsistent with slots");
+  } else {
+    // Bucket full: pick the policy's victim and reuse its slot.
+    if (policy_ == EvictionPolicy::kRandom) {
+      // xorshift64*: cheap, deterministic, seeded per cache.
+      victim_rng_state_ ^= victim_rng_state_ >> 12;
+      victim_rng_state_ ^= victim_rng_state_ << 25;
+      victim_rng_state_ ^= victim_rng_state_ >> 27;
+      const std::uint64_t r = victim_rng_state_ * 0x2545F4914F6CDD1DULL;
+      idx = static_cast<std::uint32_t>(b * geometry_.associativity +
+                                       reduce_range(r, geometry_.associativity));
+    } else {
+      // LRU and FIFO both evict the list tail; FIFO never reorders on hits,
+      // so its tail is the oldest insertion (Fig. 4's layout either way).
+      idx = bucket.lru;
+    }
+    check(idx != kInvalid, "Cache: full bucket with empty LRU list");
+    evict_slot(idx, rec.tin, /*final_flush=*/false);
+    ++stats_.evictions;
+  }
+
+  Slot& slot = slots_[idx];
+  slot.key = key;
+  slot.state = kernel_->initial_state();
+  slot.packets = 0;
+  slot.first_tin = rec.tin;
+  slot.occupied = true;
+  if (needs_aux()) {
+    slot.aux = std::make_unique<LinearAux>();
+    slot.aux->product = SmallMatrix::identity(kernel_->state_dims());
+  }
+  fold_record(slot, rec);
+  push_mru(bucket, idx);
+  ++bucket.used;
+  index_.emplace(key, idx);
+}
+
+void Cache::fold_record(Slot& slot, const PacketRecord& rec) {
+  const std::size_t h = kernel_->history_window();
+  const std::uint64_t idx_in_epoch = slot.packets;  // 0-based
+
+  if (slot.aux != nullptr) {
+    LinearAux& aux = *slot.aux;
+    if (idx_in_epoch < h) {
+      // Boundary packet: the merge replays these raw records, so log them.
+      aux.boundary.push_back(rec);
+    } else if (kernel_->linearity() == Linearity::kLinear) {
+      // Interior packet of a varying-A fold: compose this packet's transform
+      // into the running product P (window = last h records + current).
+      std::vector<PacketRecord> window = aux.history;
+      window.push_back(rec);
+      const AffineTransform t = kernel_->transform(window);
+      aux.product.left_multiply(t.a);
+    }
+    // Maintain the last-h window.
+    if (h > 0) {
+      aux.history.push_back(rec);
+      if (aux.history.size() > h) aux.history.erase(aux.history.begin());
+    }
+  }
+
+  kernel_->update(slot.state, rec);
+  ++slot.packets;
+
+  if (slot.aux != nullptr && slot.packets == h) {
+    slot.aux->state_after_h = slot.state;  // snapshot S_h
+  }
+}
+
+void Cache::unlink(Bucket& bucket, std::uint32_t slot_idx) {
+  Slot& slot = slots_[slot_idx];
+  if (slot.prev != kInvalid) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    bucket.mru = slot.next;
+  }
+  if (slot.next != kInvalid) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    bucket.lru = slot.prev;
+  }
+  slot.prev = kInvalid;
+  slot.next = kInvalid;
+}
+
+void Cache::push_mru(Bucket& bucket, std::uint32_t slot_idx) {
+  Slot& slot = slots_[slot_idx];
+  slot.prev = kInvalid;
+  slot.next = bucket.mru;
+  if (bucket.mru != kInvalid) slots_[bucket.mru].prev = slot_idx;
+  bucket.mru = slot_idx;
+  if (bucket.lru == kInvalid) bucket.lru = slot_idx;
+}
+
+EvictedValue Cache::make_evicted(Slot& slot, Nanos now, bool final_flush) {
+  EvictedValue ev;
+  ev.key = slot.key;
+  ev.state = slot.state;
+  ev.packets = slot.packets;
+  ev.first_tin = slot.first_tin;
+  ev.evict_time = now;
+  ev.final_flush = final_flush;
+  if (slot.aux != nullptr) {
+    ev.product = slot.aux->product;
+    ev.state_after_h = slot.aux->state_after_h;
+    ev.boundary = std::move(slot.aux->boundary);
+  } else {
+    ev.product = SmallMatrix::identity(kernel_->state_dims());
+    ev.state_after_h = kernel_->initial_state();  // h = 0: S_h is S_0
+  }
+  if (kernel_->history_window() == 0) {
+    ev.state_after_h = kernel_->initial_state();
+  }
+  return ev;
+}
+
+void Cache::evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush) {
+  Slot& slot = slots_[slot_idx];
+  check(slot.occupied, "Cache: evicting empty slot");
+  EvictedValue ev = make_evicted(slot, now, final_flush);
+  const std::uint64_t b = slot_idx / geometry_.associativity;
+  unlink(buckets_[b], slot_idx);
+  --buckets_[b].used;
+  index_.erase(slot.key);
+  slot.occupied = false;
+  slot.aux.reset();
+  if (sink_) sink_(std::move(ev));
+}
+
+void Cache::flush(Nanos now) {
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    if (slots_[idx].occupied) {
+      evict_slot(idx, now, /*final_flush=*/true);
+      ++stats_.flushes;
+    }
+  }
+}
+
+std::optional<StateVector> Cache::peek(const Key& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return slots_[it->second].state;
+}
+
+}  // namespace perfq::kv

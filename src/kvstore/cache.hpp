@@ -1,0 +1,145 @@
+// The on-chip SRAM cache of the split key-value store (§3.2, Figs. 3-4).
+//
+// Layout: a hash table of n buckets, each bucket an m-slot LRU (Fig. 4).
+// Per packet the cache performs exactly one of the paper's line-rate
+// operations: *update* (key present), *initialize* (key absent, free slot or
+// eviction makes room). When a bucket is full the least-recently-used slot
+// in that bucket is evicted and handed to the eviction sink — in hardware,
+// the path to the off-chip backing store.
+//
+// For linear-in-state folds the cache also maintains the auxiliary state the
+// exact merge needs (per-entry packet count N; the running transform product
+// P when A varies per packet; the first-h boundary records and the state
+// snapshot after them when the fold reads bounded packet history).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "kvstore/fold.hpp"
+#include "kvstore/geometry.hpp"
+#include "kvstore/key.hpp"
+
+namespace perfq::kv {
+
+/// Everything the backing store needs to absorb one evicted entry.
+struct EvictedValue {
+  Key key;
+  StateVector state;     ///< S_new: accumulator at eviction time
+  SmallMatrix product;   ///< P over packets h+1..N (kLinear kernels only)
+  std::uint64_t packets = 0;  ///< N: records folded this epoch
+  StateVector state_after_h;  ///< S_h: state after the first h records
+  std::vector<PacketRecord> boundary;  ///< first min(h, N) records of the epoch
+  Nanos first_tin;       ///< tin of the epoch's first record
+  Nanos evict_time;      ///< when the entry left the cache
+  bool final_flush = false;  ///< true if emitted by flush(), not capacity eviction
+};
+
+/// Counters reported by the evaluation harnesses (Fig. 5 derives its
+/// eviction-rate series from these).
+struct CacheStats {
+  std::uint64_t packets = 0;      ///< records processed
+  std::uint64_t hits = 0;         ///< update operations
+  std::uint64_t initializations = 0;  ///< new-key installs (misses)
+  std::uint64_t evictions = 0;    ///< capacity evictions (backing-store writes)
+  std::uint64_t flushes = 0;      ///< entries written back by flush()
+
+  [[nodiscard]] double eviction_fraction() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(evictions) / static_cast<double>(packets);
+  }
+};
+
+class Cache {
+ public:
+  using EvictionSink = std::function<void(EvictedValue&&)>;
+
+  /// `hash_seed` decorrelates the bucket-index hash from other structures.
+  Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
+        std::uint64_t hash_seed = 0x5eedcafe,
+        EvictionPolicy policy = EvictionPolicy::kLru);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Install the eviction sink (may be empty: evictions are then dropped,
+  /// which is only appropriate for pure eviction-rate studies).
+  void set_eviction_sink(EvictionSink sink) { sink_ = std::move(sink); }
+
+  /// Fold one record into the entry for `key` (the single per-packet cache
+  /// operation of §3.2).
+  void process(const Key& key, const PacketRecord& rec);
+
+  /// Write back and clear every resident entry (end-of-window, or the
+  /// paper's "keys can be periodically evicted to keep the store fresh").
+  void flush(Nanos now);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] EvictionPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t occupancy() const { return index_.size(); }
+
+  /// Read a resident entry's accumulator (tests/debugging; the paper notes
+  /// the authoritative value lives in the backing store).
+  [[nodiscard]] std::optional<StateVector> peek(const Key& key) const;
+
+ private:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+
+  /// Aux state for linear kernels; allocated only when needed so the common
+  /// const-A/h=0 case (e.g. Fig. 5's COUNT) stays allocation-free per slot.
+  struct LinearAux {
+    SmallMatrix product;
+    StateVector state_after_h;
+    std::vector<PacketRecord> boundary;  ///< first h records
+    std::vector<PacketRecord> history;   ///< last h records (window source)
+  };
+
+  struct Slot {
+    Key key;
+    StateVector state;
+    std::uint64_t packets = 0;
+    Nanos first_tin;
+    std::uint32_t prev = kInvalid;  ///< intrusive LRU list within the bucket
+    std::uint32_t next = kInvalid;
+    bool occupied = false;
+    std::unique_ptr<LinearAux> aux;
+  };
+
+  struct Bucket {
+    std::uint32_t mru = kInvalid;  ///< list head (most recently used)
+    std::uint32_t lru = kInvalid;  ///< list tail (eviction victim)
+    std::uint32_t used = 0;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_of(const Key& key) const {
+    return reduce_range(key.hash(hash_seed_), geometry_.num_buckets);
+  }
+  [[nodiscard]] bool needs_aux() const {
+    return kernel_->linearity() == Linearity::kLinear ||
+           kernel_->history_window() > 0;
+  }
+
+  void fold_record(Slot& slot, const PacketRecord& rec);
+  void unlink(Bucket& bucket, std::uint32_t slot_idx);
+  void push_mru(Bucket& bucket, std::uint32_t slot_idx);
+  void evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush);
+  [[nodiscard]] EvictedValue make_evicted(Slot& slot, Nanos now, bool final_flush);
+
+  CacheGeometry geometry_;
+  std::shared_ptr<const FoldKernel> kernel_;
+  std::uint64_t hash_seed_;
+  EvictionPolicy policy_;
+  std::uint64_t victim_rng_state_;  ///< xorshift state for kRandom
+  std::vector<Slot> slots_;     ///< bucket b owns [b*m, (b+1)*m)
+  std::vector<Bucket> buckets_;
+  std::unordered_map<Key, std::uint32_t> index_;  ///< key -> slot
+  EvictionSink sink_;
+  CacheStats stats_;
+};
+
+}  // namespace perfq::kv

@@ -1,0 +1,129 @@
+// Combining several fold kernels into one (a GROUPBY with multiple
+// aggregations, e.g. `SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip`,
+// keeps one key-value entry whose value is the concatenation of the
+// component accumulators).
+//
+// Linearity composes naturally: the combined transform is block-diagonal in
+// A and concatenated in B, so the combination is linear iff every component
+// is, const-A iff every component is, and the history window is the max.
+#pragma once
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "kvstore/fold.hpp"
+
+namespace perfq::kv {
+
+class CombinedKernel final : public FoldKernel {
+ public:
+  explicit CombinedKernel(std::vector<std::shared_ptr<const FoldKernel>> parts)
+      : parts_(std::move(parts)) {
+    if (parts_.empty()) throw ConfigError{"CombinedKernel: no components"};
+    std::size_t dims = 0;
+    for (const auto& p : parts_) {
+      if (p == nullptr) throw ConfigError{"CombinedKernel: null component"};
+      offsets_.push_back(dims);
+      dims += p->state_dims();
+    }
+    if (dims > kMaxStateDims) {
+      throw ConfigError{"CombinedKernel: combined state exceeds kMaxStateDims"};
+    }
+    dims_ = dims;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    std::string out = "combined(";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += parts_[i]->name();
+    }
+    return out + ")";
+  }
+
+  [[nodiscard]] std::size_t state_dims() const override { return dims_; }
+
+  [[nodiscard]] StateVector initial_state() const override {
+    StateVector s(dims_);
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      const StateVector part = parts_[i]->initial_state();
+      for (std::size_t d = 0; d < part.dims(); ++d) s[offsets_[i] + d] = part[d];
+    }
+    return s;
+  }
+
+  void update(StateVector& state, const PacketRecord& rec) const override {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      StateVector part(parts_[i]->state_dims());
+      for (std::size_t d = 0; d < part.dims(); ++d) part[d] = state[offsets_[i] + d];
+      parts_[i]->update(part, rec);
+      for (std::size_t d = 0; d < part.dims(); ++d) state[offsets_[i] + d] = part[d];
+    }
+  }
+
+  [[nodiscard]] Linearity linearity() const override {
+    bool const_a = true;
+    for (const auto& p : parts_) {
+      switch (p->linearity()) {
+        case Linearity::kNotLinear: return Linearity::kNotLinear;
+        case Linearity::kLinear: const_a = false; break;
+        case Linearity::kLinearConstA: break;
+      }
+    }
+    return const_a ? Linearity::kLinearConstA : Linearity::kLinear;
+  }
+
+  [[nodiscard]] std::size_t history_window() const override {
+    std::size_t h = 0;
+    for (const auto& p : parts_) h = std::max(h, p->history_window());
+    return h;
+  }
+
+  [[nodiscard]] AffineTransform transform(
+      std::span<const PacketRecord> window) const override {
+    AffineTransform out{SmallMatrix(dims_), StateVector(dims_)};
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      // Components with a shorter history window see the suffix of `window`.
+      const std::size_t h = parts_[i]->history_window();
+      const auto sub = window.subspan(window.size() - 1 - h);
+      const AffineTransform t = parts_[i]->transform(sub);
+      const std::size_t off = offsets_[i];
+      for (std::size_t r = 0; r < t.b.dims(); ++r) {
+        out.b[off + r] = t.b[r];
+        for (std::size_t c = 0; c < t.b.dims(); ++c) {
+          out.a.at(off + r, off + c) = t.a.at(r, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] SmallMatrix constant_a() const override {
+    SmallMatrix out(dims_);
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      const SmallMatrix a = parts_[i]->constant_a();
+      for (std::size_t r = 0; r < a.dims(); ++r) {
+        for (std::size_t c = 0; c < a.dims(); ++c) {
+          out.at(offsets_[i] + r, offsets_[i] + c) = a.at(r, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t component_offset(std::size_t i) const {
+    return offsets_.at(i);
+  }
+  [[nodiscard]] const FoldKernel& component(std::size_t i) const {
+    return *parts_.at(i);
+  }
+  [[nodiscard]] std::size_t components() const { return parts_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const FoldKernel>> parts_;
+  std::vector<std::size_t> offsets_;
+  std::size_t dims_ = 0;
+};
+
+}  // namespace perfq::kv

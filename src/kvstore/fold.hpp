@@ -1,0 +1,123 @@
+// The fold-kernel interface: what the key-value store needs to know about a
+// GROUPBY aggregation function.
+//
+// A kernel is produced either by the query compiler (src/compiler lowers a
+// user-defined fold to a CompiledFoldKernel) or hand-written (builtin_folds,
+// used by unit tests and microbenchmarks). The split cache/backing-store
+// machinery interrogates the kernel for:
+//
+//   - state dimensionality and the initial state s0;
+//   - the per-packet update (any fold);
+//   - the linearity classification of §3.2. A linear fold's update is
+//     S' = A·S + B where A and B depend only on the current packet — or, per
+//     the paper's footnote 4, on "a constant number of packets preceding and
+//     including the current packet". That constant number is the kernel's
+//     history_window() h (e.g. out-of-seq needs the previous packet, h = 1);
+//   - for linear folds, the per-window affine transform (A, B), which the
+//     cache composes into a running product P so the backing store can merge
+//     exactly: merged = S_new + P · (replay(S_backing, boundary) − S_h).
+//     For h = 0 this is precisely the paper's EWMA formula
+//     S_new + (1−α)^N (S_backing − S_0);
+//   - whether A is packet-independent ("constant-A"): then hardware only
+//     tracks the per-entry packet count N and the merge computes P = A^N,
+//     which is the cheapest aux-state design and covers most of Fig. 2.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "kvstore/state.hpp"
+#include "packet/record.hpp"
+
+namespace perfq::kv {
+
+/// Linearity classification of a fold's update operation.
+enum class Linearity : std::uint8_t {
+  kNotLinear,     ///< no exact merge; backing store keeps value segments
+  kLinear,        ///< S' = A(window)·S + B(window); cache tracks product P
+  kLinearConstA,  ///< A fixed; cache tracks only the packet count N
+};
+
+[[nodiscard]] constexpr const char* to_cstring(Linearity l) {
+  switch (l) {
+    case Linearity::kNotLinear: return "not-linear";
+    case Linearity::kLinear: return "linear";
+    case Linearity::kLinearConstA: return "linear(const-A)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_linear(Linearity l) {
+  return l != Linearity::kNotLinear;
+}
+
+/// The per-packet affine transform of a linear fold.
+struct AffineTransform {
+  SmallMatrix a;
+  StateVector b;
+};
+
+/// Abstract aggregation kernel.
+class FoldKernel {
+ public:
+  virtual ~FoldKernel() = default;
+
+  /// Human-readable name ("ewma", "count", user fold name...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of state variables in the accumulator.
+  [[nodiscard]] virtual std::size_t state_dims() const = 0;
+
+  /// The initial accumulator s0 a fresh key starts from.
+  [[nodiscard]] virtual StateVector initial_state() const = 0;
+
+  /// In-place update of the accumulator with one record. Must be defined for
+  /// every kernel (it is the ground-truth semantics).
+  virtual void update(StateVector& state, const PacketRecord& rec) const = 0;
+
+  /// Linearity classification (kNotLinear unless overridden).
+  [[nodiscard]] virtual Linearity linearity() const { return Linearity::kNotLinear; }
+
+  /// Number of *preceding* packets of the same key the affine transform needs
+  /// (footnote 4's "constant number of packets"). 0 for plain linear folds.
+  [[nodiscard]] virtual std::size_t history_window() const { return 0; }
+
+  /// For linear kernels: the (A, B) for the packet `window.back()`, given the
+  /// preceding history_window() packets of the same key in order. Only called
+  /// with window.size() == history_window() + 1, and only for packets that
+  /// have a full in-epoch history. Default throws; linear kernels override.
+  [[nodiscard]] virtual AffineTransform transform(
+      std::span<const PacketRecord> window) const;
+
+  /// For kLinearConstA kernels: the fixed A matrix. Default throws.
+  [[nodiscard]] virtual SmallMatrix constant_a() const;
+
+  // ---- extension beyond the paper: associative merges ----------------------
+  // Some folds are not linear in state yet still merge exactly, because the
+  // fold is a homomorphism into a commutative semigroup whose identity is
+  // the initial state — e.g. per-flow maximum: max over an epoch started
+  // from -inf combines with the backing value via elementwise max. This is
+  // the direction the paper's follow-up (Marple's "mergeable aggregations")
+  // formalizes; we support it as an opt-in kernel capability. A kernel with
+  // a custom merge is treated as exactly mergeable by the backing store even
+  // when linearity() == kNotLinear.
+
+  /// True if merge_values() provides an exact merge.
+  [[nodiscard]] virtual bool has_associative_merge() const { return false; }
+
+  /// Exact merge: combine the evicted epoch's accumulator into `backing`.
+  /// Precondition: the epoch started from initial_state(), which must be the
+  /// merge's identity element. Default throws.
+  virtual void merge_values(StateVector& backing, const StateVector& evicted) const;
+};
+
+/// Verifies the kernel's self-consistency on one record: applying update()
+/// must equal applying A·S + B from transform(). Used by property tests and
+/// by the compiler's self-check mode. `window.back()` is the record applied.
+[[nodiscard]] bool transform_matches_update(const FoldKernel& kernel,
+                                            const StateVector& state,
+                                            std::span<const PacketRecord> window,
+                                            double tolerance = 1e-9);
+
+}  // namespace perfq::kv

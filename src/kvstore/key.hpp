@@ -1,0 +1,89 @@
+// Aggregation keys for the programmable key-value store (§3.2).
+//
+// A key is the concatenation of the GROUPBY fields' canonical encodings —
+// e.g. the transport 5-tuple is 13 bytes (104 bits, the figure §4 uses when
+// sizing key-value pairs). Keys are small fixed-capacity values so the cache
+// can store them inline, exactly as SRAM would.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace perfq::kv {
+
+/// Fixed-capacity byte-string key. Max 32 bytes = 256 bits, comfortably above
+/// any GROUPBY field combination in the paper.
+class Key {
+ public:
+  static constexpr std::size_t kCapacity = 32;
+
+  Key() = default;
+
+  explicit Key(std::span<const std::byte> bytes) {
+    if (bytes.size() > kCapacity) throw ConfigError{"kv::Key: key too long"};
+    len_ = static_cast<std::uint8_t>(bytes.size());
+    std::memcpy(bytes_.data(), bytes.data(), bytes.size());
+  }
+
+  /// Build a key from a list of 64-bit field values, packing each into the
+  /// given number of bytes (big-endian). Used by the compiler's key extractor.
+  static Key pack(std::span<const std::uint64_t> values,
+                  std::span<const std::uint8_t> widths) {
+    check(values.size() == widths.size(), "kv::Key::pack: arity mismatch");
+    Key k;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (k.len_ + widths[i] > kCapacity) throw ConfigError{"kv::Key: key too long"};
+      for (int b = widths[i] - 1; b >= 0; --b) {
+        k.bytes_[k.len_++] = static_cast<std::byte>(values[i] >> (8 * b));
+      }
+    }
+    return k;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {bytes_.data(), len_};
+  }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+
+  [[nodiscard]] std::uint64_t hash(std::uint64_t seed = 0) const {
+    return hash_bytes(bytes(), seed);
+  }
+
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.len_ == b.len_ &&
+           std::memcmp(a.bytes_.data(), b.bytes_.data(), a.len_) == 0;
+  }
+
+  [[nodiscard]] std::string to_hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * len_);
+    for (std::size_t i = 0; i < len_; ++i) {
+      const auto v = std::to_integer<std::uint8_t>(bytes_[i]);
+      out.push_back(kDigits[v >> 4]);
+      out.push_back(kDigits[v & 0xF]);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::byte, kCapacity> bytes_{};
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace perfq::kv
+
+template <>
+struct std::hash<perfq::kv::Key> {
+  std::size_t operator()(const perfq::kv::Key& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

@@ -1,0 +1,310 @@
+#include "lang/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace perfq::lang {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) out.push_back(static_cast<char>(std::tolower(c)));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string, TokenKind> kTable{
+      {"select", TokenKind::kSelect}, {"from", TokenKind::kFrom},
+      {"where", TokenKind::kWhere},   {"groupby", TokenKind::kGroupBy},
+      {"join", TokenKind::kJoin},     {"on", TokenKind::kOn},
+      {"def", TokenKind::kDef},       {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},     {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},         {"not", TokenKind::kNot},
+      {"infinity", TokenKind::kInfinity},
+  };
+  return kTable;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    indents_.push_back(0);
+    while (!at_end()) lex_line();
+    // Close the file: trailing newline, dedents back to level 0, EOF.
+    emit(TokenKind::kNewline, "\n");
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      emit(TokenKind::kDedent, "");
+    }
+    emit(TokenKind::kEndOfFile, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    ++column_;
+    return c;
+  }
+
+  void emit(TokenKind kind, std::string text, double number = 0.0) {
+    tokens_.push_back(Token{kind, std::move(text), number, line_, column_});
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw QueryError{"lex", message, line_, column_};
+  }
+
+  void lex_line() {
+    // Measure indentation (spaces; tabs count as 4).
+    int indent = 0;
+    while (!at_end() && (peek() == ' ' || peek() == '\t')) {
+      indent += peek() == '\t' ? 4 : 1;
+      advance();
+    }
+    // Blank or comment-only lines do not affect indentation.
+    if (at_end() || peek() == '\n' || peek() == '#') {
+      skip_to_eol();
+      consume_newline(false);
+      return;
+    }
+    handle_indent(indent);
+    while (!at_end() && peek() != '\n') {
+      lex_token();
+    }
+    consume_newline(true);
+  }
+
+  void skip_to_eol() {
+    while (!at_end() && peek() != '\n') advance();
+  }
+
+  void consume_newline(bool emit_token) {
+    if (!at_end() && peek() == '\n') advance();
+    if (emit_token) emit(TokenKind::kNewline, "\n");
+    ++line_;
+    column_ = 1;
+  }
+
+  void handle_indent(int indent) {
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      emit(TokenKind::kIndent, "");
+      return;
+    }
+    while (indent < indents_.back()) {
+      indents_.pop_back();
+      emit(TokenKind::kDedent, "");
+    }
+    if (indent != indents_.back()) fail("inconsistent indentation");
+  }
+
+  void lex_token() {
+    const char c = peek();
+    if (c == ' ' || c == '\t') {
+      advance();
+      return;
+    }
+    if (c == '#') {
+      skip_to_eol();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      lex_number_or_5tuple();
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      lex_identifier();
+      return;
+    }
+    lex_operator();
+  }
+
+  void lex_number_or_5tuple() {
+    // "5tuple" — the paper's abbreviation — begins with a digit.
+    if (src_.compare(pos_, 6, "5tuple") == 0) {
+      pos_ += 6;
+      column_ += 6;
+      emit(TokenKind::kIdentifier, "5tuple");
+      return;
+    }
+    std::string digits;
+    bool saw_dot = false;
+    while (!at_end() &&
+           (std::isdigit(static_cast<unsigned char>(peek())) ||
+            (peek() == '.' && !saw_dot &&
+             std::isdigit(static_cast<unsigned char>(peek(1)))))) {
+      if (peek() == '.') saw_dot = true;
+      digits.push_back(advance());
+    }
+    // Exponent ("1e+06"): produced by canonical printing of large decimals.
+    if ((peek() == 'e' || peek() == 'E') &&
+        (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+         ((peek(1) == '+' || peek(1) == '-') &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+      digits.push_back(advance());  // e
+      if (peek() == '+' || peek() == '-') digits.push_back(advance());
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits.push_back(advance());
+      }
+    }
+    double value = 0.0;
+    try {
+      value = std::stod(digits);
+    } catch (const std::out_of_range&) {
+      fail("numeric literal out of range: " + digits.substr(0, 24) + "...");
+    } catch (const std::invalid_argument&) {
+      fail("malformed numeric literal");
+    }
+    // Optional time-unit suffix, normalized to nanoseconds.
+    std::string suffix;
+    while (!at_end() && std::isalpha(static_cast<unsigned char>(peek()))) {
+      suffix.push_back(advance());
+    }
+    if (!suffix.empty()) {
+      const std::string s = lower(suffix);
+      if (s == "ns") {
+        value *= 1.0;
+      } else if (s == "us") {
+        value *= 1e3;
+      } else if (s == "ms") {
+        value *= 1e6;
+      } else if (s == "s") {
+        value *= 1e9;
+      } else {
+        fail("unknown numeric suffix '" + suffix + "'");
+      }
+      digits += suffix;
+    }
+    emit(TokenKind::kNumber, digits, value);
+  }
+
+  void lex_identifier() {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      text.push_back(advance());
+    }
+    const auto& table = keyword_table();
+    if (const auto it = table.find(lower(text)); it != table.end()) {
+      emit(it->second, std::move(text));
+    } else {
+      emit(TokenKind::kIdentifier, std::move(text));
+    }
+  }
+
+  void lex_operator() {
+    const char c = advance();
+    switch (c) {
+      case '(': emit(TokenKind::kLParen, "("); return;
+      case ')': emit(TokenKind::kRParen, ")"); return;
+      case ',': emit(TokenKind::kComma, ","); return;
+      case ':': emit(TokenKind::kColon, ":"); return;
+      case '.': emit(TokenKind::kDot, "."); return;
+      case '+': emit(TokenKind::kPlus, "+"); return;
+      case '-': emit(TokenKind::kMinus, "-"); return;
+      case '*': emit(TokenKind::kStar, "*"); return;
+      case '/': emit(TokenKind::kSlash, "/"); return;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kEq, "==");
+        } else {
+          emit(TokenKind::kAssign, "=");
+        }
+        return;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kNe, "!=");
+          return;
+        }
+        fail("unexpected '!'");
+      case '<':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kLe, "<=");
+        } else {
+          emit(TokenKind::kLt, "<");
+        }
+        return;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          emit(TokenKind::kGe, ">=");
+        } else {
+          emit(TokenKind::kGt, ">");
+        }
+        return;
+      default:
+        fail(std::string{"unexpected character '"} + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer{source}.run();
+}
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroupBy: return "GROUPBY";
+    case TokenKind::kJoin: return "JOIN";
+    case TokenKind::kOn: return "ON";
+    case TokenKind::kDef: return "def";
+    case TokenKind::kIf: return "if";
+    case TokenKind::kElse: return "else";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
+    case TokenKind::kInfinity: return "infinity";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kIndent: return "indent";
+    case TokenKind::kDedent: return "dedent";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+}  // namespace perfq::lang

@@ -1,0 +1,27 @@
+// Indentation-aware lexer for the query language.
+//
+// The paper writes fold bodies in Python-like indented blocks:
+//
+//     def ewma (lat_est, (tin, tout)):
+//         lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+//
+// so the lexer tracks an indent stack and emits INDENT/DEDENT tokens.
+// Keywords are case-insensitive ("GROUPBY" and "groupby" both appear in
+// Fig. 2). Numeric literals accept time suffixes (ns/us/ms/s) and normalize
+// to nanoseconds, letting operators write `WHERE tout - tin > 1ms` verbatim.
+// "5tuple" is special-cased as an identifier even though it starts with a
+// digit. Comments run from '#' to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace perfq::lang {
+
+/// Tokenize a whole program. Throws QueryError on bad input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace perfq::lang

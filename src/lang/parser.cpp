@@ -1,0 +1,358 @@
+#include "lang/parser.hpp"
+
+#include "common/error.hpp"
+#include "lang/lexer.hpp"
+
+namespace perfq::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse() {
+    Program program;
+    skip_newlines();
+    while (!check(TokenKind::kEndOfFile)) {
+      if (check(TokenKind::kDef)) {
+        program.folds.push_back(parse_fold());
+      } else {
+        program.queries.push_back(parse_query_stmt());
+      }
+      skip_newlines();
+    }
+    if (program.queries.empty()) {
+      throw QueryError{"parse", "program contains no queries"};
+    }
+    return program;
+  }
+
+  ExprPtr parse_single_expression() {
+    skip_newlines();
+    ExprPtr e = parse_expr();
+    skip_newlines();
+    expect(TokenKind::kEndOfFile, "end of expression");
+    return e;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers --
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokenKind kind, const std::string& what) {
+    if (!check(kind)) {
+      fail("expected " + what + ", found '" + peek().text + "'");
+    }
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw QueryError{"parse", message, peek().line, peek().column};
+  }
+  void skip_newlines() {
+    while (match(TokenKind::kNewline)) {
+    }
+  }
+
+  // --------------------------------------------------------------- folds --
+  FoldDef parse_fold() {
+    FoldDef fold;
+    fold.line = peek().line;
+    expect(TokenKind::kDef, "'def'");
+    fold.name = expect(TokenKind::kIdentifier, "fold name").text;
+    expect(TokenKind::kLParen, "'('");
+    // State parameters: a single identifier or a parenthesized tuple.
+    if (match(TokenKind::kLParen)) {
+      fold.state_vars.push_back(expect(TokenKind::kIdentifier, "state var").text);
+      while (match(TokenKind::kComma)) {
+        fold.state_vars.push_back(expect(TokenKind::kIdentifier, "state var").text);
+      }
+      expect(TokenKind::kRParen, "')'");
+    } else {
+      fold.state_vars.push_back(expect(TokenKind::kIdentifier, "state var").text);
+    }
+    expect(TokenKind::kComma, "','");
+    // Packet parameters: identifier or parenthesized tuple (paper writes both
+    // `(tin, tout)` and bare `tcpseq`).
+    if (match(TokenKind::kLParen)) {
+      if (!check(TokenKind::kRParen)) {
+        fold.packet_args.push_back(parse_packet_arg());
+        while (match(TokenKind::kComma)) {
+          fold.packet_args.push_back(parse_packet_arg());
+        }
+      }
+      expect(TokenKind::kRParen, "')'");
+    } else {
+      fold.packet_args.push_back(parse_packet_arg());
+    }
+    expect(TokenKind::kRParen, "')'");
+    expect(TokenKind::kColon, "':'");
+    fold.body = parse_suite();
+    if (fold.body.empty()) fail("fold '" + fold.name + "' has an empty body");
+    return fold;
+  }
+
+  std::string parse_packet_arg() {
+    return expect(TokenKind::kIdentifier, "packet argument").text;
+  }
+
+  /// A suite is either statements on the same line, or an indented block.
+  std::vector<Stmt> parse_suite() {
+    std::vector<Stmt> body;
+    if (match(TokenKind::kNewline)) {
+      expect(TokenKind::kIndent, "indented block");
+      while (!check(TokenKind::kDedent)) {
+        body.push_back(parse_stmt());
+        skip_newlines();
+      }
+      expect(TokenKind::kDedent, "dedent");
+    } else {
+      body.push_back(parse_stmt());
+    }
+    return body;
+  }
+
+  Stmt parse_stmt() {
+    Stmt stmt;
+    stmt.line = peek().line;
+    if (match(TokenKind::kIf)) {
+      stmt.kind = Stmt::Kind::kIf;
+      stmt.condition = parse_expr();
+      expect(TokenKind::kColon, "':' after if condition");
+      stmt.then_body = parse_suite();
+      // An `else` may appear after the suite (aligned) or inline.
+      skip_newlines();
+      if (match(TokenKind::kElse)) {
+        expect(TokenKind::kColon, "':' after else");
+        stmt.else_body = parse_suite();
+      }
+      return stmt;
+    }
+    stmt.kind = Stmt::Kind::kAssign;
+    stmt.target = expect(TokenKind::kIdentifier, "assignment target").text;
+    expect(TokenKind::kAssign, "'='");
+    stmt.value = parse_expr();
+    return stmt;
+  }
+
+  // ------------------------------------------------------------- queries --
+  QueryDef parse_query_stmt() {
+    QueryDef query;
+    query.line = peek().line;
+    // Optional binding: `R1 = SELECT ...`.
+    if (check(TokenKind::kIdentifier) && peek(1).is(TokenKind::kAssign)) {
+      query.result_name = advance().text;
+      advance();  // '='
+    }
+    expect(TokenKind::kSelect, "SELECT");
+    // Select list.
+    do {
+      SelectItem item;
+      if (match(TokenKind::kStar)) {
+        item.star = true;
+      } else {
+        item.expr = parse_expr();
+      }
+      query.select_list.push_back(std::move(item));
+    } while (match(TokenKind::kComma));
+
+    if (match(TokenKind::kFrom)) {
+      query.from = expect(TokenKind::kIdentifier, "table name").text;
+      if (match(TokenKind::kJoin)) {
+        query.kind = QueryDef::Kind::kJoin;
+        query.join_left = query.from;
+        query.join_right = expect(TokenKind::kIdentifier, "table name").text;
+        expect(TokenKind::kOn, "ON");
+        query.join_keys.push_back(parse_join_key());
+        while (match(TokenKind::kComma)) {
+          query.join_keys.push_back(parse_join_key());
+        }
+        if (match(TokenKind::kWhere)) query.where = parse_expr();
+        end_of_query();
+        return query;
+      }
+    }
+
+    if (match(TokenKind::kGroupBy)) {
+      query.kind = QueryDef::Kind::kGroupBy;
+      do {
+        query.groupby_fields.push_back(parse_expr());
+      } while (match(TokenKind::kComma));
+    }
+    if (match(TokenKind::kWhere)) query.where = parse_expr();
+    end_of_query();
+    return query;
+  }
+
+  std::string parse_join_key() {
+    return expect(TokenKind::kIdentifier, "join key").text;
+  }
+
+  void end_of_query() {
+    if (!check(TokenKind::kNewline) && !check(TokenKind::kEndOfFile)) {
+      fail("unexpected '" + peek().text + "' after query");
+    }
+  }
+
+  // --------------------------------------------------------- expressions --
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (check(TokenKind::kOr)) {
+      advance();
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_not();
+    while (check(TokenKind::kAnd)) {
+      advance();
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs), parse_not());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (match(TokenKind::kNot)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->is_not = true;
+      e->lhs = parse_not();
+      return e;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    for (;;) {
+      BinaryOp op;
+      if (check(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (check(TokenKind::kNe)) {
+        op = BinaryOp::kNe;
+      } else if (check(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (check(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (check(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (check(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      advance();
+      lhs = make_binary(op, std::move(lhs), parse_additive());
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    for (;;) {
+      if (match(TokenKind::kPlus)) {
+        lhs = make_binary(BinaryOp::kAdd, std::move(lhs), parse_multiplicative());
+      } else if (match(TokenKind::kMinus)) {
+        lhs = make_binary(BinaryOp::kSub, std::move(lhs), parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      if (match(TokenKind::kStar)) {
+        lhs = make_binary(BinaryOp::kMul, std::move(lhs), parse_unary());
+      } else if (match(TokenKind::kSlash)) {
+        lhs = make_binary(BinaryOp::kDiv, std::move(lhs), parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (match(TokenKind::kMinus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->is_not = false;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = peek();
+    if (match(TokenKind::kNumber)) {
+      return make_number(tok.number, tok.line, tok.column);
+    }
+    if (match(TokenKind::kInfinity)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInfinity;
+      e->line = tok.line;
+      e->column = tok.column;
+      return e;
+    }
+    if (match(TokenKind::kLParen)) {
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::kRParen, "')'");
+      return inner;
+    }
+    if (check(TokenKind::kIdentifier)) {
+      const Token& name = advance();
+      if (match(TokenKind::kDot)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kDotted;
+        e->name = name.text;
+        e->member = expect(TokenKind::kIdentifier, "member name").text;
+        e->line = name.line;
+        e->column = name.column;
+        return e;
+      }
+      if (match(TokenKind::kLParen)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->name = name.text;
+        e->line = name.line;
+        e->column = name.column;
+        if (!check(TokenKind::kRParen)) {
+          e->args.push_back(parse_expr());
+          while (match(TokenKind::kComma)) e->args.push_back(parse_expr());
+        }
+        expect(TokenKind::kRParen, "')'");
+        return e;
+      }
+      return make_name(name.text, name.line, name.column);
+    }
+    fail("expected an expression, found '" + tok.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser{tokenize(source)}.parse();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser{tokenize(source)}.parse_single_expression();
+}
+
+}  // namespace perfq::lang

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the query language (grammar of Fig. 1).
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace perfq::lang {
+
+/// Parse a whole program (fold definitions + queries). Throws QueryError.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parse a single expression (used by tests and the REPL).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace perfq::lang

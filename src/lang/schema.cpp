@@ -1,0 +1,80 @@
+#include "lang/schema.hpp"
+
+#include "common/error.hpp"
+
+namespace perfq::lang {
+
+const std::vector<std::string>& five_tuple_names() {
+  static const std::vector<std::string> kNames{"srcip", "dstip", "srcport",
+                                               "dstport", "proto"};
+  return kNames;
+}
+
+Schema Schema::base() {
+  Schema s;
+  s.stream_over_base = true;
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    Column c;
+    c.name = std::string{field_name(id)};
+    c.bits = field_bits(id);
+    c.base_field = id;
+    if (id == FieldId::kQsize) c.aliases.emplace_back("qin");
+    s.add(std::move(c));
+  }
+  return s;
+}
+
+void Schema::add(Column column) {
+  if (find(column.name) != nullptr) {
+    throw QueryError{"schema", "duplicate column '" + column.name + "'"};
+  }
+  columns_.push_back(std::move(column));
+}
+
+const Column* Schema::find(std::string_view name) const {
+  for (const auto& c : columns_) {
+    if (c.matches(name)) return &c;
+  }
+  return nullptr;
+}
+
+int Schema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].matches(name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> Schema::expand(std::string_view name) const {
+  if (name == "5tuple") {
+    for (const auto& n : five_tuple_names()) {
+      if (find(n) == nullptr) {
+        throw QueryError{"schema",
+                         "'5tuple' used but column '" + n + "' is absent"};
+      }
+    }
+    return five_tuple_names();
+  }
+  return {std::string{name}};
+}
+
+std::string Schema::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+  }
+  out += ")";
+  if (!key.empty()) {
+    out += " key=[";
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += key[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace perfq::lang

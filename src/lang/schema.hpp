@@ -1,0 +1,69 @@
+// Table schemas for the query language.
+//
+// Every query consumes a table and produces a table (§2: "a performance
+// query is a function that takes one table of records and returns another").
+// The base table T has the packet-observation schema; GROUPBY queries
+// produce aggregate tables keyed by their GROUPBY fields; JOINs require both
+// inputs keyed by the join key (the paper's compilable restriction).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "packet/record.hpp"
+
+namespace perfq::lang {
+
+struct Column {
+  std::string name;                   ///< canonical name
+  std::vector<std::string> aliases;   ///< alternate spellings that resolve here
+  int bits = 64;                      ///< width when used as a key component
+  std::optional<FieldId> base_field;  ///< set for base-schema columns
+
+  [[nodiscard]] bool matches(std::string_view n) const {
+    if (name == n) return true;
+    for (const auto& a : aliases) {
+      if (a == n) return true;
+    }
+    return false;
+  }
+};
+
+class Schema {
+ public:
+  /// The packet-observation schema of T (every FieldId, plus the "qin" alias).
+  [[nodiscard]] static Schema base();
+
+  void add(Column column);
+
+  [[nodiscard]] const Column* find(std::string_view name) const;
+  [[nodiscard]] int index_of(std::string_view name) const;  ///< -1 if absent
+  [[nodiscard]] const std::vector<Column>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t size() const { return columns_.size(); }
+
+  /// True while the table is an unbounded record stream processable on the
+  /// switch (T itself, or T through stream-preserving SELECTs). GROUPBY over
+  /// a stream compiles to the key-value store; anything downstream of an
+  /// aggregate runs in the collection layer.
+  bool stream_over_base = false;
+
+  /// GROUPBY key column names (empty for streams); JOIN legality is checked
+  /// against these (the key uniquely identifies rows — §2's restriction).
+  std::vector<std::string> key;
+
+  /// Expand "5tuple" into the five transport-tuple column names if present
+  /// in this schema; returns {name} for ordinary columns.
+  [[nodiscard]] std::vector<std::string> expand(std::string_view name) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// The canonical five column names "srcip dstip srcport dstport proto".
+[[nodiscard]] const std::vector<std::string>& five_tuple_names();
+
+}  // namespace perfq::lang

@@ -1,0 +1,64 @@
+// Tokens of the performance query language (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace perfq::lang {
+
+enum class TokenKind : std::uint8_t {
+  // Literals and names.
+  kNumber,      // 42, 1.5, 1ms (time suffixes normalize to nanoseconds)
+  kIdentifier,  // srcip, ewma, R1, 5tuple (special-cased)
+  // Keywords (case-insensitive, matching the paper's mixed usage).
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroupBy,
+  kJoin,
+  kOn,
+  kDef,
+  kIf,
+  kElse,
+  kAnd,
+  kOr,
+  kNot,
+  kInfinity,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kDot,
+  kAssign,   // =
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,     // also SELECT *
+  kSlash,
+  // Layout.
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;    ///< raw lexeme (identifiers keep original case)
+  double number = 0.0; ///< value for kNumber (time suffixes applied)
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace perfq::lang

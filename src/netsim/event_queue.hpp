@@ -1,0 +1,70 @@
+// Discrete-event scheduler for the network simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace perfq::net {
+
+/// Time-ordered event queue; ties break in scheduling order (deterministic).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(Nanos when, Action action) {
+    events_.push(Event{when, seq_++, std::move(action)});
+  }
+
+  /// After `delay` from now.
+  void schedule_in(Nanos delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] Nanos now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+  /// Run the next event; returns false if none remain.
+  bool step() {
+    if (events_.empty()) return false;
+    // std::priority_queue::top() is const; move out via const_cast-free copy
+    // of the handle by re-popping: store actions in shared slots instead.
+    Event e = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = e.when;
+    e.action();
+    return true;
+  }
+
+  /// Run all events with time <= horizon.
+  void run_until(Nanos horizon) {
+    while (!events_.empty() && events_.top().when <= horizon) step();
+    now_ = std::max(now_, horizon);
+  }
+
+  /// Run to quiescence.
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    Action action;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  Nanos now_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace perfq::net

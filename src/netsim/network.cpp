@@ -1,0 +1,352 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfq::net {
+namespace {
+
+constexpr std::uint32_t kNoPort = std::numeric_limits<std::uint32_t>::max();
+constexpr std::uint32_t kAckLen = 64;
+constexpr std::uint32_t kDataHeader = 54;  // Eth + IPv4 + TCP
+
+}  // namespace
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+NodeId Network::add_host(std::uint32_t ip, std::string name) {
+  Node node;
+  node.is_host = true;
+  node.ip = ip;
+  node.name = name.empty() ? ("host-" + ipv4_to_string(ip)) : std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Network::add_switch(std::string name) {
+  Node node;
+  node.is_host = false;
+  node.name = name.empty() ? ("sw" + std::to_string(nodes_.size())) : std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::connect(NodeId a, NodeId b, const LinkConfig& config) {
+  check(a < nodes_.size() && b < nodes_.size(), "Network::connect: bad node id");
+  check(!routed_, "Network::connect: topology frozen after finalize_routes");
+  Port ab;
+  ab.from = a;
+  ab.to = b;
+  ab.config = config;
+  ports_.push_back(std::move(ab));
+  nodes_[a].ports.push_back(static_cast<std::uint32_t>(ports_.size() - 1));
+  Port ba;
+  ba.from = b;
+  ba.to = a;
+  ba.config = config;
+  ports_.push_back(std::move(ba));
+  nodes_[b].ports.push_back(static_cast<std::uint32_t>(ports_.size() - 1));
+}
+
+void Network::finalize_routes() {
+  if (routed_) return;
+  routed_ = true;
+  const std::size_t n = nodes_.size();
+  for (auto& node : nodes_) node.next_hops.assign(n, {});
+  // BFS from every destination over reversed edges; then every edge v->u
+  // with dist[v] == dist[u] + 1 lies on SOME shortest path, so all such
+  // ports become ECMP next hops.
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::vector<int> dist(n, -1);
+    std::vector<NodeId> frontier{static_cast<NodeId>(dst)};
+    dist[dst] = 0;
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (const NodeId u : frontier) {
+        for (std::uint32_t pid = 0; pid < ports_.size(); ++pid) {
+          const Port& p = ports_[pid];
+          if (p.to != u) continue;
+          const NodeId v = p.from;
+          if (dist[v] != -1) continue;
+          dist[v] = dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (std::uint32_t pid = 0; pid < ports_.size(); ++pid) {
+      const Port& p = ports_[pid];
+      if (dist[p.from] == dist[p.to] + 1) {
+        nodes_[p.from].next_hops[dst].push_back(pid);
+      }
+    }
+  }
+}
+
+std::uint32_t Network::queue_id(NodeId node, NodeId neighbor) const {
+  for (const std::uint32_t pid : nodes_[node].ports) {
+    if (ports_[pid].to == neighbor) return pid;
+  }
+  throw ConfigError{"Network::queue_id: no link between nodes"};
+}
+
+const QueueStats& Network::queue_stats(std::uint32_t qid) const {
+  return ports_.at(qid).stats;
+}
+
+std::string Network::queue_name(std::uint32_t qid) const {
+  const Port& p = ports_.at(qid);
+  return nodes_[p.from].name + "->" + nodes_[p.to].name;
+}
+
+NodeId Network::node_of_ip(std::uint32_t ip) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_host && nodes_[i].ip == ip) return static_cast<NodeId>(i);
+  }
+  throw ConfigError{"Network: no host with ip " + ipv4_to_string(ip)};
+}
+
+Nanos Network::transmission_time(const Port& port, std::uint32_t bytes) const {
+  const double ns = static_cast<double>(bytes) * 8.0 / port.config.gbps;
+  return Nanos{static_cast<std::int64_t>(ns) + 1};
+}
+
+void Network::enqueue(std::uint32_t port_id, Packet pkt) {
+  Port& port = ports_[port_id];
+  ++port.stats.enqueued;
+  // Queue depth as a packet would observe it: waiting packets plus the one
+  // currently being transmitted (standard occupancy accounting).
+  const auto depth = static_cast<std::uint32_t>(port.queue.size()) +
+                     (port.transmitting ? 1u : 0u);
+  port.stats.max_depth = std::max(port.stats.max_depth, depth);
+  if (depth >= port.config.queue_capacity_pkts) {
+    ++port.stats.dropped;
+    if (sink_) {
+      PacketRecord rec;
+      rec.pkt = pkt;
+      rec.qid = port_id;
+      rec.tin = events_.now();
+      rec.tout = Nanos::infinity();
+      rec.qsize = depth;
+      sink_(rec);
+    }
+    return;
+  }
+  pkt.pkt_path = port_id;  // opaque path tag: last queue the packet entered
+  port.queue.push_back(Queued{pkt, events_.now(), depth});
+  start_transmission(port_id);
+}
+
+void Network::start_transmission(std::uint32_t port_id) {
+  Port& port = ports_[port_id];
+  if (port.transmitting || port.queue.empty()) return;
+  port.transmitting = true;
+
+  const Queued queued = port.queue.front();
+  port.queue.pop_front();
+  const Packet pkt = queued.pkt;
+
+  if (sink_) {
+    PacketRecord rec;
+    rec.pkt = pkt;
+    rec.qid = port_id;
+    rec.tin = queued.tin;
+    rec.tout = events_.now();  // dequeue instant
+    rec.qsize = queued.qsize_at_enqueue;
+    sink_(rec);
+  }
+
+  const Nanos tx = transmission_time(port, pkt.pkt_len);
+  events_.schedule_in(tx, [this, port_id] {
+    ports_[port_id].transmitting = false;
+    start_transmission(port_id);
+  });
+  const NodeId to = port.to;
+  events_.schedule_in(tx + port.config.propagation,
+                      [this, to, pkt] { deliver(to, pkt); });
+}
+
+void Network::deliver(NodeId node, Packet pkt) {
+  if (nodes_[node].is_host) {
+    host_receive(node, pkt);
+  } else {
+    forward(node, pkt);
+  }
+}
+
+void Network::forward(NodeId node, Packet pkt) {
+  check(routed_, "Network: traffic before finalize_routes");
+  const NodeId dst = node_of_ip(pkt.flow.dst_ip);
+  const auto& hops = nodes_[node].next_hops[dst];
+  if (hops.empty()) return;  // unreachable: drop silently
+  // ECMP: pick the shortest-path port by 5-tuple hash so one flow stays on
+  // one path (no intra-flow reordering) while flows spread across spines.
+  const std::uint32_t pid =
+      hops[reduce_range(pkt.flow.hash(ecmp_seed_), hops.size())];
+  enqueue(pid, pkt);
+}
+
+// ---- applications -----------------------------------------------------------
+
+void Network::add_udp_flow(const FiveTuple& flow, Nanos start, std::uint64_t pkts,
+                           std::uint32_t pkt_len, double rate_pps, bool poisson) {
+  check(flow.proto == static_cast<std::uint8_t>(IpProto::kUdp),
+        "add_udp_flow: tuple must be UDP");
+  finalize_routes();
+  const NodeId src = node_of_ip(flow.src_ip);
+  auto state = std::make_shared<std::uint64_t>(pkts);
+  auto send_one = std::make_shared<std::function<void()>>();
+  *send_one = [this, flow, pkt_len, rate_pps, poisson, state, send_one, src] {
+    if (*state == 0) return;
+    --*state;
+    Packet pkt;
+    pkt.flow = flow;
+    pkt.pkt_len = pkt_len;
+    pkt.payload_len = pkt_len > 42 ? pkt_len - 42 : 0;
+    pkt.pkt_uniq = next_uniq();
+    forward(src, pkt);
+    const double gap_ns =
+        poisson ? rng_.exponential(rate_pps) * 1e9 : 1e9 / rate_pps;
+    events_.schedule_in(Nanos{static_cast<std::int64_t>(gap_ns) + 1}, *send_one);
+  };
+  events_.schedule(start, *send_one);
+}
+
+void Network::add_window_flow(const FiveTuple& flow, Nanos start,
+                              std::uint64_t pkts, std::uint32_t pkt_len,
+                              std::uint32_t window, Nanos rto) {
+  check(flow.proto == static_cast<std::uint8_t>(IpProto::kTcp),
+        "add_window_flow: tuple must be TCP");
+  check(pkt_len > kDataHeader, "add_window_flow: pkt_len too small");
+  finalize_routes();
+  WindowFlow wf;
+  wf.flow = flow;
+  wf.total_pkts = pkts;
+  wf.pkt_len = pkt_len;
+  wf.window = std::max(1u, window);
+  wf.rto = rto;
+  wf.isn = static_cast<std::uint32_t>(rng_.between(1000, 1u << 28));
+  window_flows_.push_back(std::move(wf));
+  const std::size_t index = window_flows_.size() - 1;
+  events_.schedule(start, [this, index] { window_send_more(index); });
+}
+
+void Network::window_send_more(std::size_t flow_index) {
+  WindowFlow& wf = window_flows_[flow_index];
+  while (wf.in_flight.size() < wf.window && wf.next_index < wf.total_pkts) {
+    const std::uint64_t idx = wf.next_index++;
+    wf.in_flight.insert(idx);
+    ++wf.stats.sent;
+    window_send_packet(flow_index, idx, /*retransmit=*/false);
+  }
+}
+
+void Network::window_send_packet(std::size_t flow_index, std::uint64_t pkt_index,
+                                 bool retransmit) {
+  WindowFlow& wf = window_flows_[flow_index];
+  Packet pkt;
+  pkt.flow = wf.flow;
+  pkt.pkt_len = wf.pkt_len;
+  pkt.payload_len = wf.pkt_len - kDataHeader;
+  pkt.tcp_seq =
+      wf.isn + static_cast<std::uint32_t>(pkt_index) * pkt.payload_len;
+  pkt.tcp_flags = retransmit ? TcpFlags::kPsh : 0;
+  pkt.pkt_uniq = next_uniq();
+  forward(node_of_ip(wf.flow.src_ip), pkt);
+
+  // Timeout: if still unacked after rto, retransmit (and re-arm).
+  events_.schedule_in(wf.rto, [this, flow_index, pkt_index] {
+    WindowFlow& flow = window_flows_[flow_index];
+    if (flow.in_flight.count(pkt_index) == 0) return;
+    ++flow.stats.retransmits;
+    window_send_packet(flow_index, pkt_index, /*retransmit=*/true);
+  });
+}
+
+void Network::host_receive(NodeId host, const Packet& pkt) {
+  // Window-flow data packet addressed to this host?
+  for (std::size_t i = 0; i < window_flows_.size(); ++i) {
+    WindowFlow& wf = window_flows_[i];
+    if (pkt.flow == wf.flow && nodes_[host].ip == wf.flow.dst_ip &&
+        pkt.tcp_flags != TcpFlags::kAck) {
+      window_on_data(i, pkt);
+      return;
+    }
+    if (pkt.flow == wf.flow.reversed() && nodes_[host].ip == wf.flow.src_ip &&
+        pkt.tcp_flags == TcpFlags::kAck) {
+      const std::uint32_t payload = wf.pkt_len - kDataHeader;
+      const std::uint64_t idx = (pkt.tcp_seq - wf.isn) / payload;
+      window_on_ack(i, idx);
+      return;
+    }
+  }
+  // UDP / unmatched traffic is simply absorbed.
+}
+
+void Network::window_on_data(std::size_t flow_index, const Packet& pkt) {
+  WindowFlow& wf = window_flows_[flow_index];
+  const std::uint32_t payload = wf.pkt_len - kDataHeader;
+  const std::uint64_t idx = (pkt.tcp_seq - wf.isn) / payload;
+  if (wf.delivered.insert(idx).second) ++wf.stats.delivered;
+
+  // Per-packet ACK carrying the data sequence number back to the sender.
+  Packet ack;
+  ack.flow = wf.flow.reversed();
+  ack.pkt_len = kAckLen;
+  ack.payload_len = 0;
+  ack.tcp_seq = pkt.tcp_seq;
+  ack.tcp_flags = TcpFlags::kAck;
+  ack.pkt_uniq = next_uniq();
+  forward(node_of_ip(ack.flow.src_ip), ack);
+}
+
+void Network::window_on_ack(std::size_t flow_index, std::uint64_t pkt_index) {
+  WindowFlow& wf = window_flows_[flow_index];
+  if (wf.in_flight.erase(pkt_index) == 0) return;  // duplicate ACK
+  if (wf.next_index >= wf.total_pkts && wf.in_flight.empty() &&
+      !wf.stats.completed) {
+    wf.stats.completed = true;
+    wf.stats.completion_time = events_.now();
+    return;
+  }
+  window_send_more(flow_index);
+}
+
+const FlowStats& Network::flow_stats(const FiveTuple& flow) const {
+  for (const auto& wf : window_flows_) {
+    if (wf.flow == flow) return wf.stats;
+  }
+  throw ConfigError{"Network::flow_stats: unknown flow"};
+}
+
+// ---- topology presets -------------------------------------------------------
+
+std::uint32_t leaf_spine_ip(std::uint32_t leaf, std::uint32_t host) {
+  return (10u << 24) | (leaf << 16) | (host + 1);
+}
+
+LeafSpine build_leaf_spine(Network& net, std::uint32_t leaves,
+                           std::uint32_t spines, std::uint32_t hosts_per_leaf,
+                           const LinkConfig& edge, const LinkConfig& fabric) {
+  LeafSpine out;
+  out.net = &net;
+  for (std::uint32_t s = 0; s < spines; ++s) {
+    out.spines.push_back(net.add_switch("spine" + std::to_string(s)));
+  }
+  for (std::uint32_t l = 0; l < leaves; ++l) {
+    const NodeId leaf = net.add_switch("leaf" + std::to_string(l));
+    out.leaves.push_back(leaf);
+    for (const NodeId spine : out.spines) net.connect(leaf, spine, fabric);
+    for (std::uint32_t h = 0; h < hosts_per_leaf; ++h) {
+      const NodeId host = net.add_host(leaf_spine_ip(l, h));
+      out.hosts.push_back(host);
+      net.connect(host, leaf, edge);
+    }
+  }
+  net.finalize_routes();
+  return out;
+}
+
+}  // namespace perfq::net

@@ -1,0 +1,180 @@
+// Packet-level network simulator.
+//
+// Hosts and output-queued switches connected by rate/delay links. Every
+// queue traversal emits one PacketRecord into the telemetry sink — this is
+// the network-wide abstract table T the query language is defined over (§2):
+// a packet crossing three queues contributes three records, and a drop
+// contributes a record with tout = infinity at the dropping queue.
+//
+// Two application models generate traffic:
+//   - open-loop UDP senders (constant or Poisson pacing), and
+//   - window-limited TCP-like flows with per-packet ACKs and timeout
+//     retransmission, which reproduce incast collapse and the
+//     retransmission/reordering patterns Fig. 2's TCP queries measure.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netsim/event_queue.hpp"
+#include "packet/record.hpp"
+
+namespace perfq::net {
+
+using NodeId = std::uint32_t;
+
+struct LinkConfig {
+  double gbps = 10.0;          ///< line rate
+  Nanos propagation = 1000_ns; ///< one-way propagation delay
+  std::uint32_t queue_capacity_pkts = 128;  ///< drop-tail threshold
+};
+
+/// Per-queue counters for ground-truth checks against query results.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t max_depth = 0;
+};
+
+struct FlowStats {
+  std::uint64_t sent = 0;       ///< first transmissions
+  std::uint64_t retransmits = 0;
+  std::uint64_t delivered = 0;  ///< data packets that reached the receiver
+  bool completed = false;
+  Nanos completion_time;
+};
+
+class Network {
+ public:
+  using TelemetrySink = std::function<void(const PacketRecord&)>;
+
+  explicit Network(std::uint64_t seed = 1);
+
+  // ---- topology -----------------------------------------------------------
+  NodeId add_host(std::uint32_t ip, std::string name = "");
+  NodeId add_switch(std::string name = "");
+  /// Bidirectional link (two independent queues/ports).
+  void connect(NodeId a, NodeId b, const LinkConfig& config);
+  /// Seed of the ECMP flow hash (set before traffic for reproducibility).
+  void set_ecmp_seed(std::uint64_t seed) { ecmp_seed_ = seed; }
+  /// Compute shortest-path next-hop tables; call after topology is built and
+  /// before traffic starts. Idempotent.
+  void finalize_routes();
+
+  // ---- telemetry ----------------------------------------------------------
+  void set_telemetry_sink(TelemetrySink sink) { sink_ = std::move(sink); }
+
+  // ---- applications -------------------------------------------------------
+  /// Open-loop UDP: `pkts` packets of `pkt_len` bytes at `rate_pps`
+  /// (exponential gaps if `poisson`).
+  void add_udp_flow(const FiveTuple& flow, Nanos start, std::uint64_t pkts,
+                    std::uint32_t pkt_len, double rate_pps, bool poisson = true);
+
+  /// Window-limited reliable flow: keeps up to `window` packets in flight,
+  /// per-packet ACKs, timeout retransmission after `rto`.
+  void add_window_flow(const FiveTuple& flow, Nanos start, std::uint64_t pkts,
+                       std::uint32_t pkt_len, std::uint32_t window, Nanos rto);
+
+  // ---- execution ----------------------------------------------------------
+  void run_until(Nanos horizon) { events_.run_until(horizon); }
+  void run_all() { events_.run_all(); }
+  [[nodiscard]] Nanos now() const { return events_.now(); }
+
+  // ---- introspection ------------------------------------------------------
+  [[nodiscard]] std::uint32_t queue_id(NodeId node, NodeId neighbor) const;
+  [[nodiscard]] const QueueStats& queue_stats(std::uint32_t qid) const;
+  [[nodiscard]] std::size_t queue_count() const { return ports_.size(); }
+  [[nodiscard]] const FlowStats& flow_stats(const FiveTuple& flow) const;
+  [[nodiscard]] NodeId node_of_ip(std::uint32_t ip) const;
+  [[nodiscard]] std::string queue_name(std::uint32_t qid) const;
+
+ private:
+  struct Queued {  ///< a packet waiting in a queue, with its telemetry
+    Packet pkt;
+    Nanos tin;
+    std::uint32_t qsize_at_enqueue = 0;
+  };
+
+  struct Port {  ///< one directed link endpoint with its output queue
+    NodeId from;
+    NodeId to;
+    LinkConfig config;
+    std::deque<Queued> queue;
+    bool transmitting = false;
+    QueueStats stats;
+  };
+
+  struct Node {
+    bool is_host = false;
+    std::uint32_t ip = 0;  ///< hosts only
+    std::string name;
+    std::vector<std::uint32_t> ports;  ///< outgoing port ids
+    /// Per destination node: every shortest-path next-hop port. Flows are
+    /// spread across them by 5-tuple hash (ECMP), like real fabrics.
+    std::vector<std::vector<std::uint32_t>> next_hops;
+  };
+
+  struct WindowFlow {
+    FiveTuple flow;
+    std::uint64_t total_pkts;
+    std::uint32_t pkt_len;
+    std::uint32_t window;
+    Nanos rto;
+    std::uint64_t next_index = 0;    ///< next new packet index to send
+    std::set<std::uint64_t> in_flight;  ///< unacked packet indices
+    std::set<std::uint64_t> delivered;  ///< receiver-side dedup
+    std::uint32_t isn = 1000;
+    FlowStats stats;
+  };
+
+  void enqueue(std::uint32_t port_id, Packet pkt);
+  void start_transmission(std::uint32_t port_id);
+  void deliver(NodeId node, Packet pkt);
+  void forward(NodeId node, Packet pkt);
+  void host_receive(NodeId host, const Packet& pkt);
+  void window_send_more(std::size_t flow_index);
+  void window_send_packet(std::size_t flow_index, std::uint64_t pkt_index,
+                          bool retransmit);
+  void window_on_ack(std::size_t flow_index, std::uint64_t pkt_index);
+  void window_on_data(std::size_t flow_index, const Packet& pkt);
+  [[nodiscard]] Nanos transmission_time(const Port& port,
+                                        std::uint32_t bytes) const;
+  [[nodiscard]] std::uint64_t next_uniq() { return ++uniq_; }
+
+  EventQueue events_;
+  Rng rng_;
+  std::uint64_t ecmp_seed_ = 0xEC3F;
+  std::vector<Node> nodes_;
+  std::vector<Port> ports_;
+  std::vector<WindowFlow> window_flows_;
+  TelemetrySink sink_;
+  std::uint64_t uniq_ = 0;
+  bool routed_ = false;
+};
+
+// ---- topology presets ------------------------------------------------------
+
+/// Leaf-spine fabric: `leaves` ToR switches x `spines` spines, `hosts_per
+/// _leaf` hosts each. Host IPs are 10.L.0.H. Returns the host node ids.
+struct LeafSpine {
+  Network* net;
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+};
+[[nodiscard]] LeafSpine build_leaf_spine(Network& net, std::uint32_t leaves,
+                                         std::uint32_t spines,
+                                         std::uint32_t hosts_per_leaf,
+                                         const LinkConfig& edge,
+                                         const LinkConfig& fabric);
+
+/// The IP of host h under leaf l in build_leaf_spine's addressing plan.
+[[nodiscard]] std::uint32_t leaf_spine_ip(std::uint32_t leaf, std::uint32_t host);
+
+}  // namespace perfq::net

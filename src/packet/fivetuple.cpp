@@ -1,0 +1,82 @@
+#include "packet/fivetuple.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace perfq {
+namespace {
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  p[0] = static_cast<std::byte>(v >> 24);
+  p[1] = static_cast<std::byte>(v >> 16);
+  p[2] = static_cast<std::byte>(v >> 8);
+  p[3] = static_cast<std::byte>(v);
+}
+
+void put_u16(std::byte* p, std::uint16_t v) {
+  p[0] = static_cast<std::byte>(v >> 8);
+  p[1] = static_cast<std::byte>(v);
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(p[0]) << 8) |
+                                    std::to_integer<std::uint16_t>(p[1]));
+}
+
+}  // namespace
+
+std::array<std::byte, 13> FiveTuple::to_bytes() const {
+  std::array<std::byte, 13> out{};
+  put_u32(out.data(), src_ip);
+  put_u32(out.data() + 4, dst_ip);
+  put_u16(out.data() + 8, src_port);
+  put_u16(out.data() + 10, dst_port);
+  out[12] = static_cast<std::byte>(proto);
+  return out;
+}
+
+FiveTuple FiveTuple::from_bytes(std::span<const std::byte, 13> bytes) {
+  FiveTuple t;
+  t.src_ip = get_u32(bytes.data());
+  t.dst_ip = get_u32(bytes.data() + 4);
+  t.src_port = get_u16(bytes.data() + 8);
+  t.dst_port = get_u16(bytes.data() + 10);
+  t.proto = std::to_integer<std::uint8_t>(bytes[12]);
+  return t;
+}
+
+std::string FiveTuple::to_string() const {
+  std::string out = ipv4_to_string(src_ip) + ":" + std::to_string(src_port) +
+                    " -> " + ipv4_to_string(dst_ip) + ":" + std::to_string(dst_port);
+  out += " ";
+  out += to_cstring(static_cast<IpProto>(proto));
+  return out;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return std::string{buf.data()};
+}
+
+std::uint32_t ipv4_from_string(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n = std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw ConfigError{"bad IPv4 address: " + s};
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace perfq

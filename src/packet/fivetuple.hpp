@@ -1,0 +1,78 @@
+// Transport five-tuple: the canonical aggregation key of the paper.
+//
+// §4 sizes key-value pairs as 104 key bits (32+32+16+16+8) plus a 24-bit
+// value = 128 bits; FiveTuple::kBits mirrors that accounting and the area
+// model in src/analysis reuses it.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace perfq {
+
+/// IP protocol numbers we model.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+[[nodiscard]] constexpr const char* to_cstring(IpProto p) {
+  switch (p) {
+    case IpProto::kTcp: return "TCP";
+    case IpProto::kUdp: return "UDP";
+  }
+  return "?";
+}
+
+/// (srcip, dstip, srcport, dstport, proto) — 104 bits of key material.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+
+  static constexpr int kBits = 104;
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Canonical 13-byte big-endian encoding (for hashing and cache keys).
+  [[nodiscard]] std::array<std::byte, 13> to_bytes() const;
+
+  /// Parse the canonical encoding; inverse of to_bytes().
+  [[nodiscard]] static FiveTuple from_bytes(std::span<const std::byte, 13> bytes);
+
+  /// Stable 64-bit hash (seedable so different structures stay independent).
+  [[nodiscard]] std::uint64_t hash(std::uint64_t seed = 0) const {
+    const auto b = to_bytes();
+    return hash_bytes(std::span<const std::byte>{b.data(), b.size()}, seed);
+  }
+
+  /// The reverse direction (dst->src); useful for building ACK streams.
+  [[nodiscard]] FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  /// "10.0.0.1:80 -> 10.0.0.2:443 TCP"
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Render an IPv4 address in dotted-quad form.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// Parse "a.b.c.d" into a host-order address. Throws ConfigError on bad input.
+[[nodiscard]] std::uint32_t ipv4_from_string(const std::string& s);
+
+}  // namespace perfq
+
+template <>
+struct std::hash<perfq::FiveTuple> {
+  std::size_t operator()(const perfq::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

@@ -1,0 +1,43 @@
+// In-simulator packet representation.
+//
+// This is the parsed form used throughout the simulators; src/packet/wire.hpp
+// provides the byte-level encoding that the programmable parser in
+// src/switchsim actually walks, mirroring how a real switch would parse.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/fivetuple.hpp"
+
+namespace perfq {
+
+/// TCP flag bits (subset we model).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+/// A packet as seen by the measurement system: standard headers plus the
+/// fields the paper's schema exposes (pkt_uniq, pkt_path).
+struct Packet {
+  FiveTuple flow;
+  std::uint32_t pkt_len = 0;      ///< total wire length in bytes
+  std::uint32_t payload_len = 0;  ///< transport payload bytes
+  std::uint32_t tcp_seq = 0;      ///< TCP sequence number (0 for UDP)
+  std::uint8_t tcp_flags = 0;     ///< TCP flag bits (0 for UDP)
+  std::uint8_t ip_ttl = 64;
+  std::uint64_t pkt_uniq = 0;     ///< unique packet id (invariant header combo)
+  std::uint32_t pkt_path = 0;     ///< opaque path/tunnel identifier
+
+  [[nodiscard]] bool is_tcp() const {
+    return flow.proto == static_cast<std::uint8_t>(IpProto::kTcp);
+  }
+  [[nodiscard]] bool is_udp() const {
+    return flow.proto == static_cast<std::uint8_t>(IpProto::kUdp);
+  }
+};
+
+}  // namespace perfq

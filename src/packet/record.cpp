@@ -1,0 +1,102 @@
+#include "packet/record.hpp"
+
+#include <array>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfq {
+namespace {
+
+struct FieldMeta {
+  FieldId id;
+  std::string_view name;
+  int bits;
+};
+
+constexpr std::array<FieldMeta, kNumFields> kFieldTable{{
+    {FieldId::kSrcIp, "srcip", 32},
+    {FieldId::kDstIp, "dstip", 32},
+    {FieldId::kSrcPort, "srcport", 16},
+    {FieldId::kDstPort, "dstport", 16},
+    {FieldId::kProto, "proto", 8},
+    {FieldId::kPktLen, "pkt_len", 16},
+    {FieldId::kPayloadLen, "payload_len", 16},
+    {FieldId::kTcpSeq, "tcpseq", 32},
+    {FieldId::kTcpFlags, "tcp_flags", 8},
+    {FieldId::kIpTtl, "ip_ttl", 8},
+    {FieldId::kPktUniq, "pkt_uniq", 64},
+    {FieldId::kPktPath, "pkt_path", 32},
+    {FieldId::kQid, "qid", 32},
+    {FieldId::kTin, "tin", 48},
+    {FieldId::kTout, "tout", 48},
+    {FieldId::kQsize, "qsize", 24},
+}};
+
+}  // namespace
+
+std::string_view field_name(FieldId id) {
+  for (const auto& m : kFieldTable) {
+    if (m.id == id) return m.name;
+  }
+  throw InternalError{"field_name: unknown FieldId"};
+}
+
+std::optional<FieldId> field_from_name(std::string_view name) {
+  // "qin" is the Fig. 2 alias for the queue size sampled at enqueue.
+  if (name == "qin") return FieldId::kQsize;
+  for (const auto& m : kFieldTable) {
+    if (m.name == name) return m.id;
+  }
+  return std::nullopt;
+}
+
+int field_bits(FieldId id) {
+  for (const auto& m : kFieldTable) {
+    if (m.id == id) return m.bits;
+  }
+  throw InternalError{"field_bits: unknown FieldId"};
+}
+
+double field_value(const PacketRecord& rec, FieldId id) {
+  switch (id) {
+    case FieldId::kSrcIp: return static_cast<double>(rec.pkt.flow.src_ip);
+    case FieldId::kDstIp: return static_cast<double>(rec.pkt.flow.dst_ip);
+    case FieldId::kSrcPort: return static_cast<double>(rec.pkt.flow.src_port);
+    case FieldId::kDstPort: return static_cast<double>(rec.pkt.flow.dst_port);
+    case FieldId::kProto: return static_cast<double>(rec.pkt.flow.proto);
+    case FieldId::kPktLen: return static_cast<double>(rec.pkt.pkt_len);
+    case FieldId::kPayloadLen: return static_cast<double>(rec.pkt.payload_len);
+    case FieldId::kTcpSeq: return static_cast<double>(rec.pkt.tcp_seq);
+    case FieldId::kTcpFlags: return static_cast<double>(rec.pkt.tcp_flags);
+    case FieldId::kIpTtl: return static_cast<double>(rec.pkt.ip_ttl);
+    case FieldId::kPktUniq: return static_cast<double>(rec.pkt.pkt_uniq);
+    case FieldId::kPktPath: return static_cast<double>(rec.pkt.pkt_path);
+    case FieldId::kQid: return static_cast<double>(rec.qid);
+    case FieldId::kTin: return static_cast<double>(rec.tin.count());
+    case FieldId::kTout:
+      return rec.tout.is_infinite() ? std::numeric_limits<double>::infinity()
+                                    : static_cast<double>(rec.tout.count());
+    case FieldId::kQsize: return static_cast<double>(rec.qsize);
+  }
+  throw InternalError{"field_value: unknown FieldId"};
+}
+
+const std::vector<FieldId>& five_tuple_fields() {
+  static const std::vector<FieldId> kFields{
+      FieldId::kSrcIp, FieldId::kDstIp, FieldId::kSrcPort, FieldId::kDstPort,
+      FieldId::kProto};
+  return kFields;
+}
+
+std::string to_string(const PacketRecord& rec) {
+  std::string out = rec.pkt.flow.to_string();
+  out += " len=" + std::to_string(rec.pkt.pkt_len);
+  out += " qid=" + std::to_string(rec.qid);
+  out += " tin=" + to_string(rec.tin);
+  out += rec.dropped() ? " DROPPED" : (" tout=" + to_string(rec.tout));
+  out += " qsize=" + std::to_string(rec.qsize);
+  return out;
+}
+
+}  // namespace perfq

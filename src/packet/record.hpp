@@ -1,0 +1,84 @@
+// The paper's performance-oriented schema (§2):
+//
+//     (pkt_hdr, qid, tin, tout, qsize, pkt_path)
+//
+// One PacketRecord is produced for every (packet, queue) pair the packet
+// traverses; a packet crossing three queues contributes three records. If the
+// packet is dropped at a queue, tout is infinity (Nanos::infinity()), exactly
+// as the paper specifies, so `WHERE tout == infinity` selects drops.
+//
+// The query language accesses record fields by name; FieldId plus
+// field_value() form that reflection layer. Values are IEEE doubles: every
+// field we expose fits in 53 bits of mantissa (timestamps over multi-hour
+// simulations, 32-bit sequence numbers, byte counts), and "infinity" maps to
+// the IEEE infinity so dropped-packet predicates work with ordinary
+// comparison semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "packet/packet.hpp"
+
+namespace perfq {
+
+/// One row of the abstract table T the query language is defined over.
+struct PacketRecord {
+  Packet pkt;
+  std::uint32_t qid = 0;    ///< globally unique queue id (switch+port encoded)
+  Nanos tin;                ///< enqueue timestamp at this queue
+  Nanos tout;               ///< dequeue timestamp; infinity if dropped here
+  std::uint32_t qsize = 0;  ///< queue depth in packets seen at enqueue
+
+  [[nodiscard]] bool dropped() const { return tout.is_infinite(); }
+  [[nodiscard]] Nanos queueing_delay() const {
+    return dropped() ? Nanos::infinity() : tout - tin;
+  }
+};
+
+/// Every schema field addressable from the query language.
+enum class FieldId : std::uint8_t {
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kPktLen,
+  kPayloadLen,
+  kTcpSeq,
+  kTcpFlags,
+  kIpTtl,
+  kPktUniq,
+  kPktPath,
+  kQid,
+  kTin,
+  kTout,
+  kQsize,
+};
+
+inline constexpr std::size_t kNumFields = 16;
+
+/// Field name as written in queries ("srcip", "tin", ...).
+[[nodiscard]] std::string_view field_name(FieldId id);
+
+/// Reverse lookup; returns nullopt for unknown names.
+[[nodiscard]] std::optional<FieldId> field_from_name(std::string_view name);
+
+/// Width in bits of the field on the wire / in switch metadata; used by the
+/// hardware area model to size keys.
+[[nodiscard]] int field_bits(FieldId id);
+
+/// Extract a field as the query-language value type.
+[[nodiscard]] double field_value(const PacketRecord& rec, FieldId id);
+
+/// The "5tuple" abbreviation used throughout the paper's examples.
+[[nodiscard]] const std::vector<FieldId>& five_tuple_fields();
+
+/// Render one record for debugging / example output.
+[[nodiscard]] std::string to_string(const PacketRecord& rec);
+
+}  // namespace perfq

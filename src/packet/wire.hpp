@@ -1,0 +1,44 @@
+// Byte-level wire format: Ethernet II / IPv4 / {TCP, UDP}.
+//
+// The programmable parser in src/switchsim walks these bytes through a parse
+// graph the way a real P4 parser would (§3.1 cites Gibb et al.'s design
+// principles for packet parsers). Serialization is used by the trace writer
+// and by tests that round-trip packets through the parser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace perfq::wire {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+inline constexpr std::size_t kTcpHeaderLen = 20;   // no options
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// Serialize a Packet's headers (payload is zero-filled to payload_len).
+/// The pkt_uniq and pkt_path metadata ride in the (otherwise unused) IPv4
+/// identification field and TCP/UDP-adjacent shim respectively — see
+/// serialize() implementation notes.
+[[nodiscard]] std::vector<std::byte> serialize(const Packet& pkt);
+
+/// Result of parsing: the packet plus how many header bytes were consumed.
+struct ParseResult {
+  Packet pkt;
+  std::size_t header_bytes = 0;
+};
+
+/// Parse wire bytes into a Packet. Throws QueryError-free ConfigError on
+/// malformed input (truncated headers, unknown EtherType/protocol).
+[[nodiscard]] ParseResult parse(std::span<const std::byte> bytes);
+
+/// IPv4 header checksum (RFC 1071 ones'-complement sum) over a 20-byte
+/// header with its checksum field zeroed.
+[[nodiscard]] std::uint16_t ipv4_checksum(std::span<const std::byte> header);
+
+}  // namespace perfq::wire

@@ -1,0 +1,107 @@
+// The end-to-end query engine.
+//
+// One QueryEngine hosts a compiled program: every on-switch GROUPBY gets a
+// programmable key-value store instance (src/kvstore) configured with the
+// chosen cache geometry; stream SELECT sinks collect matching records during
+// processing; finish() flushes all caches to the backing stores and runs the
+// collection-layer DAG (soft SELECTs, soft GROUPBYs over aggregates, JOINs),
+// producing the result tables the paper's applications would pull.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/program.hpp"
+#include "kvstore/kvstore.hpp"
+#include "runtime/table.hpp"
+
+namespace perfq::runtime {
+
+struct EngineConfig {
+  /// Cache geometry for every on-switch GROUPBY (overridable per query).
+  kv::CacheGeometry geometry = kv::CacheGeometry::set_associative(1u << 16, 8);
+  std::map<std::string, kv::CacheGeometry> per_query_geometry;
+  std::uint64_t hash_seed = 0x5eedcafe;
+  /// In-bucket replacement policy (the paper uses LRU).
+  kv::EvictionPolicy eviction_policy = kv::EvictionPolicy::kLru;
+  /// Cap on rows collected per streaming SELECT sink.
+  std::size_t max_stream_rows = 1'000'000;
+  /// Periodically flush caches to the backing store while processing (§3.2:
+  /// "keys can be periodically evicted to ensure the backing store is
+  /// fresh, and monitoring applications can pull results"). Zero disables.
+  /// Thanks to the exact merge this is free of correctness cost for linear
+  /// queries; refresh_count() reports how many refreshes happened.
+  Nanos refresh_interval{0};
+};
+
+/// Per-switch-query statistics surfaced to the evaluation harnesses.
+struct StoreStats {
+  std::string name;
+  kv::Linearity linearity = kv::Linearity::kNotLinear;
+  kv::CacheStats cache;
+  kv::AccuracyStats accuracy;
+  std::uint64_t backing_writes = 0;
+  std::uint64_t backing_capacity_writes = 0;
+  std::size_t keys = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(compiler::CompiledProgram program, EngineConfig config = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Feed one packet observation (call once per record, in time order).
+  void process(const PacketRecord& rec);
+
+  /// End the query window: flush caches, run the collection layer. Must be
+  /// called exactly once before reading results.
+  void finish(Nanos now);
+
+  /// The program's primary result (its last query).
+  [[nodiscard]] const ResultTable& result() const;
+
+  /// A named intermediate/final table ("R1"). Throws if unknown or stream-
+  /// only intermediate.
+  [[nodiscard]] const ResultTable& table(std::string_view name) const;
+
+  [[nodiscard]] std::vector<StoreStats> store_stats() const;
+  [[nodiscard]] const compiler::CompiledProgram& program() const { return program_; }
+  [[nodiscard]] std::uint64_t records_processed() const { return records_; }
+  [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
+
+  /// Direct access to a switch query's key-value store (tests, benches).
+  [[nodiscard]] const kv::KeyValueStore& store(std::string_view query_name) const;
+
+ private:
+  struct SwitchInstance {
+    const compiler::SwitchQueryPlan* plan;
+    std::unique_ptr<kv::KeyValueStore> store;
+  };
+  struct StreamSink {
+    compiler::CompiledStreamSelect compiled;
+    ResultTable table;
+    bool overflowed = false;
+  };
+
+  void materialize_switch_tables();
+  void run_collection_query(int index);
+  [[nodiscard]] ResultTable& table_for(int index);
+  [[nodiscard]] const ResultTable* find_table(int index) const;
+
+  compiler::CompiledProgram program_;
+  EngineConfig config_;
+  std::vector<SwitchInstance> switches_;
+  std::vector<StreamSink> sinks_;
+  std::map<int, ResultTable> tables_;  ///< by query index
+  std::uint64_t records_ = 0;
+  std::uint64_t refreshes_ = 0;
+  Nanos next_refresh_{0};
+  bool finished_ = false;
+};
+
+}  // namespace perfq::runtime

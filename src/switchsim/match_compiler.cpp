@@ -1,0 +1,149 @@
+#include "switchsim/match_compiler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace perfq::sw {
+namespace {
+
+using lang::BinaryOp;
+using lang::Expr;
+using lang::ExprKind;
+
+/// A comparison lowered to a disjunction of per-field ternary alternatives.
+using Alternatives = std::vector<TernaryMatch>;
+
+std::optional<FieldId> field_of(const Expr& e) {
+  if (e.kind != ExprKind::kName) return std::nullopt;
+  return field_from_name(e.name);
+}
+
+std::optional<double> constant_of(const Expr& e) {
+  if (e.kind == ExprKind::kNumber) return e.number;
+  if (e.kind == ExprKind::kInfinity) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Built-in value constants were already folded to numbers by sema.
+  return std::nullopt;
+}
+
+BinaryOp flip(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // == and != are symmetric
+  }
+}
+
+std::optional<Alternatives> lower_comparison(const Expr& e) {
+  if (e.kind != ExprKind::kBinary || !lang::is_comparison(e.op)) {
+    return std::nullopt;
+  }
+  // Normalize to `field op constant`.
+  auto field = field_of(*e.lhs);
+  auto konst = constant_of(*e.rhs);
+  BinaryOp op = e.op;
+  if (!field.has_value() || !konst.has_value()) {
+    field = field_of(*e.rhs);
+    konst = constant_of(*e.lhs);
+    op = flip(op);
+  }
+  if (!field.has_value() || !konst.has_value()) return std::nullopt;
+
+  const int bits = field_bits(*field);
+  const std::uint64_t full =
+      bits == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+
+  // Infinity (drop sentinel) saturates to the all-ones encoding.
+  const double value = *konst;
+  std::uint64_t k;
+  if (std::isinf(value)) {
+    k = full;
+  } else if (value < 0) {
+    // Fields are unsigned; comparisons against negatives are degenerate.
+    switch (op) {
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kNe:
+        return Alternatives{TernaryMatch{*field, 0, 0}};  // always true
+      default:
+        return Alternatives{};  // always false (no alternatives)
+    }
+  } else {
+    k = static_cast<std::uint64_t>(std::llround(std::min(
+        value, static_cast<double>(full))));
+  }
+
+  auto ranges = [&](std::uint64_t lo, std::uint64_t hi) -> Alternatives {
+    if (lo > hi) return {};
+    return range_to_prefixes(*field, lo, hi, bits);
+  };
+
+  switch (op) {
+    case BinaryOp::kEq:
+      return Alternatives{TernaryMatch{*field, k, full}};
+    case BinaryOp::kNe: {
+      Alternatives alts;
+      if (k > 0) {
+        for (auto& m : ranges(0, k - 1)) alts.push_back(m);
+      }
+      if (k < full) {
+        for (auto& m : ranges(k + 1, full)) alts.push_back(m);
+      }
+      return alts;
+    }
+    case BinaryOp::kLt: return k == 0 ? Alternatives{} : ranges(0, k - 1);
+    case BinaryOp::kLe: return ranges(0, k);
+    case BinaryOp::kGt: return k == full ? Alternatives{} : ranges(k + 1, full);
+    case BinaryOp::kGe: return ranges(k, full);
+    default: return std::nullopt;
+  }
+}
+
+/// Collect the conjuncts of a chain of ANDs.
+bool collect_conjuncts(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kAnd) {
+    return collect_conjuncts(*e.lhs, out) && collect_conjuncts(*e.rhs, out);
+  }
+  out.push_back(&e);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<TcamEntry>> compile_where_to_tcam(const Expr& where,
+                                                            std::uint32_t action) {
+  std::vector<const Expr*> conjuncts;
+  if (!collect_conjuncts(where, conjuncts)) return std::nullopt;
+
+  std::vector<Alternatives> per_conjunct;
+  for (const Expr* c : conjuncts) {
+    auto alts = lower_comparison(*c);
+    if (!alts.has_value()) return std::nullopt;
+    per_conjunct.push_back(std::move(*alts));
+  }
+
+  // Cross product of alternatives -> entries.
+  std::vector<TcamEntry> entries;
+  entries.push_back(TcamEntry{{}, action, 0});
+  for (const auto& alts : per_conjunct) {
+    if (alts.empty()) return std::vector<TcamEntry>{};  // always-false
+    std::vector<TcamEntry> next;
+    for (const auto& partial : entries) {
+      for (const auto& alt : alts) {
+        TcamEntry e = partial;
+        e.matches.push_back(alt);
+        next.push_back(std::move(e));
+        if (next.size() > kMaxTcamEntries) return std::nullopt;
+      }
+    }
+    entries = std::move(next);
+  }
+  return entries;
+}
+
+}  // namespace perfq::sw

@@ -1,0 +1,30 @@
+// Lowering WHERE predicates to TCAM entries (§3.1: "we can implement the
+// WHERE predicate as the match condition" of a match-action stage).
+//
+// Supported shape: a conjunction (AND) of comparisons between a base-schema
+// field and a constant. Each comparison becomes one or two integer ranges,
+// ranges expand to prefixes, and the conjunction becomes the cross product.
+// Predicates outside this shape (arithmetic between fields such as
+// `tout - tin > 1ms`, disjunctions, ...) return nullopt; the pipeline then
+// falls back to an ALU-stage evaluation (compiler::ScalarExpr), mirroring
+// how real designs split work between match stages and action ALUs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "switchsim/tcam.hpp"
+
+namespace perfq::sw {
+
+/// Maximum entries a single predicate may expand to before we refuse
+/// (mirrors real TCAM capacity pressure).
+inline constexpr std::size_t kMaxTcamEntries = 4096;
+
+/// Lower `where` to TCAM entries with the given action id. Returns nullopt
+/// if the predicate is not TCAM-expressible.
+[[nodiscard]] std::optional<std::vector<TcamEntry>> compile_where_to_tcam(
+    const lang::Expr& where, std::uint32_t action);
+
+}  // namespace perfq::sw

@@ -1,0 +1,150 @@
+#include "switchsim/parser.hpp"
+
+#include "common/error.hpp"
+#include "packet/wire.hpp"
+
+namespace perfq::sw {
+namespace {
+
+std::uint64_t read_be(std::span<const std::byte> bytes, std::size_t offset,
+                      std::size_t width) {
+  if (offset + width > bytes.size()) {
+    throw ConfigError{"parser: truncated header"};
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v = (v << 8) | std::to_integer<std::uint64_t>(bytes[offset + i]);
+  }
+  return v;
+}
+
+void store(Packet& pkt, PacketSlot slot, std::uint64_t v) {
+  switch (slot) {
+    case PacketSlot::kSrcIp: pkt.flow.src_ip = static_cast<std::uint32_t>(v); break;
+    case PacketSlot::kDstIp: pkt.flow.dst_ip = static_cast<std::uint32_t>(v); break;
+    case PacketSlot::kSrcPort:
+      pkt.flow.src_port = static_cast<std::uint16_t>(v);
+      break;
+    case PacketSlot::kDstPort:
+      pkt.flow.dst_port = static_cast<std::uint16_t>(v);
+      break;
+    case PacketSlot::kProto: pkt.flow.proto = static_cast<std::uint8_t>(v); break;
+    case PacketSlot::kTcpSeq: pkt.tcp_seq = static_cast<std::uint32_t>(v); break;
+    case PacketSlot::kTcpFlags:
+      pkt.tcp_flags = static_cast<std::uint8_t>(v);
+      break;
+    case PacketSlot::kIpTtl: pkt.ip_ttl = static_cast<std::uint8_t>(v); break;
+    case PacketSlot::kIpTotalLen:
+      // pkt_len = frame length; payload derived at accept time.
+      pkt.pkt_len = static_cast<std::uint32_t>(v) +
+                    static_cast<std::uint32_t>(wire::kEthHeaderLen);
+      break;
+    case PacketSlot::kIpIdent: pkt.pkt_uniq = v; break;
+  }
+}
+
+}  // namespace
+
+void ParserGraph::add_state(ParserState state) {
+  for (const auto& s : states_) {
+    if (s.name == state.name) {
+      throw ConfigError{"parser: duplicate state '" + state.name + "'"};
+    }
+  }
+  if (states_.empty() && start_.empty()) start_ = state.name;
+  states_.push_back(std::move(state));
+}
+
+const ParserState& ParserGraph::state(const std::string& name) const {
+  for (const auto& s : states_) {
+    if (s.name == name) return s;
+  }
+  throw ConfigError{"parser: unknown state '" + name + "'"};
+}
+
+ParserGraph::Result ParserGraph::parse(std::span<const std::byte> bytes) const {
+  check(!states_.empty(), "parser: empty graph");
+  Result result;
+  std::size_t cursor = 0;
+  const ParserState* current = &state(start_);
+  for (;;) {
+    result.path.push_back(current->name);
+    if (cursor + current->header_len > bytes.size()) {
+      throw ConfigError{"parser: truncated at state '" + current->name + "'"};
+    }
+    const auto header = bytes.subspan(cursor, current->header_len);
+    for (const auto& ex : current->extracts) {
+      store(result.pkt, ex.slot, read_be(header, ex.offset, ex.width));
+    }
+    cursor += current->header_len;
+    if (current->accept) break;
+    const std::uint64_t sel =
+        read_be(header, current->select_offset, current->select_width);
+    const auto it = current->transitions.find(sel);
+    if (it == current->transitions.end()) {
+      throw ConfigError{"parser: no transition from '" + current->name +
+                        "' on value " + std::to_string(sel)};
+    }
+    current = &state(it->second);
+  }
+  result.header_bytes = cursor;
+  // Derived lengths (the deparser's job in a real pipeline).
+  if (result.pkt.pkt_len >= cursor) {
+    result.pkt.payload_len =
+        result.pkt.pkt_len - static_cast<std::uint32_t>(cursor);
+  }
+  return result;
+}
+
+ParserGraph ParserGraph::standard() {
+  ParserGraph g;
+
+  ParserState eth;
+  eth.name = "ethernet";
+  eth.header_len = wire::kEthHeaderLen;
+  eth.select_offset = 12;
+  eth.select_width = 2;
+  eth.transitions.emplace(wire::kEtherTypeIpv4, "ipv4");
+  g.add_state(std::move(eth));
+
+  ParserState ipv4;
+  ipv4.name = "ipv4";
+  ipv4.header_len = wire::kIpv4HeaderLen;
+  ipv4.extracts = {
+      {2, 2, PacketSlot::kIpTotalLen}, {4, 2, PacketSlot::kIpIdent},
+      {8, 1, PacketSlot::kIpTtl},      {9, 1, PacketSlot::kProto},
+      {12, 4, PacketSlot::kSrcIp},     {16, 4, PacketSlot::kDstIp},
+  };
+  ipv4.select_offset = 9;
+  ipv4.select_width = 1;
+  ipv4.transitions.emplace(static_cast<std::uint64_t>(IpProto::kTcp), "tcp");
+  ipv4.transitions.emplace(static_cast<std::uint64_t>(IpProto::kUdp), "udp");
+  g.add_state(std::move(ipv4));
+
+  ParserState tcp;
+  tcp.name = "tcp";
+  tcp.header_len = wire::kTcpHeaderLen;
+  tcp.extracts = {
+      {0, 2, PacketSlot::kSrcPort},
+      {2, 2, PacketSlot::kDstPort},
+      {4, 4, PacketSlot::kTcpSeq},
+      {13, 1, PacketSlot::kTcpFlags},
+  };
+  tcp.accept = true;
+  g.add_state(std::move(tcp));
+
+  ParserState udp;
+  udp.name = "udp";
+  udp.header_len = wire::kUdpHeaderLen;
+  udp.extracts = {
+      {0, 2, PacketSlot::kSrcPort},
+      {2, 2, PacketSlot::kDstPort},
+  };
+  udp.accept = true;
+  g.add_state(std::move(udp));
+
+  g.set_start("ethernet");
+  return g;
+}
+
+}  // namespace perfq::sw

@@ -1,0 +1,80 @@
+// Table-driven programmable packet parser (§3.1 cites Gibb et al., "Design
+// Principles for Packet Parsers").
+//
+// A ParserGraph is a set of states; each state extracts header fields at
+// byte offsets, then selects the next state from a (offset, width) -> value
+// transition table, exactly like a P4 parser's state machine. standard()
+// builds the Ethernet/IPv4/{TCP,UDP} graph matching src/packet/wire.hpp; the
+// point of keeping it table-driven is that tests can extend or reprogram the
+// graph without touching code — the paper's "flexible packet parsing".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace perfq::sw {
+
+/// Destination slots a parser can write into (a subset of Packet's fields).
+enum class PacketSlot : std::uint8_t {
+  kSrcIp,
+  kDstIp,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kTcpSeq,
+  kTcpFlags,
+  kIpTtl,
+  kIpTotalLen,
+  kIpIdent,
+};
+
+struct FieldExtract {
+  std::size_t offset = 0;  ///< bytes from the start of this header
+  std::size_t width = 0;   ///< 1, 2, or 4 bytes (big-endian)
+  PacketSlot slot = PacketSlot::kSrcIp;
+};
+
+struct ParserState {
+  std::string name;
+  std::size_t header_len = 0;
+  std::vector<FieldExtract> extracts;
+  /// Select the next state by a header field value; empty selector = accept.
+  std::size_t select_offset = 0;
+  std::size_t select_width = 0;
+  std::map<std::uint64_t, std::string> transitions;
+  bool accept = false;
+};
+
+class ParserGraph {
+ public:
+  void add_state(ParserState state);
+  void set_start(std::string name) { start_ = std::move(name); }
+
+  /// Walk the graph over `bytes`; fills a Packet. Throws ConfigError on
+  /// truncated input or missing transitions.
+  struct Result {
+    Packet pkt;
+    std::size_t header_bytes = 0;
+    std::vector<std::string> path;  ///< visited state names (tests/debug)
+  };
+  [[nodiscard]] Result parse(std::span<const std::byte> bytes) const;
+
+  /// The Ethernet II / IPv4 / {TCP, UDP} graph used by the repo's wire
+  /// format.
+  [[nodiscard]] static ParserGraph standard();
+
+  [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+
+ private:
+  [[nodiscard]] const ParserState& state(const std::string& name) const;
+  std::vector<ParserState> states_;
+  std::string start_;
+};
+
+}  // namespace perfq::sw

@@ -1,0 +1,74 @@
+#include "switchsim/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace perfq::sw {
+
+SwitchPipeline::SwitchPipeline(const compiler::CompiledProgram& program,
+                               kv::CacheGeometry geometry, ParserGraph parser)
+    : program_(program), parser_(std::move(parser)) {
+  for (const auto& plan : program_.switch_plans) {
+    Stage stage;
+    stage.plan = &plan;
+    stage.store = std::make_unique<kv::KeyValueStore>(geometry, plan.kernel);
+    if (plan.prefilter_ast != nullptr) {
+      auto entries = compile_where_to_tcam(*plan.prefilter_ast, /*action=*/1);
+      if (entries.has_value()) {
+        TcamTable table;
+        for (auto& e : *entries) table.install(std::move(e));
+        stage.tcam = std::move(table);
+      }
+    }
+    stages_.push_back(std::move(stage));
+  }
+}
+
+void SwitchPipeline::process_frame(std::span<const std::byte> frame,
+                                   const QueueMetadata& meta) {
+  const ParserGraph::Result parsed = parser_.parse(frame);
+  ++frames_;
+  PacketRecord rec;
+  rec.pkt = parsed.pkt;
+  rec.qid = meta.qid;
+  rec.tin = meta.tin;
+  rec.tout = meta.tout;
+  rec.qsize = meta.qsize;
+  process_record(rec);
+}
+
+void SwitchPipeline::process_record(const PacketRecord& rec) {
+  for (Stage& stage : stages_) {
+    bool pass = true;
+    if (stage.tcam.has_value()) {
+      pass = stage.tcam->lookup(rec).has_value();
+    } else if (stage.plan->prefilter.has_value()) {
+      pass = stage.plan->prefilter->eval_bool(compiler::RecordSource({&rec, 1}));
+    }
+    if (!pass) {
+      ++stage.filtered;
+      continue;
+    }
+    ++stage.matched;
+    stage.store->process(compiler::extract_key(*stage.plan, rec), rec);
+  }
+}
+
+void SwitchPipeline::flush(Nanos now) {
+  for (Stage& stage : stages_) stage.store->flush(now);
+}
+
+std::vector<StageReport> SwitchPipeline::report() const {
+  std::vector<StageReport> out;
+  for (const auto& stage : stages_) {
+    StageReport r;
+    r.query = stage.plan->name;
+    r.tcam = stage.tcam.has_value();
+    r.tcam_entries = stage.tcam.has_value() ? stage.tcam->size() : 0;
+    r.matched = stage.matched;
+    r.filtered = stage.filtered;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace perfq::sw

@@ -1,0 +1,73 @@
+#include "switchsim/tcam.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace perfq::sw {
+
+bool TcamEntry::matches_record(const PacketRecord& rec) const {
+  for (const auto& m : matches) {
+    const double v = field_value(rec, m.field);
+    // Ternary matching is defined over integer field encodings; infinity
+    // (dropped tout) saturates to all-ones within the field width.
+    std::uint64_t bits;
+    if (v == std::numeric_limits<double>::infinity()) {
+      bits = ~std::uint64_t{0};
+    } else {
+      bits = static_cast<std::uint64_t>(v);
+    }
+    if (!m.matches(bits)) return false;
+  }
+  return true;
+}
+
+void TcamTable::install(TcamEntry entry) {
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const TcamEntry& a, const TcamEntry& b) { return a.priority > b.priority; });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::optional<std::uint32_t> TcamTable::lookup(const PacketRecord& rec) const {
+  for (const auto& entry : entries_) {
+    if (entry.matches_record(rec)) return entry.action;
+  }
+  return std::nullopt;
+}
+
+std::vector<TernaryMatch> range_to_prefixes(FieldId field, std::uint64_t lo,
+                                            std::uint64_t hi, int bits) {
+  if (lo > hi) throw ConfigError{"range_to_prefixes: lo > hi"};
+  if (bits < 1 || bits > 64) throw ConfigError{"range_to_prefixes: bad width"};
+  const std::uint64_t full =
+      bits == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  if (hi > full) throw ConfigError{"range_to_prefixes: hi exceeds field width"};
+
+  std::vector<TernaryMatch> out;
+  std::uint64_t cursor = lo;
+  for (;;) {
+    // Largest aligned power-of-two block starting at cursor that fits in
+    // [cursor, hi].
+    int block = 0;
+    while (block < bits) {
+      const std::uint64_t size = std::uint64_t{1} << (block + 1);
+      const bool aligned = (cursor & (size - 1)) == 0;
+      const bool fits = cursor + size - 1 <= hi && cursor + size - 1 >= cursor;
+      if (!aligned || !fits) break;
+      ++block;
+    }
+    const std::uint64_t size = std::uint64_t{1} << block;
+    TernaryMatch m;
+    m.field = field;
+    m.value = cursor;
+    m.mask = full & ~(size - 1);
+    out.push_back(m);
+    if (hi - cursor < size) break;  // covered through hi
+    cursor += size;
+    if (cursor == 0) break;  // wrapped (bits == 64 full range)
+  }
+  return out;
+}
+
+}  // namespace perfq::sw

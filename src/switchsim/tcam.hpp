@@ -1,0 +1,59 @@
+// Ternary match tables (TCAM) as found in match-action pipelines (§3.1 cites
+// RMT/Forwarding Metamorphosis). A WHERE predicate that is a conjunction of
+// field comparisons lowers to TCAM entries; comparisons against arbitrary
+// thresholds use the classic range-to-prefix expansion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/record.hpp"
+
+namespace perfq::sw {
+
+/// Match on one field: (value & mask) must equal (match.value & mask).
+struct TernaryMatch {
+  FieldId field = FieldId::kSrcIp;
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;  ///< 0 = wildcard (always matches)
+
+  [[nodiscard]] bool matches(std::uint64_t field_value) const {
+    return (field_value & mask) == (value & mask);
+  }
+};
+
+/// One TCAM entry: a conjunction of per-field ternary matches.
+struct TcamEntry {
+  std::vector<TernaryMatch> matches;
+  std::uint32_t action = 0;  ///< opaque action id (e.g. "feed the KV store")
+  std::int32_t priority = 0;
+
+  [[nodiscard]] bool matches_record(const PacketRecord& rec) const;
+};
+
+/// Priority-ordered ternary table.
+class TcamTable {
+ public:
+  void install(TcamEntry entry);
+
+  /// Highest-priority matching entry's action, or nullopt.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const PacketRecord& rec) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<TcamEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<TcamEntry> entries_;  ///< kept sorted by descending priority
+};
+
+/// Expand the integer range [lo, hi] over a `bits`-wide field into the
+/// minimal set of (value, mask) prefixes — the standard trick for realizing
+/// range matches in TCAMs. Both bounds inclusive; lo <= hi required.
+[[nodiscard]] std::vector<TernaryMatch> range_to_prefixes(FieldId field,
+                                                          std::uint64_t lo,
+                                                          std::uint64_t hi,
+                                                          int bits);
+
+}  // namespace perfq::sw

@@ -1,0 +1,39 @@
+#include "trace/simple.hpp"
+
+namespace perfq::trace {
+
+std::vector<PacketRecord> round_robin_records(std::uint64_t count,
+                                              std::uint32_t flows) {
+  std::vector<PacketRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto f = static_cast<std::uint32_t>(i % flows);
+    out.push_back(RecordBuilder{}
+                      .flow_index(f)
+                      .times(Nanos{static_cast<std::int64_t>(i) * 1000},
+                             Nanos{static_cast<std::int64_t>(i) * 1000 + 500})
+                      .uniq(i + 1)
+                      .build());
+  }
+  return out;
+}
+
+std::vector<PacketRecord> zipf_records(std::uint64_t count, std::uint32_t flows,
+                                       double s, std::uint64_t seed) {
+  Rng rng(seed);
+  ZipfDistribution zipf(flows, s);
+  std::vector<PacketRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto f = static_cast<std::uint32_t>(zipf(rng));
+    out.push_back(RecordBuilder{}
+                      .flow_index(f)
+                      .times(Nanos{static_cast<std::int64_t>(i) * 1000},
+                             Nanos{static_cast<std::int64_t>(i) * 1000 + 700})
+                      .uniq(i + 1)
+                      .build());
+  }
+  return out;
+}
+
+}  // namespace perfq::trace

@@ -1,0 +1,152 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace perfq::trace {
+namespace {
+
+// On-disk record layout (little-endian, packed by hand to stay portable).
+struct DiskRecord {
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint8_t tcp_flags;
+  std::uint8_t ip_ttl;
+  std::uint8_t pad = 0;
+  std::uint32_t pkt_len;
+  std::uint32_t payload_len;
+  std::uint32_t tcp_seq;
+  std::uint32_t pkt_path;
+  std::uint64_t pkt_uniq;
+  std::uint32_t qid;
+  std::uint32_t qsize;
+  std::int64_t tin_ns;
+  std::int64_t tout_ns;
+};
+static_assert(sizeof(DiskRecord) == 64, "trace record layout drifted");
+
+DiskRecord to_disk(const PacketRecord& rec) {
+  DiskRecord d{};
+  d.src_ip = rec.pkt.flow.src_ip;
+  d.dst_ip = rec.pkt.flow.dst_ip;
+  d.src_port = rec.pkt.flow.src_port;
+  d.dst_port = rec.pkt.flow.dst_port;
+  d.proto = rec.pkt.flow.proto;
+  d.tcp_flags = rec.pkt.tcp_flags;
+  d.ip_ttl = rec.pkt.ip_ttl;
+  d.pkt_len = rec.pkt.pkt_len;
+  d.payload_len = rec.pkt.payload_len;
+  d.tcp_seq = rec.pkt.tcp_seq;
+  d.pkt_path = rec.pkt.pkt_path;
+  d.pkt_uniq = rec.pkt.pkt_uniq;
+  d.qid = rec.qid;
+  d.qsize = rec.qsize;
+  d.tin_ns = rec.tin.count();
+  d.tout_ns = rec.tout.count();
+  return d;
+}
+
+PacketRecord from_disk(const DiskRecord& d) {
+  PacketRecord rec;
+  rec.pkt.flow =
+      FiveTuple{d.src_ip, d.dst_ip, d.src_port, d.dst_port, d.proto};
+  rec.pkt.tcp_flags = d.tcp_flags;
+  rec.pkt.ip_ttl = d.ip_ttl;
+  rec.pkt.pkt_len = d.pkt_len;
+  rec.pkt.payload_len = d.payload_len;
+  rec.pkt.tcp_seq = d.tcp_seq;
+  rec.pkt.pkt_path = d.pkt_path;
+  rec.pkt.pkt_uniq = d.pkt_uniq;
+  rec.qid = d.qid;
+  rec.qsize = d.qsize;
+  rec.tin = Nanos{d.tin_ns};
+  rec.tout = Nanos{d.tout_ns};
+  return rec;
+}
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t count;
+};
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw ConfigError{"TraceWriter: cannot open " + path.string()};
+  const Header hdr{kTraceMagic, kTraceVersion, 0};
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw (Core Guidelines C.36); a failed close is
+    // surfaced when close() is called explicitly.
+  }
+}
+
+void TraceWriter::write(const PacketRecord& rec) {
+  check(!closed_, "TraceWriter: write after close");
+  const DiskRecord d = to_disk(rec);
+  out_.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(0);
+  const Header hdr{kTraceMagic, kTraceVersion, count_};
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out_.flush();
+  if (!out_) throw ConfigError{"TraceWriter: write failure on close"};
+}
+
+TraceReader::TraceReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw ConfigError{"TraceReader: cannot open " + path.string()};
+  Header hdr{};
+  in_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in_ || hdr.magic != kTraceMagic) {
+    throw ConfigError{"TraceReader: not a PQTR trace: " + path.string()};
+  }
+  if (hdr.version != kTraceVersion) {
+    throw ConfigError{"TraceReader: unsupported trace version " +
+                      std::to_string(hdr.version)};
+  }
+  total_ = hdr.count;
+}
+
+std::optional<PacketRecord> TraceReader::next() {
+  if (read_ >= total_) return std::nullopt;
+  DiskRecord d{};
+  in_.read(reinterpret_cast<char*>(&d), sizeof(d));
+  if (!in_) throw ConfigError{"TraceReader: truncated trace file"};
+  ++read_;
+  return from_disk(d);
+}
+
+void write_trace(const std::filesystem::path& path,
+                 const std::vector<PacketRecord>& records) {
+  TraceWriter writer(path);
+  for (const auto& rec : records) writer.write(rec);
+  writer.close();
+}
+
+std::vector<PacketRecord> read_trace(const std::filesystem::path& path) {
+  TraceReader reader(path);
+  std::vector<PacketRecord> out;
+  out.reserve(reader.record_count());
+  while (auto rec = reader.next()) out.push_back(*rec);
+  return out;
+}
+
+}  // namespace perfq::trace

@@ -1,0 +1,60 @@
+// Binary trace file format ("PQTR"): store and replay PacketRecord streams.
+//
+// Lets examples persist generated workloads and rerun queries over the exact
+// same packets, the way the paper replays one CAIDA trace across all cache
+// configurations. Fixed-width little-endian records; version-checked header.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "packet/record.hpp"
+
+namespace perfq::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x50515452;  // "PQTR"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(const std::filesystem::path& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const PacketRecord& rec);
+
+  /// Finalize the header (record count); called by the destructor too.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::filesystem::path& path);
+
+  [[nodiscard]] std::optional<PacketRecord> next();
+  [[nodiscard]] std::uint64_t record_count() const { return total_; }
+  [[nodiscard]] std::uint64_t records_read() const { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Round-trip helpers.
+void write_trace(const std::filesystem::path& path,
+                 const std::vector<PacketRecord>& records);
+[[nodiscard]] std::vector<PacketRecord> read_trace(const std::filesystem::path& path);
+
+}  // namespace perfq::trace

@@ -1,0 +1,132 @@
+// Baseline data structures (exact table, sampled NetFlow, Count-Min sketch)
+// and the §3.3/§4 hardware arithmetic.
+#include <gtest/gtest.h>
+
+#include "analysis/area_model.hpp"
+#include "baselines/cms.hpp"
+#include "baselines/netflow.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq {
+namespace {
+
+TEST(ExactFlowTable, CountsExactly) {
+  baselines::ExactFlowTable table;
+  const auto records = trace::round_robin_records(100, 10);
+  for (const auto& rec : records) table.process(rec);
+  EXPECT_EQ(table.flows(), 10u);
+  const auto* c = table.lookup(records[0].pkt.flow);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->packets, 10u);
+}
+
+TEST(ExactFlowTable, MemoryGrowsWithFlows) {
+  baselines::ExactFlowTable table;
+  for (const auto& rec : trace::round_robin_records(8192, 8192)) {
+    table.process(rec);
+  }
+  EXPECT_NEAR(table.required_mbits(128), 1.0, 1e-9);  // 8192*128b = 1 Mbit
+}
+
+TEST(SampledFlowTable, EstimatesScaleBySamplingRate) {
+  baselines::SampledFlowTable table(10, /*seed=*/3);
+  const auto records = trace::round_robin_records(100000, 4);
+  for (const auto& rec : records) table.process(rec);
+  // Each flow has 25000 packets; the 1-in-10 estimate should be close.
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    const double est = table.estimate_packets(records[f].pkt.flow);
+    EXPECT_NEAR(est, 25000.0, 2500.0);
+  }
+}
+
+TEST(SampledFlowTable, MissesMiceFlows) {
+  baselines::SampledFlowTable table(1000, /*seed=*/4);
+  // 500 flows x 1 packet: at 1-in-1000 most flows are never sampled.
+  for (const auto& rec : trace::round_robin_records(500, 500)) {
+    table.process(rec);
+  }
+  EXPECT_LT(table.flows_observed(), 10u);
+}
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  baselines::CountMinSketch sketch(4, 256, 7);
+  const auto records = trace::zipf_records(20000, 500, 1.1, 5);
+  std::unordered_map<FiveTuple, std::uint64_t> truth;
+  for (const auto& rec : records) {
+    sketch.add(rec.pkt.flow);
+    ++truth[rec.pkt.flow];
+  }
+  for (const auto& [flow, count] : truth) {
+    EXPECT_GE(sketch.estimate(flow), count);
+  }
+}
+
+TEST(CountMinSketch, ConservativeUpdateTightens) {
+  baselines::CountMinSketch plain(4, 128, 7, false);
+  baselines::CountMinSketch conservative(4, 128, 7, true);
+  const auto records = trace::zipf_records(20000, 2000, 1.0, 6);
+  std::unordered_map<FiveTuple, std::uint64_t> truth;
+  for (const auto& rec : records) {
+    plain.add(rec.pkt.flow);
+    conservative.add(rec.pkt.flow);
+    ++truth[rec.pkt.flow];
+  }
+  double err_plain = 0.0;
+  double err_cons = 0.0;
+  for (const auto& [flow, count] : truth) {
+    err_plain += static_cast<double>(plain.estimate(flow) - count);
+    err_cons += static_cast<double>(conservative.estimate(flow) - count);
+    EXPECT_GE(conservative.estimate(flow), count);
+  }
+  EXPECT_LE(err_cons, err_plain);
+}
+
+TEST(CountMinSketch, ErrorShrinksWithWidth) {
+  const auto records = trace::zipf_records(50000, 5000, 1.0, 8);
+  double prev_err = 1e18;
+  for (const std::size_t width : {64u, 512u, 4096u}) {
+    baselines::CountMinSketch sketch(3, width, 9);
+    std::unordered_map<FiveTuple, std::uint64_t> truth;
+    for (const auto& rec : records) {
+      sketch.add(rec.pkt.flow);
+      ++truth[rec.pkt.flow];
+    }
+    double err = 0.0;
+    for (const auto& [flow, count] : truth) {
+      err += static_cast<double>(sketch.estimate(flow) - count);
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+// ------------------------------------------------------------- analysis ----
+
+TEST(AreaModel, PaperClaimsReproduced) {
+  const analysis::AreaModel model;
+  // "a 32-Mbit SRAM cache occupies < 2.5% of the die area"
+  EXPECT_LT(model.area_fraction(32.0), 0.025);
+  EXPECT_GT(model.area_fraction(32.0), 0.02);
+  // "3.8M unique 5-tuples; ... a 486-Mbit cache for a prohibitive 38%"
+  const double mbits = analysis::AreaModel::required_mbits(3'800'000, 128);
+  EXPECT_NEAR(mbits, 464.0, 25.0);  // paper rounds to 486 Mbit
+  EXPECT_NEAR(model.area_fraction(486.0), 0.38, 0.04);
+}
+
+TEST(WorkloadModel, TwentyTwoMillionPacketsPerSecond) {
+  const analysis::DatacenterWorkloadModel model;
+  // "a switch processing a billion 64-byte packets per second (1 GHz) will
+  // process 22.6M average-sized packets per second"
+  EXPECT_NEAR(model.avg_pkts_per_sec(), 22.6e6, 0.3e6);
+  // "the eviction rate of the 8-way associative cache at ... 32 Mbits is
+  // 3.55% ... the absolute eviction rate is 802K writes per second"
+  EXPECT_NEAR(model.evictions_per_sec(0.0355), 802e3, 15e3);
+}
+
+TEST(BackingStoreCapacity, EvictionRateFitsFewCores) {
+  const analysis::BackingStoreCapacity capacity;
+  EXPECT_LT(capacity.cores_needed(802e3), 8.0);
+}
+
+}  // namespace
+}  // namespace perfq

@@ -1,0 +1,211 @@
+// Foundation utilities: hashing, RNG/distributions, stats, tables, time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time.hpp"
+
+namespace perfq {
+namespace {
+
+TEST(Time, LiteralsAndArithmetic) {
+  EXPECT_EQ((1_ms).count(), 1'000'000);
+  EXPECT_EQ((2_s + 500_ms).count(), 2'500'000'000LL);
+  EXPECT_EQ((1_us - 1000_ns).count(), 0);
+  EXPECT_TRUE(Nanos::infinity().is_infinite());
+  EXPECT_LT(1_ms, 1_s);
+  EXPECT_DOUBLE_EQ(to_seconds(1500_ms), 1.5);
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(Nanos{42}), "42 ns");
+  EXPECT_EQ(to_string(1_ms), "1.000 ms");
+  EXPECT_EQ(to_string(Nanos::infinity()), "inf");
+}
+
+TEST(Hash, DeterministicAndSeedSensitive) {
+  const std::string data = "performance query";
+  const auto h1 = hash_string(data);
+  const auto h2 = hash_string(data);
+  const auto h3 = hash_string(data, 1);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(Hash, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip ~half the output bits.
+  std::array<std::byte, 16> data{};
+  const auto base = hash_bytes(data);
+  double total_flips = 0;
+  int trials = 0;
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = data;
+      copy[byte] ^= std::byte{static_cast<unsigned char>(1 << bit)};
+      const auto h = hash_bytes(copy);
+      total_flips += __builtin_popcountll(base ^ h);
+      ++trials;
+    }
+  }
+  const double avg = total_flips / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, LongInputsUseWideMixing) {
+  std::vector<std::byte> a(100, std::byte{1});
+  std::vector<std::byte> b = a;
+  b[57] = std::byte{2};
+  EXPECT_NE(hash_bytes(a), hash_bytes(b));
+}
+
+TEST(Hash, ReduceRangeIsUniformish) {
+  Rng rng(5);
+  std::array<std::uint64_t, 16> buckets{};
+  for (int i = 0; i < 160000; ++i) ++buckets[reduce_range(rng(), 16)];
+  for (const auto b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b), 10000.0, 500.0);
+  }
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(1);
+  Rng b(1);
+  Rng c(2);
+  EXPECT_EQ(a(), b());
+  EXPECT_NE(a(), c());
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng parent(9);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = rng.between(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.pareto(1.0, 1.2));
+  EXPECT_GT(stats.max(), 100.0);
+  EXPECT_NEAR(stats.mean(), 6.0, 1.5);  // alpha/(alpha-1) = 6
+}
+
+TEST(Zipf, SmallNMatchesExactPmf) {
+  Rng rng(7);
+  ZipfDistribution zipf(4, 1.0);
+  std::array<std::uint64_t, 4> counts{};
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  const double hn = 1.0 + 0.5 + 1.0 / 3 + 0.25;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double expected = (1.0 / static_cast<double>(k + 1)) / hn;
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, expected, 0.01) << k;
+  }
+}
+
+TEST(Zipf, LargeNUsesRejectionInversionAndStaysInRange) {
+  Rng rng(8);
+  ZipfDistribution zipf(10'000'000, 1.1);
+  std::uint64_t max_seen = 0;
+  std::uint64_t min_seen = ~std::uint64_t{0};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = zipf(rng);
+    max_seen = std::max(max_seen, v);
+    min_seen = std::min(min_seen, v);
+    ASSERT_LT(v, 10'000'000u);
+  }
+  EXPECT_EQ(min_seen, 0u) << "rank 0 dominates a Zipf(1.1)";
+  EXPECT_GT(max_seen, 10'000u) << "tail must be sampled";
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -1.0), std::invalid_argument);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Histogram, QuantilesInterpolate) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_EQ(h.underflow(), 0u);
+  h.add(-5);
+  h.add(1000);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(QuantileSample, NearestRank) {
+  QuantileSample q;
+  for (int i = 1; i <= 100; ++i) q.add(i);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.quantile(0.5), 50.0, 1.0);
+  EXPECT_THROW((void)q.quantile(1.5), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedAndCsv) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nx,1\nlonger,22\n");
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), std::logic_error);
+}
+
+TEST(Format, SiSuffixes) {
+  EXPECT_EQ(fmt_si(802'000.0), "802.00K");
+  EXPECT_EQ(fmt_si(22.6e6), "22.60M");
+  EXPECT_EQ(fmt_si(1.5e9), "1.50G");
+  EXPECT_EQ(fmt_percent(0.0355), "3.55%");
+}
+
+TEST(Error, HierarchyAndFormatting) {
+  const QueryError e{"parse", "bad token", 3, 7};
+  EXPECT_EQ(std::string{e.what()}, "parse error at 3:7: bad token");
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_THROW(check(false, "boom"), InternalError);
+  EXPECT_NO_THROW(check(true, "fine"));
+}
+
+}  // namespace
+}  // namespace perfq

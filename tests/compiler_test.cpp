@@ -1,0 +1,257 @@
+// Compiler lowering tests: scalar expressions, compiled fold kernels
+// (differential vs hand-written builtins), key packing, plan construction.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "compiler/program.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "lang/parser.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq::compiler {
+namespace {
+
+using lang::analyze_source;
+
+TEST(ScalarExpr, EvaluatesFieldArithmetic) {
+  const auto ast = lang::parse_expression("tout - tin > 500");
+  const ScalarExpr e = ScalarExpr::compile(*ast, base_record_resolver());
+  const auto fast =
+      trace::RecordBuilder{}.times(Nanos{100}, Nanos{400}).build();
+  const auto slow =
+      trace::RecordBuilder{}.times(Nanos{100}, Nanos{900}).build();
+  EXPECT_FALSE(e.eval_bool(RecordSource({&fast, 1})));
+  EXPECT_TRUE(e.eval_bool(RecordSource({&slow, 1})));
+}
+
+TEST(ScalarExpr, InfinityComparesEqualForDrops) {
+  const auto ast = lang::parse_expression("tout == infinity");
+  const ScalarExpr e = ScalarExpr::compile(*ast, base_record_resolver());
+  const auto dropped = trace::RecordBuilder{}.dropped_at(Nanos{5}).build();
+  const auto fine = trace::RecordBuilder{}.times(Nanos{5}, Nanos{9}).build();
+  EXPECT_TRUE(e.eval_bool(RecordSource({&dropped, 1})));
+  EXPECT_FALSE(e.eval_bool(RecordSource({&fine, 1})));
+}
+
+TEST(ScalarExpr, PrevReferencesReadTheWindow) {
+  const auto ast = lang::make_binary(lang::BinaryOp::kAdd,
+                                     lang::make_name("prev$tcpseq"),
+                                     lang::make_name("prev$payload_len"));
+  const ScalarExpr e = ScalarExpr::compile(*ast, base_record_resolver());
+  EXPECT_EQ(e.max_depth(), 1);
+  const std::vector<PacketRecord> window{
+      trace::RecordBuilder{}.seq(1000).len(154, 100).build(),
+      trace::RecordBuilder{}.seq(1100).len(154, 100).build(),
+  };
+  EXPECT_DOUBLE_EQ(e.eval(RecordSource({window.data(), window.size()})), 1100.0);
+}
+
+TEST(ScalarExpr, UnknownNameFailsAtCompileTime) {
+  const auto ast = lang::parse_expression("mystery + 1");
+  EXPECT_THROW((void)ScalarExpr::compile(*ast, base_record_resolver()),
+               QueryError);
+}
+
+TEST(ScalarExpr, RowSourceResolvesColumns) {
+  const auto ast = lang::parse_expression("a / b");
+  const Resolver resolver = [](const std::string& name) -> std::optional<Slot> {
+    if (name == "a") return Slot{0, 0};
+    if (name == "b") return Slot{0, 1};
+    return std::nullopt;
+  };
+  const ScalarExpr e = ScalarExpr::compile(*ast, resolver);
+  const std::vector<double> row{10.0, 4.0};
+  EXPECT_DOUBLE_EQ(e.eval(RowSource({row.data(), row.size()})), 2.5);
+}
+
+// ------------------------------------------------- compiled fold kernels --
+
+/// Differential check: a compiled fold must agree with a builtin kernel on
+/// every record of a random workload, both via update() and (when linear)
+/// via the affine transform path.
+void expect_kernels_agree(const kv::FoldKernel& compiled,
+                          const kv::FoldKernel& builtin,
+                          std::span<const PacketRecord> records) {
+  ASSERT_EQ(compiled.state_dims(), builtin.state_dims());
+  kv::StateVector sc = compiled.initial_state();
+  kv::StateVector sb = builtin.initial_state();
+  for (const auto& rec : records) {
+    compiled.update(sc, rec);
+    builtin.update(sb, rec);
+    for (std::size_t d = 0; d < sc.dims(); ++d) {
+      ASSERT_NEAR(sc[d], sb[d], 1e-9 * std::max(1.0, std::abs(sb[d])));
+    }
+  }
+}
+
+std::vector<PacketRecord> tcp_stream(std::uint64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PacketRecord> out;
+  std::uint32_t seq = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto payload = static_cast<std::uint32_t>(100 + rng.below(1000));
+    trace::RecordBuilder b;
+    b.flow_index(1).seq(seq).len(payload + 54, payload);
+    b.times(Nanos{static_cast<std::int64_t>(i * 1000)},
+            Nanos{static_cast<std::int64_t>(i * 1000 + 1 + rng.below(5000))});
+    b.queue(3, static_cast<std::uint32_t>(rng.below(200)));
+    if (rng.chance(0.1)) {
+      seq += payload + 37;  // out-of-seq gap
+    } else {
+      seq += payload;
+    }
+    out.push_back(b.build());
+  }
+  return out;
+}
+
+TEST(FoldCompiler, CompiledOutOfSeqMatchesBuiltin) {
+  const auto analysis = analyze_source(R"(
+def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple
+)");
+  const CompiledFoldKernel compiled(analysis.folds[0], {});
+  EXPECT_EQ(compiled.history_window(), 1u);
+  EXPECT_TRUE(kv::is_linear(compiled.linearity()));
+  expect_kernels_agree(compiled, kv::OutOfSeqKernel{}, tcp_stream(300, 11));
+}
+
+TEST(FoldCompiler, CompiledPercMatchesBuiltin) {
+  const auto analysis = analyze_source(R"(
+def perc ((tot, high), qin):
+    if qin > K: high = high + 1
+    tot = tot + 1
+
+SELECT qid, perc GROUPBY qid
+)",
+                                       {{"K", 100.0}});
+  const CompiledFoldKernel compiled(analysis.folds[0], {});
+  EXPECT_EQ(compiled.linearity(), kv::Linearity::kLinearConstA);
+  expect_kernels_agree(compiled, kv::HighPercentileKernel{100.0},
+                       tcp_stream(300, 12));
+}
+
+TEST(FoldCompiler, CompiledNonMonotonicMatchesBuiltin) {
+  const auto analysis = analyze_source(R"(
+def nonmt ((maxseq, nm_count), (tcpseq)):
+    if maxseq > tcpseq: nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple
+)");
+  const CompiledFoldKernel compiled(analysis.folds[0], {});
+  EXPECT_EQ(compiled.linearity(), kv::Linearity::kNotLinear);
+  expect_kernels_agree(compiled, kv::NonMonotonicKernel{}, tcp_stream(300, 13));
+}
+
+TEST(FoldCompiler, TransformSelfConsistencyOnCompiledFolds) {
+  // Property sweep: compiled transform (A, B) must reproduce update() on
+  // every record, including predicated-coefficient folds.
+  const auto analysis = analyze_source(R"(
+def gear (acc, (pkt_len)):
+    if pkt_len > 500:
+        acc = 2 * acc
+    else:
+        acc = acc + 1
+
+SELECT 5tuple, gear GROUPBY 5tuple
+)");
+  const auto kernel = std::make_shared<CompiledFoldKernel>(analysis.folds[0],
+                                                           std::map<std::string,
+                                                                    const lang::Expr*>{});
+  EXPECT_EQ(kernel->linearity(), kv::Linearity::kLinear);
+  const auto records = tcp_stream(200, 17);
+  Rng rng(5);
+  for (const auto& rec : records) {
+    kv::StateVector s(1);
+    s[0] = static_cast<double>(rng.below(100));
+    EXPECT_TRUE(kv::transform_matches_update(*kernel, s, {&rec, 1}));
+  }
+}
+
+// --------------------------------------------------------- program plans --
+
+TEST(ProgramCompiler, PerFlowCountersPlan) {
+  const CompiledProgram p =
+      compile_source("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip");
+  ASSERT_EQ(p.switch_plans.size(), 1u);
+  const SwitchQueryPlan& plan = p.switch_plans[0];
+  EXPECT_FALSE(plan.prefilter.has_value());
+  EXPECT_EQ(plan.key.size(), 2u);
+  EXPECT_EQ(plan.key_bytes(), 8);  // two 32-bit IPs
+  EXPECT_EQ(plan.kernel->state_dims(), 2u);
+  EXPECT_EQ(plan.linearity, kv::Linearity::kLinearConstA);
+  EXPECT_EQ(plan.value_columns,
+            (std::vector<std::string>{"COUNT", "SUM(pkt_len)"}));
+}
+
+TEST(ProgramCompiler, KeyPackUnpackRoundTrip) {
+  const CompiledProgram p = compile_source("SELECT COUNT GROUPBY 5tuple");
+  const SwitchQueryPlan& plan = p.switch_plans[0];
+  EXPECT_EQ(plan.key_bytes(), 13);  // 104 bits, §4's figure
+
+  const auto rec = trace::RecordBuilder{}.flow_index(77).build();
+  const kv::Key key = extract_key(plan, rec);
+  const std::vector<double> values = unpack_key(plan, key);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_DOUBLE_EQ(values[0], static_cast<double>(rec.pkt.flow.src_ip));
+  EXPECT_DOUBLE_EQ(values[1], static_cast<double>(rec.pkt.flow.dst_ip));
+  EXPECT_DOUBLE_EQ(values[2], static_cast<double>(rec.pkt.flow.src_port));
+  EXPECT_DOUBLE_EQ(values[3], static_cast<double>(rec.pkt.flow.dst_port));
+  EXPECT_DOUBLE_EQ(values[4], static_cast<double>(rec.pkt.flow.proto));
+}
+
+TEST(ProgramCompiler, WherePushedIntoPrefilter) {
+  const CompiledProgram p =
+      compile_source("SELECT COUNT GROUPBY 5tuple WHERE proto == TCP");
+  ASSERT_TRUE(p.switch_plans[0].prefilter.has_value());
+  const auto tcp = trace::RecordBuilder{}.flow_index(1).build();
+  auto udp_rec = trace::RecordBuilder{}.flow_index(2).build();
+  udp_rec.pkt.flow.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+  EXPECT_TRUE(p.switch_plans[0].prefilter->eval_bool(RecordSource({&tcp, 1})));
+  EXPECT_FALSE(p.switch_plans[0].prefilter->eval_bool(RecordSource({&udp_rec, 1})));
+}
+
+TEST(ProgramCompiler, SelectChainComposesIntoPlan) {
+  // A SELECT renaming/filtering between T and the GROUPBY must fold into the
+  // plan: filter conjunction + projected fold argument.
+  const CompiledProgram p = compile_source(R"(
+R0 = SELECT srcip, dstip, srcport, dstport, proto, pkt_len FROM T WHERE pkt_len > 100
+R1 = SELECT COUNT, SUM(pkt_len) FROM R0 GROUPBY 5tuple WHERE proto == TCP
+)");
+  ASSERT_EQ(p.switch_plans.size(), 1u);
+  const SwitchQueryPlan& plan = p.switch_plans[0];
+  ASSERT_TRUE(plan.prefilter.has_value());
+  auto small = trace::RecordBuilder{}.flow_index(1).len(64, 10).build();
+  auto large = trace::RecordBuilder{}.flow_index(1).len(500, 446).build();
+  EXPECT_FALSE(plan.prefilter->eval_bool(RecordSource({&small, 1})));
+  EXPECT_TRUE(plan.prefilter->eval_bool(RecordSource({&large, 1})));
+}
+
+TEST(ProgramCompiler, StreamSelectCompiles) {
+  const CompiledProgram p = compile_source(
+      "SELECT srcip, qid FROM T WHERE tout - tin > 1ms");
+  EXPECT_TRUE(p.switch_plans.empty());
+  const CompiledStreamSelect sink = compile_stream_select(p.analysis, 0);
+  ASSERT_TRUE(sink.filter.has_value());
+  ASSERT_EQ(sink.projections.size(), 2u);
+  EXPECT_EQ(sink.projections[0].first, "srcip");
+}
+
+TEST(ProgramCompiler, SubstituteNamesHandlesPrev) {
+  const auto binding = lang::parse_expression("tcpseq + 1");
+  const std::map<std::string, const lang::Expr*> bindings{
+      {"myseq", binding.get()}};
+  // "prev$" names are internal (not lexable); build the expression directly.
+  const auto expr = lang::make_binary(lang::BinaryOp::kAdd,
+                                      lang::make_name("prev$myseq"),
+                                      lang::make_name("myseq"));
+  const auto out = substitute_names(*expr, bindings);
+  EXPECT_EQ(lang::to_string(*out), "prev$tcpseq + 1 + (tcpseq + 1)");
+}
+
+}  // namespace
+}  // namespace perfq::compiler

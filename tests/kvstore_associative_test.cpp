@@ -1,0 +1,125 @@
+// Associative-merge extension: exact merging for non-linear semilattice
+// folds (per-key max/min), beyond §3.2's linear-in-state condition.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/kvstore.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq::kv {
+namespace {
+
+Key key_for(const PacketRecord& rec) {
+  const auto bytes = rec.pkt.flow.to_bytes();
+  return Key{std::span<const std::byte>{bytes.data(), bytes.size()}};
+}
+
+std::vector<PacketRecord> workload(std::uint64_t n, std::uint32_t flows,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PacketRecord> out;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(trace::RecordBuilder{}
+                      .flow_index(static_cast<std::uint32_t>(rng.below(flows)))
+                      .queue(0, static_cast<std::uint32_t>(rng.below(500)))
+                      .seq(static_cast<std::uint32_t>(rng.below(1u << 30)))
+                      .times(Nanos{static_cast<std::int64_t>(i)},
+                             Nanos{static_cast<std::int64_t>(
+                                 i + 1 + rng.below(10000))})
+                      .build());
+  }
+  return out;
+}
+
+class ExtremumMergeTest
+    : public ::testing::TestWithParam<ExtremumKernel::Mode> {};
+
+TEST_P(ExtremumMergeTest, ExactUnderHeavyEviction) {
+  auto kernel = std::make_shared<ExtremumKernel>(FieldId::kQsize, GetParam());
+  ASSERT_EQ(kernel->linearity(), Linearity::kNotLinear);
+  ASSERT_TRUE(kernel->has_associative_merge());
+
+  KeyValueStore split(CacheGeometry{1, 1}, kernel);  // single slot: maximum churn
+  ReferenceStore reference(kernel);
+  for (const auto& rec : workload(5000, 64, 5)) {
+    split.process(key_for(rec), rec);
+    reference.process(key_for(rec), rec);
+  }
+  split.flush(Nanos{1});
+  EXPECT_GT(split.cache().stats().evictions, 4000u);
+
+  std::size_t checked = 0;
+  reference.for_each([&](const Key& key, const StateVector& want) {
+    const StateVector* got = split.read(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ((*got)[0], want[0]);
+    ++checked;
+  });
+  EXPECT_EQ(checked, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ExtremumMergeTest,
+    ::testing::Values(ExtremumKernel::Mode::kMax, ExtremumKernel::Mode::kMin),
+    [](const ::testing::TestParamInfo<ExtremumKernel::Mode>& p) {
+      return p.param == ExtremumKernel::Mode::kMax ? "max" : "min";
+    });
+
+TEST(AssociativeMerge, AllKeysStayValid) {
+  // Unlike segment-tracked non-linear folds, associative folds never go
+  // invalid: every key has one exact value.
+  auto kernel =
+      std::make_shared<ExtremumKernel>(FieldId::kTcpSeq, ExtremumKernel::Mode::kMax);
+  KeyValueStore split(CacheGeometry{1, 1}, kernel);
+  for (const auto& rec : workload(500, 16, 9)) split.process(key_for(rec), rec);
+  split.flush(Nanos{1});
+  EXPECT_DOUBLE_EQ(split.backing().accuracy().accuracy(), 1.0);
+  for (std::uint32_t f = 0; f < 16; ++f) {
+    const auto rec = trace::RecordBuilder{}.flow_index(f).build();
+    EXPECT_TRUE(split.backing().valid(key_for(rec)));
+  }
+}
+
+TEST(AssociativeMerge, IdentityElementIsInitialState) {
+  // The merge contract requires initial_state() to be the identity: merging
+  // a fresh epoch's value into it must be a no-op on the other operand.
+  const ExtremumKernel max_kernel(FieldId::kQsize, ExtremumKernel::Mode::kMax);
+  StateVector identity = max_kernel.initial_state();
+  StateVector value(1);
+  value[0] = 42.0;
+  max_kernel.merge_values(identity, value);
+  EXPECT_DOUBLE_EQ(identity[0], 42.0);
+}
+
+TEST(AssociativeMerge, KernelsWithoutMergeStillThrow) {
+  const NonMonotonicKernel nonmt;
+  StateVector a(2);
+  StateVector b(2);
+  EXPECT_FALSE(nonmt.has_associative_merge());
+  EXPECT_THROW(nonmt.merge_values(a, b), InternalError);
+}
+
+TEST(AssociativeMerge, MinLatencyAcrossQueues) {
+  // Realistic use: min per-packet latency a flow ever saw (the "best case"
+  // a path can deliver), exact despite eviction.
+  auto kernel =
+      std::make_shared<ExtremumKernel>(FieldId::kTout, ExtremumKernel::Mode::kMin);
+  KeyValueStore split(CacheGeometry::set_associative(8, 2), kernel);
+  ReferenceStore reference(kernel);
+  for (const auto& rec : workload(2000, 40, 13)) {
+    split.process(key_for(rec), rec);
+    reference.process(key_for(rec), rec);
+  }
+  split.flush(Nanos{1});
+  reference.for_each([&](const Key& key, const StateVector& want) {
+    const StateVector* got = split.read(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ((*got)[0], want[0]);
+  });
+}
+
+}  // namespace
+}  // namespace perfq::kv

@@ -1,0 +1,193 @@
+// Cache mechanics: geometries, LRU behaviour, eviction accounting (Fig. 4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/cache.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq::kv {
+namespace {
+
+Key key_of(std::uint32_t flow) {
+  const auto rec = trace::RecordBuilder{}.flow_index(flow).build();
+  const auto bytes = rec.pkt.flow.to_bytes();
+  return Key{std::span<const std::byte>{bytes.data(), bytes.size()}};
+}
+
+PacketRecord rec_of(std::uint32_t flow, std::int64_t t = 0) {
+  return trace::RecordBuilder{}
+      .flow_index(flow)
+      .times(Nanos{t}, Nanos{t + 100})
+      .build();
+}
+
+std::shared_ptr<const FoldKernel> count_kernel() {
+  return std::make_shared<CountKernel>();
+}
+
+TEST(CacheGeometry, ThreePaperGeometries) {
+  const auto hash = CacheGeometry::hash_table(1024);
+  EXPECT_EQ(hash.num_buckets, 1024u);
+  EXPECT_EQ(hash.associativity, 1u);
+
+  const auto full = CacheGeometry::fully_associative(1024);
+  EXPECT_EQ(full.num_buckets, 1u);
+  EXPECT_EQ(full.associativity, 1024u);
+
+  const auto eight = CacheGeometry::set_associative(1024, 8);
+  EXPECT_EQ(eight.num_buckets, 128u);
+  EXPECT_EQ(eight.associativity, 8u);
+  EXPECT_EQ(eight.total_slots(), 1024u);
+}
+
+TEST(CacheGeometry, PaperPairArithmetic) {
+  // §4: 128-bit pairs; 8 Mbit = 2^16 pairs ... 256 Mbit = 2^21 pairs.
+  EXPECT_EQ(pairs_for_mbits(8.0, 128), 1u << 16);
+  EXPECT_EQ(pairs_for_mbits(32.0, 128), 1u << 18);
+  EXPECT_EQ(pairs_for_mbits(256.0, 128), 1u << 21);
+  EXPECT_DOUBLE_EQ(mbits_for_pairs(1u << 18, 128), 32.0);
+}
+
+TEST(CacheGeometry, InvalidConfigsRejected) {
+  EXPECT_THROW((void)CacheGeometry::hash_table(0), ConfigError);
+  EXPECT_THROW((void)CacheGeometry::set_associative(10, 3), ConfigError);
+  EXPECT_THROW((void)CacheGeometry::fully_associative(0), ConfigError);
+}
+
+TEST(Cache, HitsAndInitializations) {
+  Cache cache(CacheGeometry::fully_associative(4), count_kernel());
+  cache.process(key_of(1), rec_of(1));
+  cache.process(key_of(1), rec_of(1));
+  cache.process(key_of(2), rec_of(2));
+  EXPECT_EQ(cache.stats().packets, 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().initializations, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.occupancy(), 2u);
+  const auto v = cache.peek(key_of(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ((*v)[0], 2.0);
+}
+
+TEST(Cache, FullyAssociativeEvictsGlobalLru) {
+  Cache cache(CacheGeometry::fully_associative(2), count_kernel());
+  std::vector<Key> evicted;
+  cache.set_eviction_sink([&](EvictedValue&& ev) { evicted.push_back(ev.key); });
+
+  cache.process(key_of(1), rec_of(1));  // LRU order: 1
+  cache.process(key_of(2), rec_of(2));  // 1, 2
+  cache.process(key_of(1), rec_of(1));  // 2, 1 (1 refreshed)
+  cache.process(key_of(3), rec_of(3));  // evicts 2
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key_of(2));
+  EXPECT_TRUE(cache.peek(key_of(1)).has_value());
+  EXPECT_TRUE(cache.peek(key_of(3)).has_value());
+  EXPECT_FALSE(cache.peek(key_of(2)).has_value());
+}
+
+TEST(Cache, HashTableEvictsOnCollision) {
+  // m = 1: any two keys mapping to one bucket collide; with 1 bucket every
+  // distinct key evicts the previous one.
+  Cache cache(CacheGeometry{1, 1}, count_kernel());
+  std::uint64_t evictions = 0;
+  cache.set_eviction_sink([&](EvictedValue&&) { ++evictions; });
+  cache.process(key_of(1), rec_of(1));
+  cache.process(key_of(2), rec_of(2));
+  cache.process(key_of(1), rec_of(1));
+  EXPECT_EQ(evictions, 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(Cache, EvictedValueCarriesEpochMetadata) {
+  Cache cache(CacheGeometry::fully_associative(1), count_kernel());
+  std::vector<EvictedValue> evicted;
+  cache.set_eviction_sink([&](EvictedValue&& ev) {
+    evicted.push_back(std::move(ev));
+  });
+  cache.process(key_of(7), rec_of(7, 1000));
+  cache.process(key_of(7), rec_of(7, 2000));
+  cache.process(key_of(8), rec_of(8, 3000));  // evicts 7
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key, key_of(7));
+  EXPECT_EQ(evicted[0].packets, 2u);
+  EXPECT_DOUBLE_EQ(evicted[0].state[0], 2.0);
+  EXPECT_EQ(evicted[0].first_tin, Nanos{1000});
+  EXPECT_EQ(evicted[0].evict_time, Nanos{3000});
+  EXPECT_FALSE(evicted[0].final_flush);
+}
+
+TEST(Cache, FlushEmitsEverythingAndMarksFinal) {
+  // Fully associative so 5 keys can never collide into capacity evictions.
+  Cache cache(CacheGeometry::fully_associative(8), count_kernel());
+  std::uint64_t flushed = 0;
+  cache.set_eviction_sink([&](EvictedValue&& ev) {
+    if (ev.final_flush) ++flushed;
+  });
+  for (std::uint32_t f = 0; f < 5; ++f) cache.process(key_of(f), rec_of(f));
+  cache.flush(Nanos{99});
+  EXPECT_EQ(flushed, 5u);
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 5u);
+}
+
+TEST(Cache, ReinsertAfterEvictionStartsFreshEpoch) {
+  // §3.2: "a subsequent packet from the evicted key is treated as a packet
+  // from a new key".
+  Cache cache(CacheGeometry{1, 1}, count_kernel());
+  cache.set_eviction_sink([](EvictedValue&&) {});
+  cache.process(key_of(1), rec_of(1));
+  cache.process(key_of(1), rec_of(1));
+  cache.process(key_of(2), rec_of(2));  // evicts 1 (count 2)
+  cache.process(key_of(1), rec_of(1));  // fresh epoch
+  const auto v = cache.peek(key_of(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ((*v)[0], 1.0);
+}
+
+TEST(Cache, SetAssociativeIsolatesBuckets) {
+  // With many buckets and few keys per bucket, no evictions occur until a
+  // specific bucket overflows; filling m+1 keys of one bucket must evict
+  // exactly one entry, and only from that bucket.
+  const CacheGeometry geom = CacheGeometry::set_associative(64, 4);
+  auto kernel = count_kernel();
+  Cache cache(geom, kernel, /*hash_seed=*/42);
+
+  // Find 5 keys landing in the same bucket.
+  std::vector<std::uint32_t> same_bucket;
+  std::uint64_t target_bucket = 0;
+  for (std::uint32_t f = 0; same_bucket.size() < 5 && f < 100000; ++f) {
+    const std::uint64_t b = reduce_range(key_of(f).hash(42), geom.num_buckets);
+    if (same_bucket.empty()) {
+      target_bucket = b;
+      same_bucket.push_back(f);
+    } else if (b == target_bucket) {
+      same_bucket.push_back(f);
+    }
+  }
+  ASSERT_EQ(same_bucket.size(), 5u);
+
+  std::uint64_t evictions = 0;
+  cache.set_eviction_sink([&](EvictedValue&&) { ++evictions; });
+  for (const auto f : same_bucket) cache.process(key_of(f), rec_of(f));
+  EXPECT_EQ(evictions, 1u) << "bucket overflow must evict exactly its LRU";
+  EXPECT_FALSE(cache.peek(key_of(same_bucket[0])).has_value())
+      << "oldest key in the bucket is the victim";
+}
+
+TEST(Cache, RejectsNullKernel) {
+  EXPECT_THROW(Cache(CacheGeometry::fully_associative(2), nullptr), ConfigError);
+}
+
+TEST(Cache, EvictionFractionMatchesCounts) {
+  Cache cache(CacheGeometry{1, 1}, count_kernel());
+  cache.set_eviction_sink([](EvictedValue&&) {});
+  for (std::uint32_t i = 0; i < 10; ++i) cache.process(key_of(i), rec_of(i));
+  // 10 packets, 9 evictions (first init does not evict).
+  EXPECT_DOUBLE_EQ(cache.stats().eviction_fraction(), 0.9);
+}
+
+}  // namespace
+}  // namespace perfq::kv

@@ -1,0 +1,116 @@
+// Parameterized invariant sweeps over the cache: accounting identities that
+// must hold for EVERY (geometry, policy, workload skew) combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "kvstore/builtin_folds.hpp"
+#include "kvstore/kvstore.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq::kv {
+namespace {
+
+struct SweepCase {
+  std::string name;
+  CacheGeometry geometry;
+  EvictionPolicy policy;
+  double zipf_s;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> out;
+  const std::vector<std::pair<std::string, CacheGeometry>> geometries{
+      {"hash64", CacheGeometry::hash_table(64)},
+      {"full64", CacheGeometry::fully_associative(64)},
+      {"way4x16", CacheGeometry::set_associative(64, 4)},
+      {"way8x4", CacheGeometry::set_associative(32, 8)},
+      {"single", CacheGeometry{1, 1}},
+  };
+  const std::vector<std::pair<std::string, EvictionPolicy>> policies{
+      {"lru", EvictionPolicy::kLru},
+      {"fifo", EvictionPolicy::kFifo},
+      {"rand", EvictionPolicy::kRandom},
+  };
+  for (const auto& [gn, g] : geometries) {
+    for (const auto& [pn, p] : policies) {
+      for (const double s : {0.0, 1.1}) {
+        out.push_back(
+            SweepCase{gn + "_" + pn + (s == 0.0 ? "_uniform" : "_zipf"), g, p, s});
+      }
+    }
+  }
+  return out;
+}
+
+class CacheInvariantTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CacheInvariantTest, AccountingIdentitiesHold) {
+  const SweepCase& c = GetParam();
+  auto kernel = std::make_shared<CountKernel>();
+  Cache cache(c.geometry, kernel, 0xABCD, c.policy);
+
+  std::uint64_t sink_events = 0;
+  double evicted_count_sum = 0.0;
+  cache.set_eviction_sink([&](EvictedValue&& ev) {
+    ++sink_events;
+    evicted_count_sum += ev.state[0];
+    EXPECT_GT(ev.packets, 0u);
+    EXPECT_LE(ev.first_tin, ev.evict_time);
+  });
+
+  const auto records = trace::zipf_records(8000, 300, c.zipf_s, 17);
+  for (const auto& rec : records) {
+    const auto bytes = rec.pkt.flow.to_bytes();
+    cache.process(
+        Key{std::span<const std::byte>{bytes.data(), bytes.size()}}, rec);
+  }
+
+  const CacheStats& s = cache.stats();
+  // Identity 1: every packet is a hit or an initialization.
+  EXPECT_EQ(s.hits + s.initializations, s.packets);
+  EXPECT_EQ(s.packets, records.size());
+  // Identity 2: occupancy = installs - departures.
+  EXPECT_EQ(cache.occupancy(), s.initializations - s.evictions);
+  // Identity 3: occupancy bounded by capacity.
+  EXPECT_LE(cache.occupancy(), c.geometry.total_slots());
+  // Identity 4: sink saw exactly the capacity evictions so far.
+  EXPECT_EQ(sink_events, s.evictions);
+
+  cache.flush(Nanos{std::int64_t{1} << 60});
+  // Identity 5: after flush everything left through the sink, and the per-
+  // key counts sum to the total packet count (conservation of packets).
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_EQ(sink_events, s.evictions + s.flushes);
+  EXPECT_DOUBLE_EQ(evicted_count_sum, static_cast<double>(records.size()));
+}
+
+TEST_P(CacheInvariantTest, SplitStoreConservesPacketsEndToEnd) {
+  const SweepCase& c = GetParam();
+  auto kernel = std::make_shared<CountKernel>();
+  KeyValueStore store(c.geometry, kernel, 0xABCD, c.policy);
+  const auto records = trace::zipf_records(6000, 200, c.zipf_s, 29);
+  for (const auto& rec : records) {
+    const auto bytes = rec.pkt.flow.to_bytes();
+    store.process(Key{std::span<const std::byte>{bytes.data(), bytes.size()}},
+                  rec);
+  }
+  store.flush(Nanos{std::int64_t{1} << 60});
+  double total = 0.0;
+  store.backing().for_each(
+      [&](const Key&, const StateVector& v, bool) { total += v[0]; });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(records.size()))
+      << "merged per-key counts must sum to the packet count";
+  EXPECT_EQ(store.backing().writes(),
+            store.cache().stats().evictions + store.cache().stats().flushes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheInvariantTest,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const ::testing::TestParamInfo<SweepCase>& p) {
+                           return p.param.name;
+                         });
+
+}  // namespace
+}  // namespace perfq::kv

@@ -1,0 +1,205 @@
+// Parser + lexer tests over the query language, including every example
+// query from the paper (Figs. 1-2 and the inline §2 examples).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "lang/parser.hpp"
+
+namespace perfq::lang {
+namespace {
+
+TEST(Lexer, TimeSuffixesNormalizeToNanoseconds) {
+  const ExprPtr e = parse_expression("tout - tin > 1ms");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->op, BinaryOp::kGt);
+  EXPECT_EQ(e->rhs->kind, ExprKind::kNumber);
+  EXPECT_DOUBLE_EQ(e->rhs->number, 1e6);
+}
+
+TEST(Lexer, FiveTupleIsAnIdentifier) {
+  const ExprPtr e = parse_expression("5tuple");
+  EXPECT_EQ(e->kind, ExprKind::kName);
+  EXPECT_EQ(e->name, "5tuple");
+}
+
+TEST(Lexer, RejectsUnknownSuffix) {
+  EXPECT_THROW((void)parse_expression("3kg"), QueryError);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW((void)parse_expression("a $ b"), QueryError);
+}
+
+TEST(Parser, SelectWhereFromSection2) {
+  const Program p =
+      parse_program("SELECT srcip, qid FROM T WHERE tout - tin > 1ms");
+  ASSERT_EQ(p.queries.size(), 1u);
+  const QueryDef& q = p.queries[0];
+  EXPECT_EQ(q.kind, QueryDef::Kind::kSelect);
+  EXPECT_EQ(q.from, "T");
+  ASSERT_EQ(q.select_list.size(), 2u);
+  EXPECT_EQ(to_string(*q.select_list[0].expr), "srcip");
+  EXPECT_EQ(to_string(*q.where), "tout - tin > 1000000");
+}
+
+TEST(Parser, PerFlowCounters) {
+  const Program p =
+      parse_program("SELECT COUNT, SUM(pkt_len) GROUPBY srcip, dstip");
+  ASSERT_EQ(p.queries.size(), 1u);
+  const QueryDef& q = p.queries[0];
+  EXPECT_EQ(q.kind, QueryDef::Kind::kGroupBy);
+  ASSERT_EQ(q.groupby_fields.size(), 2u);
+  EXPECT_EQ(to_string(*q.groupby_fields[0]), "srcip");
+  EXPECT_EQ(to_string(*q.select_list[1].expr), "SUM(pkt_len)");
+}
+
+TEST(Parser, EwmaFoldDefinition) {
+  const Program p = parse_program(R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+)");
+  ASSERT_EQ(p.folds.size(), 1u);
+  const FoldDef& f = p.folds[0];
+  EXPECT_EQ(f.name, "ewma");
+  ASSERT_EQ(f.state_vars.size(), 1u);
+  EXPECT_EQ(f.state_vars[0], "lat_est");
+  ASSERT_EQ(f.packet_args.size(), 2u);
+  ASSERT_EQ(f.body.size(), 1u);
+  EXPECT_EQ(f.body[0].kind, Stmt::Kind::kAssign);
+  EXPECT_EQ(f.body[0].target, "lat_est");
+}
+
+TEST(Parser, OutOfSeqWithSingleLineIf) {
+  const Program p = parse_program(R"(
+def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple WHERE proto == TCP
+)");
+  ASSERT_EQ(p.folds.size(), 1u);
+  const FoldDef& f = p.folds[0];
+  ASSERT_EQ(f.state_vars.size(), 2u);
+  ASSERT_EQ(f.body.size(), 2u);
+  EXPECT_EQ(f.body[0].kind, Stmt::Kind::kIf);
+  ASSERT_EQ(f.body[0].then_body.size(), 1u);
+  EXPECT_TRUE(f.body[0].else_body.empty());
+  EXPECT_EQ(f.body[1].kind, Stmt::Kind::kAssign);
+  EXPECT_EQ(p.queries[0].kind, QueryDef::Kind::kGroupBy);
+  EXPECT_EQ(to_string(*p.queries[0].where), "proto == TCP");
+}
+
+TEST(Parser, IndentedIfElseBlocks) {
+  const Program p = parse_program(R"(
+def choosy (acc, (pkt_len)):
+    if pkt_len > 100:
+        acc = acc + pkt_len
+    else:
+        acc = acc + 1
+
+SELECT 5tuple, choosy GROUPBY 5tuple
+)");
+  const FoldDef& f = p.folds[0];
+  ASSERT_EQ(f.body.size(), 1u);
+  EXPECT_EQ(f.body[0].then_body.size(), 1u);
+  EXPECT_EQ(f.body[0].else_body.size(), 1u);
+}
+
+TEST(Parser, ComposedQueriesAndNames) {
+  const Program p = parse_program(R"(
+R1 = SELECT COUNT GROUPBY 5tuple
+R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
+R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple
+)");
+  ASSERT_EQ(p.queries.size(), 3u);
+  EXPECT_EQ(p.queries[0].result_name, "R1");
+  EXPECT_EQ(p.queries[1].kind, QueryDef::Kind::kGroupBy);
+  ASSERT_NE(p.queries[1].where, nullptr);
+  EXPECT_EQ(to_string(*p.queries[1].where), "tout == infinity");
+  const QueryDef& join = p.queries[2];
+  EXPECT_EQ(join.kind, QueryDef::Kind::kJoin);
+  EXPECT_EQ(join.join_left, "R1");
+  EXPECT_EQ(join.join_right, "R2");
+  ASSERT_EQ(join.join_keys.size(), 1u);
+  EXPECT_EQ(join.join_keys[0], "5tuple");
+  EXPECT_EQ(to_string(*join.select_list[0].expr), "R2.COUNT / R1.COUNT");
+}
+
+TEST(Parser, LowercaseKeywordsAccepted) {
+  // Fig. 2 writes "R1 = SELECT qid, perc groupby qid" and "from".
+  const Program p = parse_program(R"(
+def perc ((tot, high), qin):
+    if qin > 100: high = high + 1
+    tot = tot + 1
+
+R1 = select qid, perc groupby qid
+R2 = select * from R1 where perc.high / perc.tot > 0.01
+)");
+  ASSERT_EQ(p.queries.size(), 2u);
+  EXPECT_EQ(p.queries[0].kind, QueryDef::Kind::kGroupBy);
+  EXPECT_EQ(p.queries[1].kind, QueryDef::Kind::kSelect);
+  EXPECT_TRUE(p.queries[1].select_list[0].star);
+  EXPECT_EQ(to_string(*p.queries[1].where), "perc.high / perc.tot > 0.01");
+}
+
+TEST(Parser, HighLatencyComposition) {
+  const Program p = parse_program(R"(
+def sum_lat (lat, (tin, tout)): lat = lat + tout - tin
+
+R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq
+R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > 10ms
+)");
+  ASSERT_EQ(p.folds.size(), 1u);
+  ASSERT_EQ(p.folds[0].body.size(), 1u);
+  ASSERT_EQ(p.queries.size(), 2u);
+  EXPECT_EQ(p.queries[1].from, "R1");
+}
+
+TEST(Parser, ErrorsCarryLocations) {
+  try {
+    (void)parse_program("SELECT FROM T");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.stage(), "parse");
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(Parser, RejectsEmptyProgram) {
+  EXPECT_THROW((void)parse_program("   \n  # just a comment\n"), QueryError);
+}
+
+TEST(Parser, RejectsDanglingClause) {
+  EXPECT_THROW((void)parse_program("SELECT srcip FROM"), QueryError);
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* kSource = R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+R1 = SELECT 5tuple, ewma GROUPBY 5tuple WHERE proto == TCP
+)";
+  const Program p1 = parse_program(kSource);
+  const std::string printed = to_string(p1);
+  const Program p2 = parse_program(printed);
+  EXPECT_EQ(printed, to_string(p2)) << "printing is not a fixed point";
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const ExprPtr e = parse_expression("1 + 2 * 3 > 6 and proto == TCP");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->op, BinaryOp::kAnd);
+  EXPECT_EQ(to_string(*e), "1 + 2 * 3 > 6 and proto == TCP");
+}
+
+TEST(Parser, UnaryMinusAndNot) {
+  const ExprPtr e = parse_expression("not -x > 3");
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_TRUE(e->is_not);
+}
+
+}  // namespace
+}  // namespace perfq::lang

@@ -1,0 +1,201 @@
+// Network simulator tests: event ordering, queue/drop semantics, telemetry
+// record correctness, window-flow reliability, and incast dynamics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netsim/network.hpp"
+
+namespace perfq::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrderWithStableTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Nanos{10}, [&] { order.push_back(2); });
+  q.schedule(Nanos{5}, [&] { order.push_back(1); });
+  q.schedule(Nanos{10}, [&] { order.push_back(3); });  // tie: insertion order
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Nanos{10});
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Nanos{5}, [&] { ++fired; });
+  q.schedule(Nanos{15}, [&] { ++fired; });
+  q.run_until(Nanos{10});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Nanos{10});
+}
+
+struct TwoHosts {
+  Network net{42};
+  NodeId a, b, sw;
+  std::vector<PacketRecord> records;
+
+  explicit TwoHosts(std::uint32_t queue_cap = 16) {
+    a = net.add_host(ipv4_from_string("10.0.0.1"));
+    b = net.add_host(ipv4_from_string("10.0.0.2"));
+    sw = net.add_switch("s1");
+    LinkConfig link;
+    link.gbps = 10.0;
+    link.propagation = 1000_ns;
+    link.queue_capacity_pkts = queue_cap;
+    net.connect(a, sw, link);
+    net.connect(b, sw, link);
+    net.finalize_routes();
+    net.set_telemetry_sink(
+        [this](const PacketRecord& rec) { records.push_back(rec); });
+  }
+
+  [[nodiscard]] FiveTuple tuple(IpProto proto) const {
+    return FiveTuple{ipv4_from_string("10.0.0.1"), ipv4_from_string("10.0.0.2"),
+                     4000, 80, static_cast<std::uint8_t>(proto)};
+  }
+};
+
+TEST(Network, UdpPacketsTraverseTwoQueues) {
+  TwoHosts t;
+  t.net.add_udp_flow(t.tuple(IpProto::kUdp), 0_ns, 10, 500, 1e6, false);
+  t.net.run_until(1_s);
+  // Each delivered packet crosses host->sw and sw->host queues.
+  EXPECT_EQ(t.records.size(), 20u);
+  for (const auto& rec : t.records) {
+    EXPECT_FALSE(rec.dropped());
+    EXPECT_GE((rec.tout - rec.tin).count(), 0);
+  }
+}
+
+TEST(Network, TimestampsReflectQueueing) {
+  // Two packets back-to-back at 10 Gb/s: the second waits for the first's
+  // 500 B transmission (~400 ns).
+  TwoHosts t;
+  t.net.add_udp_flow(t.tuple(IpProto::kUdp), 0_ns, 2, 500, 1e9, false);
+  t.net.run_until(1_s);
+  ASSERT_GE(t.records.size(), 2u);
+  // Records from the host->sw queue: first two entries by time.
+  const auto& first = t.records[0];
+  const auto& second = t.records[1];
+  EXPECT_EQ(first.qsize, 0u);
+  EXPECT_EQ(second.qsize, 1u) << "second packet saw one packet ahead";
+  EXPECT_GT((second.tout - second.tin).count(), 300);
+}
+
+TEST(Network, DropTailEmitsInfiniteTout) {
+  // 1 Gb/s bottleneck, tiny queue, overdriven source.
+  Network net(1);
+  const NodeId a = net.add_host(ipv4_from_string("10.0.0.1"));
+  const NodeId b = net.add_host(ipv4_from_string("10.0.0.2"));
+  const NodeId sw = net.add_switch("s1");
+  LinkConfig fast{10.0, 100_ns, 256};
+  LinkConfig slow{1.0, 100_ns, 4};
+  net.connect(a, sw, fast);
+  net.connect(b, sw, slow);
+  net.finalize_routes();
+  std::uint64_t drops = 0;
+  std::uint64_t delivered = 0;
+  net.set_telemetry_sink([&](const PacketRecord& rec) {
+    if (rec.dropped()) {
+      ++drops;
+      EXPECT_TRUE(rec.tout.is_infinite());
+    } else {
+      ++delivered;
+    }
+  });
+  FiveTuple flow{ipv4_from_string("10.0.0.1"), ipv4_from_string("10.0.0.2"),
+                 4000, 80, static_cast<std::uint8_t>(IpProto::kUdp)};
+  net.add_udp_flow(flow, 0_ns, 2000, 1500, 5e5, false);  // 6 Gb/s into 1 Gb/s
+  net.run_until(10_ms);
+  EXPECT_GT(drops, 100u);
+  const std::uint32_t qid = net.queue_id(sw, b);
+  EXPECT_EQ(net.queue_stats(qid).dropped, drops)
+      << "all loss concentrates at the 1 Gb/s bottleneck";
+  EXPECT_GT(delivered, 0u);
+}
+
+TEST(Network, WindowFlowDeliversEverythingDespiteDrops) {
+  Network net(7);
+  const NodeId a = net.add_host(ipv4_from_string("10.0.0.1"));
+  const NodeId b = net.add_host(ipv4_from_string("10.0.0.2"));
+  const NodeId sw = net.add_switch("s1");
+  LinkConfig edge{10.0, 1000_ns, 8};  // small queue to force drops
+  net.connect(a, sw, edge);
+  net.connect(b, sw, edge);
+  net.finalize_routes();
+  FiveTuple flow{ipv4_from_string("10.0.0.1"), ipv4_from_string("10.0.0.2"),
+                 5000, 80, static_cast<std::uint8_t>(IpProto::kTcp)};
+  net.add_window_flow(flow, 0_ns, 500, 1000, /*window=*/32, /*rto=*/1_ms);
+  net.run_until(2_s);
+  const FlowStats& stats = net.flow_stats(flow);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.delivered, 500u);
+  EXPECT_EQ(stats.sent, 500u);
+}
+
+TEST(Network, IncastFillsTheFanInQueue) {
+  // Classic incast: many synchronized senders to one receiver. The
+  // receiver-facing queue must dominate drops and depth.
+  Network net(3);
+  LinkConfig edge{10.0, 1000_ns, 64};
+  LinkConfig fabric{40.0, 1000_ns, 64};
+  const LeafSpine fabric_net = build_leaf_spine(net, 2, 2, 8, edge, fabric);
+
+  std::uint64_t drops = 0;
+  net.set_telemetry_sink([&](const PacketRecord& rec) {
+    if (rec.dropped()) ++drops;
+  });
+
+  // Hosts 1..7 of leaf 0 plus all of leaf 1 send to host 0 of leaf 0.
+  const std::uint32_t sink_ip = leaf_spine_ip(0, 0);
+  int senders = 0;
+  for (std::uint32_t l = 0; l < 2; ++l) {
+    for (std::uint32_t h = 0; h < 8; ++h) {
+      if (l == 0 && h == 0) continue;
+      FiveTuple flow{leaf_spine_ip(l, h), sink_ip,
+                     static_cast<std::uint16_t>(3000 + senders), 443,
+                     static_cast<std::uint8_t>(IpProto::kTcp)};
+      net.add_window_flow(flow, 0_ns, 200, 1500, 16, 2_ms);
+      ++senders;
+    }
+  }
+  net.run_until(100_ms);
+
+  const NodeId receiver = fabric_net.hosts[0];
+  const NodeId leaf0 = fabric_net.leaves[0];
+  const std::uint32_t fan_in_q = net.queue_id(leaf0, receiver);
+  EXPECT_GT(net.queue_stats(fan_in_q).max_depth, 32u)
+      << "incast must build a deep queue at the fan-in port";
+  EXPECT_GT(net.queue_stats(fan_in_q).dropped, 0u);
+  // The fan-in queue is where the loss concentrates.
+  for (std::uint32_t q = 0; q < net.queue_count(); ++q) {
+    if (q == fan_in_q) continue;
+    EXPECT_LE(net.queue_stats(q).dropped, net.queue_stats(fan_in_q).dropped);
+  }
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(Network, RoutesAreShortestPaths) {
+  Network net(1);
+  LinkConfig link{10.0, 100_ns, 32};
+  const LeafSpine ls = build_leaf_spine(net, 3, 2, 2, link, link);
+  std::vector<std::uint32_t> path_qids;
+  net.set_telemetry_sink([&](const PacketRecord& rec) {
+    if (!rec.dropped()) path_qids.push_back(rec.qid);
+  });
+  // Host on leaf 0 -> host on leaf 2: host->leaf0->spine->leaf2->host = 4
+  // queues.
+  FiveTuple flow{leaf_spine_ip(0, 0), leaf_spine_ip(2, 1), 1234, 80,
+                 static_cast<std::uint8_t>(IpProto::kUdp)};
+  net.add_udp_flow(flow, 0_ns, 1, 500, 1e6, false);
+  net.run_until(10_ms);
+  EXPECT_EQ(path_qids.size(), 4u);
+}
+
+TEST(Network, StatsForUnknownFlowThrows) {
+  Network net(1);
+  EXPECT_THROW((void)net.flow_stats(FiveTuple{}), perfq::Error);
+}
+
+}  // namespace
+}  // namespace perfq::net

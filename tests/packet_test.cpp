@@ -1,0 +1,143 @@
+// Packet layer: five-tuples, schema reflection, wire round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "packet/record.hpp"
+#include "packet/wire.hpp"
+
+namespace perfq {
+namespace {
+
+TEST(FiveTuple, ByteEncodingRoundTrips) {
+  const FiveTuple t{ipv4_from_string("1.2.3.4"), ipv4_from_string("5.6.7.8"),
+                    12345, 443, 6};
+  const auto bytes = t.to_bytes();
+  EXPECT_EQ(bytes.size(), 13u);  // 104 bits, the paper's key size
+  const FiveTuple back = FiveTuple::from_bytes(bytes);
+  EXPECT_EQ(back, t);
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const FiveTuple t{1, 2, 10, 20, 6};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, 2u);
+  EXPECT_EQ(r.dst_port, 10u);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, HashDistinguishesNearbyTuples) {
+  const FiveTuple a{1, 2, 10, 20, 6};
+  FiveTuple b = a;
+  b.src_port = 11;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), FiveTuple{a}.hash());
+}
+
+TEST(Ipv4, StringConversions) {
+  EXPECT_EQ(ipv4_to_string(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(ipv4_from_string("10.0.0.1"), 0x0A000001u);
+  EXPECT_THROW((void)ipv4_from_string("300.1.1.1"), ConfigError);
+  EXPECT_THROW((void)ipv4_from_string("1.2.3"), ConfigError);
+}
+
+TEST(Record, FieldReflectionCoversEverything) {
+  for (std::size_t i = 0; i < kNumFields; ++i) {
+    const auto id = static_cast<FieldId>(i);
+    const auto name = field_name(id);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(field_from_name(name), id);
+    EXPECT_GT(field_bits(id), 0);
+  }
+  EXPECT_FALSE(field_from_name("bogus").has_value());
+  EXPECT_EQ(field_from_name("qin"), FieldId::kQsize) << "Fig. 2 alias";
+}
+
+TEST(Record, FieldValuesAndDropSentinel) {
+  PacketRecord rec;
+  rec.pkt.flow = FiveTuple{7, 8, 9, 10, 17};
+  rec.pkt.pkt_len = 1500;
+  rec.tin = Nanos{100};
+  rec.tout = Nanos{400};
+  rec.qsize = 12;
+  EXPECT_DOUBLE_EQ(field_value(rec, FieldId::kSrcIp), 7.0);
+  EXPECT_DOUBLE_EQ(field_value(rec, FieldId::kPktLen), 1500.0);
+  EXPECT_DOUBLE_EQ(field_value(rec, FieldId::kTout), 400.0);
+  EXPECT_FALSE(rec.dropped());
+  EXPECT_EQ(rec.queueing_delay(), Nanos{300});
+
+  rec.tout = Nanos::infinity();
+  EXPECT_TRUE(rec.dropped());
+  EXPECT_TRUE(std::isinf(field_value(rec, FieldId::kTout)));
+  EXPECT_TRUE(rec.queueing_delay().is_infinite());
+}
+
+TEST(Record, FiveTupleFieldListMatchesPaper) {
+  const auto& fields = five_tuple_fields();
+  ASSERT_EQ(fields.size(), 5u);
+  int bits = 0;
+  for (const auto f : fields) bits += field_bits(f);
+  EXPECT_EQ(bits, FiveTuple::kBits);  // 104
+}
+
+TEST(Wire, SerializeParseRoundTripTcp) {
+  Packet pkt;
+  pkt.flow = FiveTuple{0xC0A80101, 0x0A000001, 50000, 80, 6};
+  pkt.payload_len = 256;
+  pkt.pkt_len = 256 + 54;
+  pkt.tcp_seq = 0xDEADBEEF;
+  pkt.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck;
+  pkt.ip_ttl = 63;
+  pkt.pkt_uniq = 0x1234;
+  const auto frame = wire::serialize(pkt);
+  EXPECT_EQ(frame.size(), pkt.pkt_len);
+  const auto parsed = wire::parse(frame);
+  EXPECT_EQ(parsed.pkt.flow, pkt.flow);
+  EXPECT_EQ(parsed.pkt.tcp_seq, pkt.tcp_seq);
+  EXPECT_EQ(parsed.pkt.tcp_flags, pkt.tcp_flags);
+  EXPECT_EQ(parsed.pkt.payload_len, pkt.payload_len);
+  EXPECT_EQ(parsed.pkt.pkt_uniq, 0x1234u);
+  EXPECT_EQ(parsed.header_bytes, 14u + 20u + 20u);
+}
+
+TEST(Wire, SerializeParseRoundTripUdp) {
+  Packet pkt;
+  pkt.flow = FiveTuple{1, 2, 53, 5353, 17};
+  pkt.payload_len = 100;
+  pkt.pkt_len = 100 + 42;
+  const auto frame = wire::serialize(pkt);
+  const auto parsed = wire::parse(frame);
+  EXPECT_EQ(parsed.pkt.flow, pkt.flow);
+  EXPECT_EQ(parsed.header_bytes, 14u + 20u + 8u);
+}
+
+TEST(Wire, ChecksumValidates) {
+  Packet pkt;
+  pkt.flow = FiveTuple{123, 456, 7, 8, 6};
+  pkt.pkt_len = 54;
+  const auto frame = wire::serialize(pkt);
+  // Recomputing the checksum over the header with its checksum field in
+  // place must yield zero (RFC 1071 verification property).
+  const std::span<const std::byte> ip{frame.data() + 14, 20};
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < ip.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(
+        (std::to_integer<std::uint32_t>(ip[i]) << 8) |
+        std::to_integer<std::uint32_t>(ip[i + 1]));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  EXPECT_EQ(sum, 0xFFFFu);
+}
+
+TEST(Wire, MalformedInputRejected) {
+  std::vector<std::byte> junk(10, std::byte{0});
+  EXPECT_THROW((void)wire::parse(junk), ConfigError);
+  Packet pkt;
+  pkt.flow.proto = 99;  // neither TCP nor UDP
+  pkt.pkt_len = 60;
+  EXPECT_THROW((void)wire::parse(wire::serialize(pkt)), ConfigError);
+}
+
+}  // namespace
+}  // namespace perfq

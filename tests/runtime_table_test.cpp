@@ -1,0 +1,72 @@
+// ResultTable behaviours: column resolution through aliases, sorting,
+// rendering, and arity enforcement.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "runtime/table.hpp"
+
+namespace perfq::runtime {
+namespace {
+
+lang::Schema demo_schema() {
+  lang::Schema s;
+  lang::Column ip;
+  ip.name = "srcip";
+  ip.base_field = FieldId::kSrcIp;
+  s.add(std::move(ip));
+  lang::Column count;
+  count.name = "COUNT";
+  count.aliases.push_back("n");
+  s.add(std::move(count));
+  return s;
+}
+
+TEST(ResultTable, ColumnResolutionUsesAliases) {
+  ResultTable t(demo_schema());
+  EXPECT_EQ(t.column("COUNT"), 1u);
+  EXPECT_EQ(t.column("n"), 1u) << "aliases resolve";
+  EXPECT_THROW((void)t.column("missing"), QueryError);
+}
+
+TEST(ResultTable, RowArityEnforced) {
+  ResultTable t(demo_schema());
+  EXPECT_THROW(t.add_row({1.0}), Error);
+  t.add_row({1.0, 2.0});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.at(0, "n"), 2.0);
+}
+
+TEST(ResultTable, SortDescending) {
+  ResultTable t(demo_schema());
+  t.add_row({1.0, 5.0});
+  t.add_row({2.0, 9.0});
+  t.add_row({3.0, 1.0});
+  t.sort_desc("COUNT");
+  EXPECT_DOUBLE_EQ(t.rows()[0][1], 9.0);
+  EXPECT_DOUBLE_EQ(t.rows()[2][1], 1.0);
+}
+
+TEST(ResultTable, TextRenderingFormatsIpsAndLimits) {
+  ResultTable t(demo_schema());
+  t.add_row({static_cast<double>(ipv4_from_string("192.168.0.1")), 7.0});
+  t.add_row({static_cast<double>(ipv4_from_string("10.0.0.9")), 3.5});
+  const std::string text = t.to_text("demo", 1);
+  EXPECT_NE(text.find("192.168.0.1"), std::string::npos)
+      << "IP columns render dotted-quad";
+  EXPECT_NE(text.find("(1 more rows)"), std::string::npos);
+  EXPECT_EQ(text.find("10.0.0.9"), std::string::npos) << "limit respected";
+
+  const std::string full = t.to_text("demo");
+  EXPECT_NE(full.find("3.500"), std::string::npos)
+      << "non-integral values keep decimals";
+}
+
+TEST(ResultTable, EmptyTableRenders) {
+  const ResultTable t(demo_schema());
+  const std::string text = t.to_text("empty");
+  EXPECT_NE(text.find("srcip"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace perfq::runtime

@@ -1,0 +1,136 @@
+// StateVector / SmallMatrix algebra and kv::Key packing: foundations the
+// merge correctness rests on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kvstore/key.hpp"
+#include "kvstore/state.hpp"
+
+namespace perfq::kv {
+namespace {
+
+SmallMatrix random_matrix(Rng& rng, std::size_t dims) {
+  SmallMatrix m(dims);
+  for (std::size_t r = 0; r < dims; ++r) {
+    for (std::size_t c = 0; c < dims; ++c) {
+      m.at(r, c) = (rng.uniform() - 0.5) * 2.0;
+    }
+  }
+  return m;
+}
+
+StateVector random_vector(Rng& rng, std::size_t dims) {
+  StateVector v(dims);
+  for (std::size_t d = 0; d < dims; ++d) v[d] = (rng.uniform() - 0.5) * 100.0;
+  return v;
+}
+
+TEST(SmallMatrix, IdentityActsTrivially) {
+  Rng rng(1);
+  for (std::size_t dims = 1; dims <= kMaxStateDims; ++dims) {
+    const SmallMatrix id = SmallMatrix::identity(dims);
+    const StateVector v = random_vector(rng, dims);
+    EXPECT_EQ(id.apply(v), v);
+  }
+}
+
+TEST(SmallMatrix, LeftMultiplyComposesWithApply) {
+  // (B·A)(v) == B(A(v)) — the property the running product P relies on.
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t dims = 1 + rng.below(kMaxStateDims);
+    const SmallMatrix a = random_matrix(rng, dims);
+    const SmallMatrix b = random_matrix(rng, dims);
+    const StateVector v = random_vector(rng, dims);
+
+    SmallMatrix ba = a;       // P := A
+    ba.left_multiply(b);      // P := B·A
+    const StateVector via_product = ba.apply(v);
+    const StateVector via_sequence = b.apply(a.apply(v));
+    for (std::size_t d = 0; d < dims; ++d) {
+      EXPECT_NEAR(via_product[d], via_sequence[d],
+                  1e-9 * std::max(1.0, std::abs(via_sequence[d])));
+    }
+  }
+}
+
+TEST(SmallMatrix, PowerMatchesRepeatedMultiplication) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dims = 1 + rng.below(3);
+    SmallMatrix a = random_matrix(rng, dims);
+    // Scale toward contraction so powers stay finite.
+    for (std::size_t r = 0; r < dims; ++r) {
+      for (std::size_t c = 0; c < dims; ++c) a.at(r, c) *= 0.5;
+    }
+    const std::uint64_t n = rng.below(20);
+    SmallMatrix slow = SmallMatrix::identity(dims);
+    for (std::uint64_t i = 0; i < n; ++i) slow.left_multiply(a);
+    const SmallMatrix fast = a.power(n);
+    const StateVector v = random_vector(rng, dims);
+    const StateVector sv = slow.apply(v);
+    const StateVector fv = fast.apply(v);
+    for (std::size_t d = 0; d < dims; ++d) {
+      EXPECT_NEAR(fv[d], sv[d], 1e-9 * std::max(1.0, std::abs(sv[d]))) << n;
+    }
+  }
+}
+
+TEST(SmallMatrix, PowerZeroIsIdentity) {
+  Rng rng(4);
+  const SmallMatrix a = random_matrix(rng, 3);
+  EXPECT_EQ(a.power(0), SmallMatrix::identity(3));
+}
+
+TEST(StateVector, ArithmeticAndBounds) {
+  StateVector a(3, 1.0);
+  StateVector b(3, 2.0);
+  const StateVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 3.0);
+  const StateVector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[2], 1.0);
+  EXPECT_THROW(StateVector(kMaxStateDims + 1), ConfigError);
+  StateVector c(2);
+  EXPECT_THROW(c += a, Error);  // dims mismatch
+}
+
+TEST(Key, PackingIsInjectiveAcrossWidths) {
+  // Distinct (value, width) tuples must produce distinct keys; equal inputs
+  // equal keys.
+  const std::array<std::uint64_t, 3> values{0xAABB, 0x01, 0xFFEEDDCC};
+  const std::array<std::uint8_t, 3> widths{2, 1, 4};
+  const Key k1 = Key::pack({values.data(), 3}, {widths.data(), 3});
+  const Key k2 = Key::pack({values.data(), 3}, {widths.data(), 3});
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 7u);
+
+  auto modified = values;
+  modified[1] = 0x02;
+  const Key k3 = Key::pack({modified.data(), 3}, {widths.data(), 3});
+  EXPECT_FALSE(k1 == k3);
+  EXPECT_NE(k1.hash(), k3.hash());
+}
+
+TEST(Key, CapacityEnforced) {
+  const std::vector<std::uint64_t> values(5, 1);
+  const std::vector<std::uint8_t> widths(5, 8);  // 40 bytes > capacity
+  EXPECT_THROW((void)Key::pack({values.data(), 5}, {widths.data(), 5}),
+               ConfigError);
+}
+
+TEST(Key, HexRendering) {
+  const std::array<std::uint64_t, 1> values{0xDEAD};
+  const std::array<std::uint8_t, 1> widths{2};
+  const Key k = Key::pack({values.data(), 1}, {widths.data(), 1});
+  EXPECT_EQ(k.to_hex(), "dead");
+}
+
+TEST(Key, SeededHashesDiffer) {
+  const std::array<std::uint64_t, 1> values{42};
+  const std::array<std::uint8_t, 1> widths{4};
+  const Key k = Key::pack({values.data(), 1}, {widths.data(), 1});
+  EXPECT_NE(k.hash(1), k.hash(2));
+}
+
+}  // namespace
+}  // namespace perfq::kv

@@ -1,0 +1,263 @@
+// Switch architecture tests: programmable parser round-trips, TCAM range
+// expansion properties, WHERE-to-match lowering, and pipeline equivalence
+// with the runtime engine's processing path.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "packet/wire.hpp"
+#include "switchsim/pipeline.hpp"
+#include "trace/simple.hpp"
+
+namespace perfq::sw {
+namespace {
+
+Packet sample_packet(bool tcp) {
+  Packet pkt;
+  pkt.flow = FiveTuple{ipv4_from_string("192.168.1.5"),
+                       ipv4_from_string("10.9.8.7"), 33333, 443,
+                       static_cast<std::uint8_t>(tcp ? IpProto::kTcp
+                                                     : IpProto::kUdp)};
+  pkt.payload_len = 400;
+  pkt.pkt_len = 400 + (tcp ? 54 : 42);
+  pkt.tcp_seq = tcp ? 123456789 : 0;
+  pkt.tcp_flags = tcp ? TcpFlags::kAck : 0;
+  pkt.ip_ttl = 61;
+  pkt.pkt_uniq = 0x4242;
+  return pkt;
+}
+
+TEST(Parser, RoundTripsTcpFrames) {
+  const Packet pkt = sample_packet(true);
+  const auto frame = wire::serialize(pkt);
+  const ParserGraph graph = ParserGraph::standard();
+  const auto result = graph.parse(frame);
+  EXPECT_EQ(result.pkt.flow, pkt.flow);
+  EXPECT_EQ(result.pkt.tcp_seq, pkt.tcp_seq);
+  EXPECT_EQ(result.pkt.tcp_flags, pkt.tcp_flags);
+  EXPECT_EQ(result.pkt.pkt_len, pkt.pkt_len);
+  EXPECT_EQ(result.pkt.payload_len, pkt.payload_len);
+  EXPECT_EQ(result.pkt.pkt_uniq, pkt.pkt_uniq & 0xFFFF);
+  EXPECT_EQ(result.path,
+            (std::vector<std::string>{"ethernet", "ipv4", "tcp"}));
+}
+
+TEST(Parser, RoundTripsUdpFrames) {
+  const Packet pkt = sample_packet(false);
+  const auto frame = wire::serialize(pkt);
+  const auto result = ParserGraph::standard().parse(frame);
+  EXPECT_EQ(result.pkt.flow, pkt.flow);
+  EXPECT_EQ(result.path.back(), "udp");
+}
+
+TEST(Parser, RejectsTruncatedFrames) {
+  const auto frame = wire::serialize(sample_packet(true));
+  const std::span<const std::byte> cut{frame.data(), 20};
+  EXPECT_THROW((void)ParserGraph::standard().parse(cut), ConfigError);
+}
+
+TEST(Parser, RejectsUnknownEtherType) {
+  auto frame = wire::serialize(sample_packet(true));
+  frame[12] = std::byte{0x86};  // not IPv4
+  frame[13] = std::byte{0xDD};
+  EXPECT_THROW((void)ParserGraph::standard().parse(frame), ConfigError);
+}
+
+TEST(Parser, WireParserAgreesWithGraphParser) {
+  for (const bool tcp : {true, false}) {
+    const Packet pkt = sample_packet(tcp);
+    const auto frame = wire::serialize(pkt);
+    const auto via_wire = wire::parse(frame);
+    const auto via_graph = ParserGraph::standard().parse(frame);
+    EXPECT_EQ(via_wire.pkt.flow, via_graph.pkt.flow);
+    EXPECT_EQ(via_wire.header_bytes, via_graph.header_bytes);
+  }
+}
+
+// ---------------------------------------------------------------- TCAM ----
+
+TEST(Tcam, RangeToPrefixCoversExactlyTheRange) {
+  // Property: for many random (lo, hi) ranges, membership via the expanded
+  // prefixes equals lo <= v <= hi, for every v in a probe set.
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int bits = 10;
+    const std::uint64_t a = rng.below(1 << bits);
+    const std::uint64_t b = rng.below(1 << bits);
+    const std::uint64_t lo = std::min(a, b);
+    const std::uint64_t hi = std::max(a, b);
+    const auto prefixes = range_to_prefixes(FieldId::kSrcPort, lo, hi, bits);
+    for (std::uint64_t v = 0; v < (1u << bits); ++v) {
+      bool matched = false;
+      for (const auto& m : prefixes) {
+        if (m.matches(v)) {
+          matched = true;
+          break;
+        }
+      }
+      ASSERT_EQ(matched, v >= lo && v <= hi)
+          << "v=" << v << " range=[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST(Tcam, PrefixCountIsLogarithmic) {
+  // Worst case for a b-bit range expansion is 2b-2 prefixes.
+  const auto prefixes = range_to_prefixes(FieldId::kSrcPort, 1, 65534, 16);
+  EXPECT_LE(prefixes.size(), 30u);
+}
+
+TEST(Tcam, PriorityOrderWins) {
+  TcamTable table;
+  TcamEntry low;
+  low.matches = {};  // wildcard
+  low.action = 1;
+  low.priority = 0;
+  TcamEntry high;
+  high.matches = {TernaryMatch{FieldId::kProto, 6, 0xFF}};
+  high.action = 2;
+  high.priority = 10;
+  table.install(std::move(low));
+  table.install(std::move(high));
+
+  const auto tcp = trace::RecordBuilder{}.flow_index(1).build();
+  EXPECT_EQ(table.lookup(tcp), 2u);
+  auto udp = trace::RecordBuilder{}.flow_index(1).build();
+  udp.pkt.flow.proto = 17;
+  EXPECT_EQ(table.lookup(udp), 1u);
+}
+
+// ------------------------------------------------------ match compiler ----
+
+std::optional<std::vector<TcamEntry>> lower(const std::string& pred) {
+  const auto analysis =
+      lang::analyze_source("SELECT COUNT GROUPBY 5tuple WHERE " + pred);
+  return compile_where_to_tcam(*analysis.queries[0].def.where, 1);
+}
+
+TEST(MatchCompiler, EqualityAndConjunction) {
+  const auto entries = lower("proto == TCP and dstport == 443");
+  ASSERT_TRUE(entries.has_value());
+  ASSERT_EQ(entries->size(), 1u);
+  const auto rec443 = trace::RecordBuilder{}
+                          .flow(FiveTuple{1, 2, 1000, 443, 6})
+                          .build();
+  const auto rec80 =
+      trace::RecordBuilder{}.flow(FiveTuple{1, 2, 1000, 80, 6}).build();
+  EXPECT_TRUE((*entries)[0].matches_record(rec443));
+  EXPECT_FALSE((*entries)[0].matches_record(rec80));
+}
+
+TEST(MatchCompiler, ComparisonExpandsToPrefixes) {
+  const auto entries = lower("qsize > 100");
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_GT(entries->size(), 1u);
+  TcamTable table;
+  for (auto e : *entries) table.install(std::move(e));
+  EXPECT_TRUE(table.lookup(
+      trace::RecordBuilder{}.queue(0, 101).build()).has_value());
+  EXPECT_FALSE(table.lookup(
+      trace::RecordBuilder{}.queue(0, 100).build()).has_value());
+}
+
+TEST(MatchCompiler, DropPredicateUsesSaturatedInfinity) {
+  const auto entries = lower("tout == infinity");
+  ASSERT_TRUE(entries.has_value());
+  TcamTable table;
+  for (auto e : *entries) table.install(std::move(e));
+  EXPECT_TRUE(table.lookup(
+      trace::RecordBuilder{}.dropped_at(Nanos{10}).build()).has_value());
+  EXPECT_FALSE(table.lookup(
+      trace::RecordBuilder{}.times(Nanos{1}, Nanos{2}).build()).has_value());
+}
+
+TEST(MatchCompiler, ArithmeticPredicatesFallBack) {
+  // `tout - tin > 1ms` needs an ALU; not TCAM-expressible.
+  EXPECT_FALSE(lower("tout - tin > 1000000").has_value());
+}
+
+TEST(MatchCompiler, NotEqualSplitsIntoTwoRanges) {
+  const auto entries = lower("srcport != 80");
+  ASSERT_TRUE(entries.has_value());
+  TcamTable table;
+  for (auto e : *entries) table.install(std::move(e));
+  EXPECT_FALSE(table.lookup(trace::RecordBuilder{}
+                                .flow(FiveTuple{1, 2, 80, 9, 6})
+                                .build())
+                   .has_value());
+  EXPECT_TRUE(table.lookup(trace::RecordBuilder{}
+                               .flow(FiveTuple{1, 2, 81, 9, 6})
+                               .build())
+                  .has_value());
+}
+
+// -------------------------------------------------------------- pipeline --
+
+TEST(Pipeline, FrameInStateOutMatchesEngineSemantics) {
+  // Drive the architectural pipeline with raw frames; its KV state must
+  // equal processing the equivalent records directly.
+  const auto program = compiler::compile_source(
+      "SELECT COUNT, SUM(pkt_len) GROUPBY 5tuple WHERE proto == TCP");
+  SwitchPipeline pipeline(program, kv::CacheGeometry::set_associative(64, 8));
+
+  Rng rng(33);
+  kv::ReferenceStore reference(program.switch_plans[0].kernel);
+  for (int i = 0; i < 500; ++i) {
+    Packet pkt = sample_packet(rng.chance(0.8));
+    pkt.flow.src_port = static_cast<std::uint16_t>(1000 + rng.below(16));
+    const auto frame = wire::serialize(pkt);
+    QueueMetadata meta;
+    meta.qid = 1;
+    meta.tin = Nanos{i * 1000};
+    meta.tout = Nanos{i * 1000 + 300};
+    meta.qsize = static_cast<std::uint32_t>(rng.below(50));
+    pipeline.process_frame(frame, meta);
+
+    if (pkt.is_tcp()) {
+      // Mirror what the parser reconstructs (pkt_uniq truncates to ip.id).
+      PacketRecord rec;
+      rec.pkt = pkt;
+      rec.pkt.pkt_uniq = pkt.pkt_uniq & 0xFFFF;
+      rec.qid = meta.qid;
+      rec.tin = meta.tin;
+      rec.tout = meta.tout;
+      rec.qsize = meta.qsize;
+      reference.process(compiler::extract_key(program.switch_plans[0], rec),
+                        rec);
+    }
+  }
+  pipeline.flush(Nanos{1'000'000});
+
+  const auto reports = pipeline.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].tcam) << "proto == TCP must lower to match entries";
+  EXPECT_EQ(reports[0].matched + reports[0].filtered, 500u);
+
+  std::size_t checked = 0;
+  reference.for_each([&](const kv::Key& key, const kv::StateVector& want) {
+    const kv::StateVector* got = pipeline.store(0).read(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ((*got)[0], want[0]);
+    EXPECT_EQ((*got)[1], want[1]);
+    ++checked;
+  });
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(checked, pipeline.store(0).backing().key_count());
+}
+
+TEST(Pipeline, AluFallbackForLatencyPredicate) {
+  const auto program = compiler::compile_source(
+      "SELECT COUNT GROUPBY 5tuple WHERE tout - tin > 1ms");
+  SwitchPipeline pipeline(program, kv::CacheGeometry::set_associative(64, 8));
+  const auto reports = pipeline.report();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].tcam) << "latency predicate needs the ALU fallback";
+
+  const Packet pkt = sample_packet(true);
+  const auto frame = wire::serialize(pkt);
+  pipeline.process_frame(frame, QueueMetadata{0, Nanos{0}, Nanos{500}, 0});
+  pipeline.process_frame(frame, QueueMetadata{0, Nanos{0}, Nanos{2'000'000}, 0});
+  EXPECT_EQ(pipeline.report()[0].matched, 1u);
+}
+
+}  // namespace
+}  // namespace perfq::sw

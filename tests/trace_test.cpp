@@ -1,0 +1,177 @@
+// Workload generation: flow-session model calibration, determinism, trace
+// file round-trips.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "trace/flow_session.hpp"
+#include "trace/trace_io.hpp"
+
+namespace perfq::trace {
+namespace {
+
+TraceConfig small_config() {
+  TraceConfig c;
+  c.seed = 11;
+  c.duration = 10_s;
+  c.num_flows = 2000;
+  c.mean_flow_pkts = 20.0;
+  c.median_flow_duration = 1_s;
+  return c;
+}
+
+TEST(FlowSession, Deterministic) {
+  const auto a = generate_all(small_config(), 5000);
+  const auto b = generate_all(small_config(), 5000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pkt.flow, b[i].pkt.flow);
+    EXPECT_EQ(a[i].tin, b[i].tin);
+    EXPECT_EQ(a[i].pkt.tcp_seq, b[i].pkt.tcp_seq);
+  }
+}
+
+TEST(FlowSession, SeedChangesTheTrace) {
+  TraceConfig other = small_config();
+  other.seed = 12;
+  const auto a = generate_all(small_config(), 1000);
+  const auto b = generate_all(other, 1000);
+  ASSERT_FALSE(a.empty());
+  EXPECT_NE(a[0].pkt.flow, b[0].pkt.flow);
+}
+
+TEST(FlowSession, TimestampsAreMonotonic) {
+  FlowSessionGenerator gen(small_config());
+  Nanos prev{-1};
+  while (auto rec = gen.next()) {
+    EXPECT_GE(rec->tin, prev);
+    prev = rec->tin;
+    EXPECT_LE(rec->tin, small_config().duration);
+  }
+}
+
+TEST(FlowSession, FlowAndPacketCountsNearCalibration) {
+  const TraceConfig c = small_config();
+  FlowSessionGenerator gen(c);
+  std::uint64_t packets = 0;
+  std::unordered_set<FiveTuple> flows;
+  while (auto rec = gen.next()) {
+    ++packets;
+    flows.insert(rec->pkt.flow);
+  }
+  // Arrivals are Poisson(num_flows) over the window; generated flows whose
+  // first packet lands inside the window emit. Expect within 25%.
+  EXPECT_NEAR(static_cast<double>(flows.size()), static_cast<double>(c.num_flows),
+              0.25 * static_cast<double>(c.num_flows));
+  // Packets ~= flows x mean size (heavy tail: generous tolerance, and flows
+  // truncated by the window end lose packets).
+  EXPECT_GT(packets, flows.size());
+  const double per_flow =
+      static_cast<double>(packets) / static_cast<double>(flows.size());
+  EXPECT_GT(per_flow, 3.0);
+  EXPECT_LT(per_flow, c.mean_flow_pkts * 3.0);
+}
+
+TEST(FlowSession, MixOfProtocolsAndSizes) {
+  FlowSessionGenerator gen(small_config());
+  std::uint64_t tcp = 0;
+  std::uint64_t total = 0;
+  RunningStats sizes;
+  while (auto rec = gen.next()) {
+    ++total;
+    if (rec->pkt.flow.proto == static_cast<std::uint8_t>(IpProto::kTcp)) ++tcp;
+    sizes.add(static_cast<double>(rec->pkt.pkt_len));
+    ASSERT_GE(rec->pkt.pkt_len, 64u);
+    ASSERT_LE(rec->pkt.pkt_len, 1500u);
+  }
+  const double tcp_frac = static_cast<double>(tcp) / static_cast<double>(total);
+  EXPECT_NEAR(tcp_frac, 0.9, 0.05);
+  EXPECT_NEAR(sizes.mean(), 700.0, 150.0);
+}
+
+TEST(FlowSession, SequenceAnomaliesAtConfiguredRate) {
+  TraceConfig c = small_config();
+  c.reorder_prob = 0.05;
+  c.retx_prob = 0.0;
+  FlowSessionGenerator gen(c);
+  std::unordered_map<FiveTuple, std::uint32_t> expected_next;
+  std::uint64_t anomalies = 0;
+  std::uint64_t tcp_pkts = 0;
+  while (auto rec = gen.next()) {
+    if (rec->pkt.flow.proto != static_cast<std::uint8_t>(IpProto::kTcp)) continue;
+    ++tcp_pkts;
+    const auto it = expected_next.find(rec->pkt.flow);
+    if (it != expected_next.end() && rec->pkt.tcp_seq != it->second) ++anomalies;
+    expected_next[rec->pkt.flow] = rec->pkt.tcp_seq + rec->pkt.payload_len;
+  }
+  const double rate =
+      static_cast<double>(anomalies) / static_cast<double>(tcp_pkts);
+  // One reorder event perturbs the current and the following packet.
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.2);
+}
+
+TEST(FlowSession, ScaledConfigShrinksFlows) {
+  const TraceConfig base = TraceConfig::caida_like();
+  const TraceConfig eighth = base.scaled(0.125);
+  EXPECT_EQ(eighth.num_flows, base.num_flows / 8);
+  EXPECT_EQ(eighth.duration, base.duration);
+  EXPECT_THROW((void)base.scaled(0.0), ConfigError);
+  EXPECT_THROW((void)base.scaled(2.0), ConfigError);
+}
+
+TEST(FlowSession, ValidatesConfig) {
+  TraceConfig c = small_config();
+  c.num_flows = 0;
+  EXPECT_THROW(FlowSessionGenerator{c}, ConfigError);
+  c = small_config();
+  c.flow_size_alpha = 0.9;
+  EXPECT_THROW(FlowSessionGenerator{c}, ConfigError);
+}
+
+TEST(TraceIo, RoundTripsRecords) {
+  const auto records = generate_all(small_config(), 2000);
+  const auto path = std::filesystem::temp_directory_path() / "perfq_test.pqtr";
+  write_trace(path, records);
+  const auto back = read_trace(path);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].pkt.flow, records[i].pkt.flow);
+    EXPECT_EQ(back[i].tin, records[i].tin);
+    EXPECT_EQ(back[i].tout, records[i].tout);
+    EXPECT_EQ(back[i].qsize, records[i].qsize);
+    EXPECT_EQ(back[i].pkt.pkt_uniq, records[i].pkt.pkt_uniq);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, StreamingReaderReportsCounts) {
+  const auto records = generate_all(small_config(), 100);
+  const auto path = std::filesystem::temp_directory_path() / "perfq_test2.pqtr";
+  write_trace(path, records);
+  TraceReader reader(path);
+  EXPECT_EQ(reader.record_count(), 100u);
+  std::uint64_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 100u);
+  EXPECT_EQ(reader.records_read(), 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsGarbageFiles) {
+  const auto path = std::filesystem::temp_directory_path() / "garbage.pqtr";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace";
+  }
+  EXPECT_THROW(TraceReader{path}, ConfigError);
+  std::filesystem::remove(path);
+  EXPECT_THROW(TraceReader{path}, ConfigError);  // missing file
+}
+
+}  // namespace
+}  // namespace perfq::trace
