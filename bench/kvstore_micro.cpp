@@ -1,16 +1,25 @@
 // Microbenchmarks (google-benchmark) of the key-value store primitives:
 // per-packet cache operations across geometries, fold-kernel update costs
-// (hand-written vs compiled), merge cost, and TCAM lookup. These support the
-// §3.3 feasibility discussion: the per-packet work is one hash, one bucket
-// LRU touch, and one small affine update — the kind of logic the paper
-// argues is cheap relative to the SRAM array.
+// (hand-written vs compiled-VM vs AST-interpreted), merge cost, batched vs
+// scalar engine processing, and TCAM lookup. These support the §3.3
+// feasibility discussion: the per-packet work is one hash, one bucket LRU
+// touch, and one small affine update — the kind of logic the paper argues is
+// cheap relative to the SRAM array.
+//
+// Unless --benchmark_out is given, results are written to BENCH_kvstore.json
+// (google-benchmark JSON) in the working directory so the perf trajectory of
+// the hot path is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/kvstore.hpp"
+#include "runtime/engine.hpp"
 #include "switchsim/match_compiler.hpp"
 #include "trace/simple.hpp"
 
@@ -100,16 +109,21 @@ BENCHMARK(BM_UpdateCount);
 BENCHMARK(BM_UpdateEwma);
 BENCHMARK(BM_UpdateOutOfSeq);
 
-void BM_CompiledEwmaUpdate(benchmark::State& state) {
-  // Interpreted compiled fold vs. the hand-written kernel above.
-  const auto analysis = lang::analyze_source(R"(
+const compiler::CompiledFoldKernel& compiled_ewma_kernel() {
+  static const auto analysis = lang::analyze_source(R"(
 def ewma (lat_est, (tin, tout)):
     lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
 
 SELECT 5tuple, ewma GROUPBY 5tuple
 )",
-                                             {{"alpha", 0.125}});
-  const compiler::CompiledFoldKernel kernel(analysis.folds[0], {});
+                                                    {{"alpha", 0.125}});
+  static const compiler::CompiledFoldKernel kernel(analysis.folds[0], {});
+  return kernel;
+}
+
+void BM_CompiledEwmaUpdate(benchmark::State& state) {
+  // Bytecode-VM compiled fold vs. the hand-written kernel above.
+  const compiler::CompiledFoldKernel& kernel = compiled_ewma_kernel();
   const auto records = workload(4096, 64);
   kv::StateVector s = kernel.initial_state();
   std::size_t i = 0;
@@ -121,6 +135,66 @@ SELECT 5tuple, ewma GROUPBY 5tuple
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CompiledEwmaUpdate);
+
+void BM_CompiledEwmaUpdateInterpreted(benchmark::State& state) {
+  // The pre-VM reference path: per-packet AST walking. Kept as the
+  // before/after counter for the fold VM.
+  const compiler::CompiledFoldKernel& kernel = compiled_ewma_kernel();
+  const auto records = workload(4096, 64);
+  kv::StateVector s = kernel.initial_state();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    kernel.update_interpreted(s, records[i]);
+    benchmark::DoNotOptimize(s);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompiledEwmaUpdateInterpreted);
+
+// ---- batched vs scalar engine processing ----------------------------------
+// Same program, same records; the only difference is process() per record vs
+// process_batch() over the whole span (up-front key extraction + bucket
+// prefetch). The ratio is the batching win.
+
+compiler::CompiledProgram engine_bench_program() {
+  // Compiled fresh per engine (CompiledProgram owns its ASTs and is
+  // move-only); compile cost is outside the measured loop either way.
+  return compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
+}
+
+runtime::EngineConfig engine_bench_config() {
+  runtime::EngineConfig config;
+  // Large enough that the slot array dwarfs the LLC: scalar processing
+  // stalls on one DRAM bucket fetch per packet, which is exactly the
+  // latency the batched path's prefetch overlaps.
+  config.geometry = kv::CacheGeometry::set_associative(1 << 18, 8);
+  return config;
+}
+
+void BM_EngineProcessScalar(benchmark::State& state) {
+  const auto records = workload(1 << 18, 1 << 20);
+  runtime::QueryEngine engine(engine_bench_program(), engine_bench_config());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.process(records[i]);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineProcessScalar);
+
+void BM_EngineProcessBatch(benchmark::State& state) {
+  const auto records = workload(1 << 18, 1 << 20);
+  runtime::QueryEngine engine(engine_bench_program(), engine_bench_config());
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    engine.process_batch(records);
+    processed += static_cast<std::int64_t>(records.size());
+  }
+  state.SetItemsProcessed(processed);
+}
+BENCHMARK(BM_EngineProcessBatch);
 
 void BM_TcamLookup(benchmark::State& state) {
   const auto analysis = lang::analyze_source(
@@ -154,4 +228,29 @@ BENCHMARK(BM_KeyExtractAndPack);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out to BENCH_kvstore.json so every run
+// leaves a machine-readable perf record unless the caller overrides it.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  bool has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact-prefix matches: "--benchmark_out_format=..." alone must not
+    // suppress the default output file, and an explicit format choice must
+    // not be overridden by the appended default (last flag wins).
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) {
+      has_fmt = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kvstore.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_out && !has_fmt) args.push_back(fmt_flag.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

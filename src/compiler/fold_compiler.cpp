@@ -57,6 +57,7 @@ FoldBody FoldBody::compile(const lang::FoldDef& fold, const Resolver& resolver) 
   FoldBody out;
   out.dims_ = fold.state_vars.size();
   out.body_ = compile_block(fold.body, fold, resolver);
+  out.vm_ = FoldVmCompiler::compile(out);
   return out;
 }
 
@@ -95,7 +96,8 @@ std::vector<FoldBody::CompiledStmt> FoldBody::compile_block(
   return out;
 }
 
-void FoldBody::execute(std::span<double> state, const ValueSource& input) const {
+void FoldBody::execute_interpreted(std::span<double> state,
+                                   const ValueSource& input) const {
   exec_block(body_, state, input);
 }
 
@@ -184,10 +186,10 @@ CompiledFoldKernel::CompiledFoldKernel(
   }
 }
 
-void CompiledFoldKernel::update(kv::StateVector& state,
-                                const PacketRecord& rec) const {
+void CompiledFoldKernel::update_interpreted(kv::StateVector& state,
+                                            const PacketRecord& rec) const {
   const RecordSource source({&rec, 1});
-  body_.execute(state.span(), source);
+  body_.execute_interpreted(state.span(), source);
 }
 
 kv::AffineTransform CompiledFoldKernel::transform(

@@ -1,14 +1,23 @@
 // Lowering fold definitions to executable kernels.
 //
-// A CompiledFoldKernel interprets the user's fold body for the ground-truth
+// A CompiledFoldKernel executes the user's fold body for the ground-truth
 // update(), and — when the linearity analyzer proved the fold linear —
 // evaluates the extracted (A, B) coefficient expressions per packet for the
 // cache's running-product maintenance and the backing store's exact merge.
+//
+// Hot-path design: the fold body is lowered TWICE. The statement tree of
+// resolved ScalarExprs remains the reference semantics (execute_interpreted
+// walks it, one recursive eval per operator), and FoldVmCompiler flattens it
+// into register-based bytecode (src/compiler/fold_vm.hpp) that the per-packet
+// update() runs instead — no AST recursion, no virtual ValueSource call per
+// field on the record fast path. Property tests assert the two paths agree
+// bit-for-bit on the Fig. 2 corpus.
 #pragma once
 
 #include <map>
 #include <memory>
 
+#include "compiler/fold_vm.hpp"
 #include "compiler/scalar_expr.hpp"
 #include "kvstore/fold.hpp"
 #include "lang/sema.hpp"
@@ -43,13 +52,33 @@ class FoldBody {
   [[nodiscard]] static FoldBody compile(const lang::FoldDef& fold,
                                         const Resolver& resolver);
 
-  /// Run the body once: state is read and written in place; `input` supplies
-  /// non-state names.
-  void execute(std::span<double> state, const ValueSource& input) const;
+  /// Run the body once (bytecode VM): state is read and written in place;
+  /// `input` supplies non-state names.
+  void execute(std::span<double> state, const ValueSource& input) const {
+    vm_.execute(state, input);
+  }
+
+  /// Hot-path variant over a packet-record window (window.back() = current
+  /// packet): fields load directly, no virtual dispatch.
+  void execute_record(std::span<double> state,
+                      std::span<const PacketRecord> window) const {
+    vm_.execute_record(state, window);
+  }
+  void execute_record(std::span<double> state, const PacketRecord& rec) const {
+    vm_.execute_record(state, rec);
+  }
+
+  /// Reference semantics: walk the resolved statement tree. Kept for
+  /// differential tests and the interpreted-vs-VM microbenchmark.
+  void execute_interpreted(std::span<double> state,
+                           const ValueSource& input) const;
 
   [[nodiscard]] std::size_t state_dims() const { return dims_; }
+  [[nodiscard]] const FoldVm& vm() const { return vm_; }
 
  private:
+  friend class FoldVmCompiler;
+
   struct CompiledStmt {
     bool is_if = false;
     int target = -1;       // assign
@@ -65,6 +94,7 @@ class FoldBody {
                          std::span<double> state, const ValueSource& input);
 
   std::vector<CompiledStmt> body_;
+  FoldVm vm_;
   std::size_t dims_ = 0;
 };
 
@@ -83,7 +113,13 @@ class CompiledFoldKernel final : public kv::FoldKernel {
   [[nodiscard]] kv::StateVector initial_state() const override {
     return kv::StateVector(dims_);
   }
-  void update(kv::StateVector& state, const PacketRecord& rec) const override;
+  /// Inline so concrete (devirtualized) callers fold the VM into their loop.
+  void update(kv::StateVector& state, const PacketRecord& rec) const override {
+    body_.execute_record(state.span(), rec);
+  }
+  /// update() via the AST-walking reference path (tests, benchmarks).
+  void update_interpreted(kv::StateVector& state, const PacketRecord& rec) const;
+  [[nodiscard]] const FoldBody& body() const { return body_; }
   [[nodiscard]] kv::Linearity linearity() const override { return linearity_; }
   [[nodiscard]] std::size_t history_window() const override { return history_; }
   [[nodiscard]] kv::AffineTransform transform(

@@ -1,0 +1,329 @@
+#include "compiler/fold_vm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "compiler/fold_compiler.hpp"
+
+namespace perfq::compiler {
+
+FoldVm FoldVmCompiler::compile(const FoldBody& body) {
+  using Op = FoldVm::Op;
+  using EOp = ScalarExpr::Op;
+
+  // Local class: inherits this member function's friend access to
+  // ScalarExpr/FoldBody internals.
+  struct Builder {
+    FoldVm vm;
+    std::vector<std::uint64_t> const_bits;  ///< parallel to vm.const_pool_
+    std::vector<std::pair<int, int>> field_slots;  ///< (depth, index), ordered
+    std::vector<int> preload_states;  ///< state indices preloaded on entry
+    std::set<int> written;  ///< state slots possibly written so far (lockstep)
+    std::vector<std::uint8_t> free_regs;
+    std::uint32_t pinned_end = 0;  ///< consts + fields + state preloads
+    std::uint32_t next_reg = 0;
+
+    // ---- pass A: constants, field set, preloadable state reads -------------
+    std::uint8_t intern(double v) {
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+      for (std::size_t i = 0; i < const_bits.size(); ++i) {
+        if (const_bits[i] == bits) return static_cast<std::uint8_t>(i);
+      }
+      check(const_bits.size() < FoldVm::kMaxRegs,
+            "FoldVm: constant pool exceeds register budget");
+      const_bits.push_back(bits);
+      vm.const_pool_.push_back(v);
+      return static_cast<std::uint8_t>(const_bits.size() - 1);
+    }
+
+    /// Evaluate a constant-only subtree with the interpreter's exact operator
+    /// semantics (ScalarExpr::eval_op is the shared authoritative table), so
+    /// folding never changes a bit.
+    std::optional<double> fold(const ScalarExpr& e, int idx) const {
+      const ScalarExpr::Node& n = e.nodes_[static_cast<std::size_t>(idx)];
+      switch (n.op) {
+        case EOp::kConst: return n.k;
+        case EOp::kSlot: return std::nullopt;
+        case EOp::kNot:
+        case EOp::kNeg: {
+          const auto a = fold(e, n.a);
+          if (!a) return std::nullopt;
+          return ScalarExpr::eval_op(n.op, *a, 0.0);
+        }
+        case EOp::kSelect: {
+          const auto a = fold(e, n.a);
+          const auto b = fold(e, n.b);
+          const auto c = fold(e, n.c);
+          if (!a || !b || !c) return std::nullopt;
+          return *a != 0.0 ? *b : *c;
+        }
+        default: {
+          const auto a = fold(e, n.a);
+          const auto b = fold(e, n.b);
+          if (!a || !b) return std::nullopt;
+          return ScalarExpr::eval_op(n.op, *a, *b);
+        }
+      }
+    }
+
+    void note_field(Slot slot) {
+      const std::pair<int, int> key{slot.depth, slot.index};
+      if (std::find(field_slots.begin(), field_slots.end(), key) ==
+          field_slots.end()) {
+        field_slots.push_back(key);
+      }
+    }
+    void note_state_read(int idx) {
+      // Preloadable iff never (possibly) written before this read; reads
+      // after a write re-load at the use site instead.
+      if (written.count(idx) != 0) return;
+      if (std::find(preload_states.begin(), preload_states.end(), idx) ==
+          preload_states.end()) {
+        preload_states.push_back(idx);
+      }
+    }
+
+    void scan_expr(const ScalarExpr& e, int idx) {
+      if (const auto v = fold(e, idx)) {
+        intern(*v);
+        return;
+      }
+      const ScalarExpr::Node& n = e.nodes_[static_cast<std::size_t>(idx)];
+      if (n.op == EOp::kSlot) {
+        if (n.slot.depth == kStateDepth) {
+          note_state_read(n.slot.index);
+        } else {
+          note_field(n.slot);
+        }
+        return;
+      }
+      if (n.a >= 0) scan_expr(e, n.a);
+      if (n.b >= 0) scan_expr(e, n.b);
+      if (n.c >= 0) scan_expr(e, n.c);
+    }
+
+    void scan_block(const std::vector<FoldBody::CompiledStmt>& block) {
+      for (const auto& s : block) {
+        scan_expr(s.expr, s.expr.root_);
+        if (s.is_if) {
+          scan_block(s.then_body);
+          scan_block(s.else_body);
+        } else {
+          written.insert(s.target);
+        }
+      }
+    }
+
+    // ---- register file layout ----------------------------------------------
+    std::uint8_t field_reg(Slot slot) const {
+      const std::pair<int, int> key{slot.depth, slot.index};
+      const auto it = std::find(field_slots.begin(), field_slots.end(), key);
+      check(it != field_slots.end(), "FoldVm: unscanned field slot");
+      return static_cast<std::uint8_t>(vm.const_pool_.size() +
+                                       (it - field_slots.begin()));
+    }
+    std::optional<std::uint8_t> preloaded_state_reg(int idx) const {
+      if (written.count(idx) != 0) return std::nullopt;  // stale after write
+      const auto it =
+          std::find(preload_states.begin(), preload_states.end(), idx);
+      if (it == preload_states.end()) return std::nullopt;
+      return static_cast<std::uint8_t>(vm.const_pool_.size() +
+                                       field_slots.size() +
+                                       (it - preload_states.begin()));
+    }
+
+    std::uint8_t alloc() {
+      if (!free_regs.empty()) {
+        const std::uint8_t r = free_regs.back();
+        free_regs.pop_back();
+        return r;
+      }
+      check(next_reg < FoldVm::kMaxRegs, "FoldVm: register budget exceeded");
+      const auto r = static_cast<std::uint8_t>(next_reg++);
+      vm.reg_count_ = next_reg;
+      return r;
+    }
+    void release(std::uint8_t r) {
+      if (r >= pinned_end) free_regs.push_back(r);  // pinned regs stay
+    }
+
+    // ---- pass B: emission --------------------------------------------------
+    static Op lower_op(EOp op) {
+      switch (op) {
+        case EOp::kAdd: return Op::kAdd;
+        case EOp::kSub: return Op::kSub;
+        case EOp::kMul: return Op::kMul;
+        case EOp::kDiv: return Op::kDiv;
+        case EOp::kEq: return Op::kEq;
+        case EOp::kNe: return Op::kNe;
+        case EOp::kLt: return Op::kLt;
+        case EOp::kLe: return Op::kLe;
+        case EOp::kGt: return Op::kGt;
+        case EOp::kGe: return Op::kGe;
+        case EOp::kAnd: return Op::kAnd;
+        case EOp::kOr: return Op::kOr;
+        case EOp::kNot: return Op::kNot;
+        case EOp::kNeg: return Op::kNeg;
+        case EOp::kMax: return Op::kMax;
+        case EOp::kMin: return Op::kMin;
+        default: throw InternalError{"FoldVm: unlowerable op"};
+      }
+    }
+
+    std::uint8_t emit_expr(const ScalarExpr& e, int idx) {
+      if (const auto v = fold(e, idx)) return intern(*v);
+      const ScalarExpr::Node& n = e.nodes_[static_cast<std::size_t>(idx)];
+      switch (n.op) {
+        case EOp::kConst:
+          throw InternalError{"FoldVm: unfolded constant"};
+        case EOp::kSlot: {
+          if (n.slot.depth != kStateDepth) return field_reg(n.slot);
+          if (const auto pre = preloaded_state_reg(n.slot.index)) return *pre;
+          const std::uint8_t r = alloc();
+          vm.code_.push_back({Op::kLoadState, r,
+                              static_cast<std::uint8_t>(n.slot.index), 0, 0});
+          return r;
+        }
+        case EOp::kNot:
+        case EOp::kNeg: {
+          const std::uint8_t a = emit_expr(e, n.a);
+          release(a);
+          const std::uint8_t r = alloc();
+          vm.code_.push_back({lower_op(n.op), r, a, 0, 0});
+          return r;
+        }
+        case EOp::kSelect: {
+          const std::uint8_t a = emit_expr(e, n.a);
+          const std::uint8_t b = emit_expr(e, n.b);
+          const std::uint8_t c = emit_expr(e, n.c);
+          release(a);
+          release(b);
+          release(c);
+          const std::uint8_t r = alloc();
+          vm.code_.push_back({Op::kSelect, r, a, b, c});
+          return r;
+        }
+        default: {
+          const std::uint8_t a = emit_expr(e, n.a);
+          const std::uint8_t b = emit_expr(e, n.b);
+          release(a);
+          release(b);
+          const std::uint8_t r = alloc();
+          vm.code_.push_back({lower_op(n.op), r, a, b, 0});
+          return r;
+        }
+      }
+    }
+
+    void emit_block(const std::vector<FoldBody::CompiledStmt>& block) {
+      for (const auto& s : block) {
+        if (!s.is_if) {
+          const std::size_t before = vm.code_.size();
+          const std::uint8_t r = emit_expr(s.expr, s.expr.root_);
+          const auto target = static_cast<std::uint8_t>(s.target);
+          FoldVm::Instr* last =
+              vm.code_.size() > before ? &vm.code_.back() : nullptr;
+          if (last != nullptr && last->dst == r && r >= pinned_end) {
+            // Store fusion: redirect the producing instruction to write the
+            // state variable directly (St twin = op + 1).
+            last->op = static_cast<Op>(static_cast<std::uint8_t>(last->op) + 1);
+            last->dst = target;
+          } else {
+            // Right-hand side is a pinned register (constant, field, or
+            // preloaded state): plain store.
+            vm.code_.push_back({Op::kStoreState, target, r, 0, 0});
+          }
+          release(r);
+          written.insert(s.target);
+          continue;
+        }
+        const std::uint8_t cond = emit_expr(s.expr, s.expr.root_);
+        const std::size_t jz_at = vm.code_.size();
+        vm.code_.push_back({Op::kJz, 0, cond, 0, 0});
+        release(cond);
+        emit_block(s.then_body);
+        if (s.else_body.empty()) {
+          vm.code_[jz_at].target = static_cast<std::int32_t>(vm.code_.size());
+        } else {
+          const std::size_t jmp_at = vm.code_.size();
+          vm.code_.push_back({Op::kJmp, 0, 0, 0, 0});
+          vm.code_[jz_at].target = static_cast<std::int32_t>(vm.code_.size());
+          emit_block(s.else_body);
+          vm.code_[jmp_at].target = static_cast<std::int32_t>(vm.code_.size());
+        }
+      }
+    }
+  };
+
+  Builder b;
+  b.scan_block(body.body_);
+  b.written.clear();  // pass B re-runs the same lockstep write tracking
+
+  const std::size_t pinned = b.vm.const_pool_.size() + b.field_slots.size() +
+                             b.preload_states.size();
+  check(pinned < FoldVm::kMaxRegs, "FoldVm: pinned registers exceed budget");
+  b.pinned_end = static_cast<std::uint32_t>(pinned);
+  b.next_reg = b.pinned_end;
+  b.vm.reg_count_ = b.pinned_end;
+
+  for (std::size_t i = 0; i < b.field_slots.size(); ++i) {
+    b.vm.fields_.push_back(FoldVm::FieldLoad{
+        Slot{b.field_slots[i].first, b.field_slots[i].second},
+        static_cast<std::uint8_t>(b.vm.const_pool_.size() + i)});
+  }
+  for (std::size_t i = 0; i < b.preload_states.size(); ++i) {
+    b.vm.states_.push_back(FoldVm::StateLoad{
+        static_cast<std::uint8_t>(b.preload_states[i]),
+        static_cast<std::uint8_t>(b.vm.const_pool_.size() +
+                                  b.field_slots.size() + i)});
+  }
+
+  b.vm.code_.clear();  // drop the default-constructed kHalt program
+  b.emit_block(body.body_);
+  b.vm.code_.push_back({Op::kHalt, 0, 0, 0, 0});
+
+  // Persistent register file: constants written once here; field/state
+  // preloads and scratch registers are rewritten by every run().
+  b.vm.regs_.assign(FoldVm::kMaxRegs, 0.0);
+  std::copy(b.vm.const_pool_.begin(), b.vm.const_pool_.end(),
+            b.vm.regs_.begin());
+
+  // ---- quickening: recognize whole-program superinstruction shapes --------
+  // The canonical linear fold (EWMA, Fig. 2):
+  //   [kMul t1 = cA * sPre] [kSub t2 = fx - fy] [kMul t3 = cB * t2]
+  //   [kAddSt state[s] = t1 + t3] [kHalt]
+  {
+    const auto pool = static_cast<std::uint8_t>(b.vm.const_pool_.size());
+    const auto fields_end =
+        static_cast<std::uint8_t>(pool + b.vm.fields_.size());
+    const auto is_const = [&](std::uint8_t reg) { return reg < pool; };
+    const auto is_field = [&](std::uint8_t reg) {
+      return reg >= pool && reg < fields_end;
+    };
+    const auto& c = b.vm.code_;
+    if (c.size() == 5 && c[0].op == Op::kMul && c[1].op == Op::kSub &&
+        c[2].op == Op::kMul && c[3].op == Op::kAddSt &&
+        is_const(c[0].a) && is_const(c[2].a) && is_field(c[1].a) &&
+        is_field(c[1].b) && c[2].b == c[1].dst && c[3].a == c[0].dst &&
+        c[3].b == c[2].dst) {
+      for (const FoldVm::StateLoad& s : b.vm.states_) {
+        if (s.reg == c[0].b && s.idx == c[3].dst) {
+          b.vm.special_ = FoldVm::Special::kAffine1Diff;
+          b.vm.sp_ca_ = b.vm.const_pool_[c[0].a];
+          b.vm.sp_cb_ = b.vm.const_pool_[c[2].a];
+          b.vm.sp_state_ = c[3].dst;
+          b.vm.sp_fx_ = b.vm.fields_[c[1].a - pool].slot;
+          b.vm.sp_fy_ = b.vm.fields_[c[1].b - pool].slot;
+          break;
+        }
+      }
+    }
+  }
+
+  return std::move(b.vm);
+}
+
+}  // namespace perfq::compiler

@@ -132,38 +132,46 @@ double ScalarExpr::eval(const ValueSource& source) const {
   return eval_node(root_, source);
 }
 
+double ScalarExpr::eval_op(Op op, double a, double b) {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return a / b;
+    case Op::kEq: return a == b ? 1.0 : 0.0;
+    case Op::kNe: return a != b ? 1.0 : 0.0;
+    case Op::kLt: return a < b ? 1.0 : 0.0;
+    case Op::kLe: return a <= b ? 1.0 : 0.0;
+    case Op::kGt: return a > b ? 1.0 : 0.0;
+    case Op::kGe: return a >= b ? 1.0 : 0.0;
+    case Op::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case Op::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case Op::kNot: return a == 0.0 ? 1.0 : 0.0;
+    case Op::kNeg: return -a;
+    case Op::kMax: return std::max(a, b);
+    case Op::kMin: return std::min(a, b);
+    case Op::kConst:
+    case Op::kSlot:
+    case Op::kSelect:
+      break;  // not value-combining ops
+  }
+  throw InternalError{"ScalarExpr::eval_op: unknown op"};
+}
+
 double ScalarExpr::eval_node(int index, const ValueSource& source) const {
   const Node& n = nodes_[static_cast<std::size_t>(index)];
   switch (n.op) {
     case Op::kConst: return n.k;
     case Op::kSlot: return source.value(n.slot);
-    case Op::kAdd: return eval_node(n.a, source) + eval_node(n.b, source);
-    case Op::kSub: return eval_node(n.a, source) - eval_node(n.b, source);
-    case Op::kMul: return eval_node(n.a, source) * eval_node(n.b, source);
-    case Op::kDiv: return eval_node(n.a, source) / eval_node(n.b, source);
-    case Op::kEq: return eval_node(n.a, source) == eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kNe: return eval_node(n.a, source) != eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kLt: return eval_node(n.a, source) < eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kLe: return eval_node(n.a, source) <= eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kGt: return eval_node(n.a, source) > eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kGe: return eval_node(n.a, source) >= eval_node(n.b, source) ? 1.0 : 0.0;
-    case Op::kAnd:
-      return (eval_node(n.a, source) != 0.0 && eval_node(n.b, source) != 0.0)
-                 ? 1.0
-                 : 0.0;
-    case Op::kOr:
-      return (eval_node(n.a, source) != 0.0 || eval_node(n.b, source) != 0.0)
-                 ? 1.0
-                 : 0.0;
-    case Op::kNot: return eval_node(n.a, source) == 0.0 ? 1.0 : 0.0;
-    case Op::kNeg: return -eval_node(n.a, source);
-    case Op::kMax: return std::max(eval_node(n.a, source), eval_node(n.b, source));
-    case Op::kMin: return std::min(eval_node(n.a, source), eval_node(n.b, source));
+    case Op::kNot:
+    case Op::kNeg:
+      return eval_op(n.op, eval_node(n.a, source), 0.0);
     case Op::kSelect:
       return eval_node(n.a, source) != 0.0 ? eval_node(n.b, source)
                                            : eval_node(n.c, source);
+    default:
+      return eval_op(n.op, eval_node(n.a, source), eval_node(n.b, source));
   }
-  throw InternalError{"ScalarExpr: unknown op"};
 }
 
 bool ScalarExpr::is_constant(double* value) const {

@@ -89,6 +89,10 @@ class ScalarExpr {
   [[nodiscard]] int max_depth() const { return max_depth_; }
 
  private:
+  // The fold bytecode compiler translates the resolved node tree into flat
+  // register code (src/compiler/fold_vm.hpp) without re-walking the lang AST.
+  friend class FoldVmCompiler;
+
   enum class Op : std::uint8_t {
     kConst, kSlot,
     kAdd, kSub, kMul, kDiv,
@@ -107,6 +111,12 @@ class ScalarExpr {
 
   [[nodiscard]] int lower(const lang::Expr& expr, const Resolver& resolver);
   [[nodiscard]] double eval_node(int index, const ValueSource& source) const;
+
+  /// The one authoritative definition of every binary/unary operator's IEEE
+  /// semantics: eval_node and the fold VM's compile-time constant folder
+  /// both call it, so the VM-vs-interpreter bit-for-bit invariant cannot be
+  /// broken by the two sides drifting. (Unary ops ignore `b`.)
+  [[nodiscard]] static double eval_op(Op op, double a, double b);
 
   std::vector<Node> nodes_;
   int root_ = -1;

@@ -1,5 +1,7 @@
 #include "kvstore/cache.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
@@ -11,6 +13,7 @@ Cache::Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
     : geometry_(geometry),
       kernel_(std::move(kernel)),
       hash_seed_(hash_seed),
+      seed_mix_(mix64(hash_seed)),
       policy_(policy),
       victim_rng_state_(mix64(hash_seed ^ 0xF00DF00DULL) | 1) {
   if (kernel_ == nullptr) throw ConfigError{"Cache: null kernel"};
@@ -20,44 +23,91 @@ Cache::Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
     throw ConfigError{"Cache: too many slots for 32-bit slot indices"};
   }
   slots_.resize(total);
+  tags_.assign(total, kEmptyTag);
   buckets_.resize(geometry_.num_buckets);
-  index_.reserve(total);
+  if (needs_aux()) {
+    // Pooled aux arena: one entry per slot, allocated once here. Epochs
+    // reuse the vectors' capacity; process() never allocates per slot.
+    aux_.resize(total);
+    for (auto& aux : aux_) {
+      aux.product = SmallMatrix::identity(kernel_->state_dims());
+    }
+  }
+}
+
+std::uint32_t Cache::probe(const Key& key, std::uint64_t bucket,
+                           std::uint8_t tag) const {
+  // Tag scan rejects empty slots (kEmptyTag) and ~255/256 of occupied
+  // non-matches without touching the slot array. memchr vectorizes the scan,
+  // which matters for the fully-associative geometry (one huge bucket).
+  const std::uint64_t base = bucket * geometry_.associativity;
+  const std::uint8_t* tag_row = tags_.data() + base;
+  std::uint32_t s = 0;
+  while (s < geometry_.associativity) {
+    const void* found =
+        std::memchr(tag_row + s, tag, geometry_.associativity - s);
+    if (found == nullptr) return kInvalid;
+    s = static_cast<std::uint32_t>(static_cast<const std::uint8_t*>(found) -
+                                   tag_row);
+    const auto idx = static_cast<std::uint32_t>(base + s);
+    if (slots_[idx].key == key) return idx;
+    ++s;
+  }
+  return kInvalid;
+}
+
+void Cache::prefetch(const Key& key) const {
+  const std::uint64_t b = bucket_of_hash(bucket_hash(key));
+  const std::uint64_t base = b * geometry_.associativity;
+  __builtin_prefetch(tags_.data() + base);
+  __builtin_prefetch(buckets_.data() + b);
+  // The slot array of one bucket spans several cache lines and the probe's
+  // landing slot is unknown until the tag row is read, so touch every line
+  // of the bucket (capped: beyond a few lines the prefetches cost more than
+  // the misses they hide, and huge fully-associative buckets would thrash).
+  constexpr std::uint64_t kMaxLines = 8;
+  const auto* first = reinterpret_cast<const char*>(slots_.data() + base);
+  const auto* last =
+      reinterpret_cast<const char*>(slots_.data() + base +
+                                    geometry_.associativity);
+  const auto span = static_cast<std::uint64_t>(last - first);
+  const std::uint64_t lines = std::min(kMaxLines, (span + 63) / 64);
+  for (std::uint64_t l = 0; l < lines; ++l) {
+    __builtin_prefetch(first + l * 64);
+  }
 }
 
 void Cache::process(const Key& key, const PacketRecord& rec) {
   ++stats_.packets;
-  if (const auto it = index_.find(key); it != index_.end()) {
+  const std::uint64_t h = bucket_hash(key);
+  const std::uint64_t b = bucket_of_hash(h);
+  const std::uint8_t tag = tag_of_hash(h);
+  Bucket& bucket = buckets_[b];
+
+  if (const std::uint32_t idx = probe(key, b, tag); idx != kInvalid) {
     // Hit: one *update* operation.
     ++stats_.hits;
-    const std::uint32_t idx = it->second;
-    Slot& slot = slots_[idx];
-    fold_record(slot, rec);
-    if (policy_ == EvictionPolicy::kLru) {
+    fold_record(idx, rec);
+    if (policy_ == EvictionPolicy::kLru && bucket.mru != idx) {
       // Touch-on-hit: only LRU reorders; FIFO/random keep insertion order.
-      const std::uint64_t b = idx / geometry_.associativity;
-      unlink(buckets_[b], idx);
-      push_mru(buckets_[b], idx);
+      unlink(bucket, idx);
+      push_mru(bucket, idx);
     }
     return;
   }
 
   // Miss: one *initialize* operation, possibly preceded by an eviction.
   ++stats_.initializations;
-  const std::uint64_t b = bucket_of(key);
-  Bucket& bucket = buckets_[b];
   std::uint32_t idx;
+  const std::uint64_t base = b * geometry_.associativity;
   if (bucket.used < geometry_.associativity) {
-    // Free slot exists: bucket b owns the contiguous slot range; scan it.
+    // Free slot exists: scan the bucket's tag row for an empty entry.
     // (Buckets only fill at startup; once warm this path is rare.)
-    const std::uint64_t base = b * geometry_.associativity;
-    idx = kInvalid;
-    for (std::uint32_t s = 0; s < geometry_.associativity; ++s) {
-      if (!slots_[base + s].occupied) {
-        idx = static_cast<std::uint32_t>(base + s);
-        break;
-      }
-    }
-    check(idx != kInvalid, "Cache: bucket.used inconsistent with slots");
+    const void* found =
+        std::memchr(tags_.data() + base, kEmptyTag, geometry_.associativity);
+    check(found != nullptr, "Cache: bucket.used inconsistent with slots");
+    idx = static_cast<std::uint32_t>(static_cast<const std::uint8_t*>(found) -
+                                     tags_.data());
   } else {
     // Bucket full: pick the policy's victim and reuse its slot.
     if (policy_ == EvictionPolicy::kRandom) {
@@ -66,7 +116,7 @@ void Cache::process(const Key& key, const PacketRecord& rec) {
       victim_rng_state_ ^= victim_rng_state_ << 25;
       victim_rng_state_ ^= victim_rng_state_ >> 27;
       const std::uint64_t r = victim_rng_state_ * 0x2545F4914F6CDD1DULL;
-      idx = static_cast<std::uint32_t>(b * geometry_.associativity +
+      idx = static_cast<std::uint32_t>(base +
                                        reduce_range(r, geometry_.associativity));
     } else {
       // LRU and FIFO both evict the list tail; FIFO never reorders on hits,
@@ -83,33 +133,44 @@ void Cache::process(const Key& key, const PacketRecord& rec) {
   slot.state = kernel_->initial_state();
   slot.packets = 0;
   slot.first_tin = rec.tin;
-  slot.occupied = true;
-  if (needs_aux()) {
-    slot.aux = std::make_unique<LinearAux>();
-    slot.aux->product = SmallMatrix::identity(kernel_->state_dims());
+  tags_[idx] = tag;
+  ++occupancy_;
+  if (!aux_.empty()) {
+    LinearAux& aux = aux_[idx];
+    aux.product = SmallMatrix::identity(kernel_->state_dims());
+    aux.state_after_h = StateVector{};
+    aux.boundary.clear();
+    aux.history.clear();
   }
-  fold_record(slot, rec);
+  fold_record(idx, rec);
   push_mru(bucket, idx);
   ++bucket.used;
-  index_.emplace(key, idx);
 }
 
-void Cache::fold_record(Slot& slot, const PacketRecord& rec) {
+void Cache::fold_record(std::uint32_t slot_idx, const PacketRecord& rec) {
+  Slot& slot = slots_[slot_idx];
   const std::size_t h = kernel_->history_window();
   const std::uint64_t idx_in_epoch = slot.packets;  // 0-based
 
-  if (slot.aux != nullptr) {
-    LinearAux& aux = *slot.aux;
+  if (!aux_.empty()) {
+    LinearAux& aux = aux_[slot_idx];
     if (idx_in_epoch < h) {
       // Boundary packet: the merge replays these raw records, so log them.
       aux.boundary.push_back(rec);
     } else if (kernel_->linearity() == Linearity::kLinear) {
       // Interior packet of a varying-A fold: compose this packet's transform
       // into the running product P (window = last h records + current).
-      std::vector<PacketRecord> window = aux.history;
-      window.push_back(rec);
-      const AffineTransform t = kernel_->transform(window);
-      aux.product.left_multiply(t.a);
+      if (h == 0) {
+        // Common case (e.g. EWMA): window is just the current record —
+        // no window buffer needed at all.
+        const AffineTransform t = kernel_->transform({&rec, 1});
+        aux.product.left_multiply(t.a);
+      } else {
+        aux.scratch.assign(aux.history.begin(), aux.history.end());
+        aux.scratch.push_back(rec);
+        const AffineTransform t = kernel_->transform(aux.scratch);
+        aux.product.left_multiply(t.a);
+      }
     }
     // Maintain the last-h window.
     if (h > 0) {
@@ -121,8 +182,8 @@ void Cache::fold_record(Slot& slot, const PacketRecord& rec) {
   kernel_->update(slot.state, rec);
   ++slot.packets;
 
-  if (slot.aux != nullptr && slot.packets == h) {
-    slot.aux->state_after_h = slot.state;  // snapshot S_h
+  if (!aux_.empty() && slot.packets == h) {
+    aux_[slot_idx].state_after_h = slot.state;  // snapshot S_h
   }
 }
 
@@ -151,7 +212,9 @@ void Cache::push_mru(Bucket& bucket, std::uint32_t slot_idx) {
   if (bucket.lru == kInvalid) bucket.lru = slot_idx;
 }
 
-EvictedValue Cache::make_evicted(Slot& slot, Nanos now, bool final_flush) {
+EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
+                                 bool final_flush) {
+  Slot& slot = slots_[slot_idx];
   EvictedValue ev;
   ev.key = slot.key;
   ev.state = slot.state;
@@ -159,10 +222,14 @@ EvictedValue Cache::make_evicted(Slot& slot, Nanos now, bool final_flush) {
   ev.first_tin = slot.first_tin;
   ev.evict_time = now;
   ev.final_flush = final_flush;
-  if (slot.aux != nullptr) {
-    ev.product = slot.aux->product;
-    ev.state_after_h = slot.aux->state_after_h;
-    ev.boundary = std::move(slot.aux->boundary);
+  if (!aux_.empty()) {
+    LinearAux& aux = aux_[slot_idx];
+    ev.product = aux.product;
+    ev.state_after_h = aux.state_after_h;
+    // Move the boundary log out (evictions own their records); the next
+    // epoch starts from a cleared vector either way.
+    ev.boundary = std::move(aux.boundary);
+    aux.boundary.clear();
   } else {
     ev.product = SmallMatrix::identity(kernel_->state_dims());
     ev.state_after_h = kernel_->initial_state();  // h = 0: S_h is S_0
@@ -174,21 +241,19 @@ EvictedValue Cache::make_evicted(Slot& slot, Nanos now, bool final_flush) {
 }
 
 void Cache::evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush) {
-  Slot& slot = slots_[slot_idx];
-  check(slot.occupied, "Cache: evicting empty slot");
-  EvictedValue ev = make_evicted(slot, now, final_flush);
+  check(slot_occupied(slot_idx), "Cache: evicting empty slot");
+  EvictedValue ev = make_evicted(slot_idx, now, final_flush);
   const std::uint64_t b = slot_idx / geometry_.associativity;
   unlink(buckets_[b], slot_idx);
   --buckets_[b].used;
-  index_.erase(slot.key);
-  slot.occupied = false;
-  slot.aux.reset();
+  tags_[slot_idx] = kEmptyTag;
+  --occupancy_;
   if (sink_) sink_(std::move(ev));
 }
 
 void Cache::flush(Nanos now) {
   for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
-    if (slots_[idx].occupied) {
+    if (slot_occupied(idx)) {
       evict_slot(idx, now, /*final_flush=*/true);
       ++stats_.flushes;
     }
@@ -196,9 +261,10 @@ void Cache::flush(Nanos now) {
 }
 
 std::optional<StateVector> Cache::peek(const Key& key) const {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  return slots_[it->second].state;
+  const std::uint64_t h = bucket_hash(key);
+  const std::uint32_t idx = probe(key, bucket_of_hash(h), tag_of_hash(h));
+  if (idx == kInvalid) return std::nullopt;
+  return slots_[idx].state;
 }
 
 }  // namespace perfq::kv

@@ -11,12 +11,24 @@
 // exact merge needs (per-entry packet count N; the running transform product
 // P when A varies per packet; the first-h boundary records and the state
 // snapshot after them when the fold reads bounded packet history).
+//
+// Hot-path design (mirrors the paper's §3.3 per-packet budget of one hash +
+// one bucket touch + one small update):
+//   - No side index. Keys resolve by probing the owning bucket directly:
+//     the key's cached 64-bit hash (kv::Key computes it once at construction)
+//     yields the bucket index AND an 8-bit probe tag; the per-bucket tag
+//     array is scanned first and only tag matches pay for the full-key
+//     compare. An absent key costs one tag-row scan, exactly the geometry
+//     lookup hardware would do — no std::unordered_map walk.
+//   - Per-slot auxiliary state lives in a pooled arena indexed by slot
+//     (allocated once at construction, vectors reuse their capacity across
+//     epochs), so steady-state process() performs ZERO heap allocations for
+//     const-A/h=0 kernels and only amortized ones otherwise.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -74,6 +86,11 @@ class Cache {
   /// operation of §3.2).
   void process(const Key& key, const PacketRecord& rec);
 
+  /// Hint that `key` is about to be processed: software-prefetch its bucket's
+  /// tag row and slot array. Used by the batched engine path to overlap the
+  /// bucket's DRAM fetch with the previous records' folds.
+  void prefetch(const Key& key) const;
+
   /// Write back and clear every resident entry (end-of-window, or the
   /// paper's "keys can be periodically evicted to keep the store fresh").
   void flush(Nanos now);
@@ -81,7 +98,7 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
   [[nodiscard]] EvictionPolicy policy() const { return policy_; }
-  [[nodiscard]] std::size_t occupancy() const { return index_.size(); }
+  [[nodiscard]] std::size_t occupancy() const { return occupancy_; }
 
   /// Read a resident entry's accumulator (tests/debugging; the paper notes
   /// the authoritative value lives in the backing store).
@@ -89,16 +106,22 @@ class Cache {
 
  private:
   static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  /// Tag of an empty slot; real tags avoid this value so a tag mismatch on
+  /// an empty slot never needs the occupancy check.
+  static constexpr std::uint8_t kEmptyTag = 0xFF;
 
-  /// Aux state for linear kernels; allocated only when needed so the common
-  /// const-A/h=0 case (e.g. Fig. 5's COUNT) stays allocation-free per slot.
+  /// Aux state for linear kernels; pooled in `aux_` (one entry per slot,
+  /// allocated once at construction) so epochs reuse vector capacity and the
+  /// common const-A/h=0 case (e.g. Fig. 5's COUNT) allocates nothing at all.
   struct LinearAux {
     SmallMatrix product;
     StateVector state_after_h;
     std::vector<PacketRecord> boundary;  ///< first h records
     std::vector<PacketRecord> history;   ///< last h records (window source)
+    std::vector<PacketRecord> scratch;   ///< reused transform window buffer
   };
 
+  /// Residency has exactly one representation: tags_[idx] != kEmptyTag.
   struct Slot {
     Key key;
     StateVector state;
@@ -106,8 +129,6 @@ class Cache {
     Nanos first_tin;
     std::uint32_t prev = kInvalid;  ///< intrusive LRU list within the bucket
     std::uint32_t next = kInvalid;
-    bool occupied = false;
-    std::unique_ptr<LinearAux> aux;
   };
 
   struct Bucket {
@@ -116,28 +137,48 @@ class Cache {
     std::uint32_t used = 0;
   };
 
-  [[nodiscard]] std::uint64_t bucket_of(const Key& key) const {
-    return reduce_range(key.hash(hash_seed_), geometry_.num_buckets);
+  /// Bucket-placement hash: the key's cached hash mixed with this cache's
+  /// seed (precomputed in `seed_mix_`); identical to key.hash(hash_seed_).
+  [[nodiscard]] std::uint64_t bucket_hash(const Key& key) const {
+    return hash_seed_ == 0 ? key.raw_hash() : mix64(key.raw_hash() ^ seed_mix_);
+  }
+  [[nodiscard]] std::uint64_t bucket_of_hash(std::uint64_t h) const {
+    return reduce_range(h, geometry_.num_buckets);
+  }
+  /// 8-bit probe tag from hash bits reduce_range() weighs least.
+  [[nodiscard]] static std::uint8_t tag_of_hash(std::uint64_t h) {
+    const auto tag = static_cast<std::uint8_t>(h >> 24);
+    return tag == kEmptyTag ? std::uint8_t{0} : tag;
+  }
+  /// Probe `key`'s bucket: tag scan + full-key confirm. kInvalid on miss.
+  [[nodiscard]] std::uint32_t probe(const Key& key, std::uint64_t bucket,
+                                    std::uint8_t tag) const;
+  [[nodiscard]] bool slot_occupied(std::uint32_t idx) const {
+    return tags_[idx] != kEmptyTag;
   }
   [[nodiscard]] bool needs_aux() const {
     return kernel_->linearity() == Linearity::kLinear ||
            kernel_->history_window() > 0;
   }
 
-  void fold_record(Slot& slot, const PacketRecord& rec);
+  void fold_record(std::uint32_t slot_idx, const PacketRecord& rec);
   void unlink(Bucket& bucket, std::uint32_t slot_idx);
   void push_mru(Bucket& bucket, std::uint32_t slot_idx);
   void evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush);
-  [[nodiscard]] EvictedValue make_evicted(Slot& slot, Nanos now, bool final_flush);
+  [[nodiscard]] EvictedValue make_evicted(std::uint32_t slot_idx, Nanos now,
+                                          bool final_flush);
 
   CacheGeometry geometry_;
   std::shared_ptr<const FoldKernel> kernel_;
   std::uint64_t hash_seed_;
+  std::uint64_t seed_mix_;  ///< mix64(hash_seed_), precomputed
   EvictionPolicy policy_;
   std::uint64_t victim_rng_state_;  ///< xorshift state for kRandom
   std::vector<Slot> slots_;     ///< bucket b owns [b*m, (b+1)*m)
+  std::vector<std::uint8_t> tags_;  ///< parallel to slots_: probe tags
+  std::vector<LinearAux> aux_;  ///< parallel to slots_; empty unless needs_aux()
   std::vector<Bucket> buckets_;
-  std::unordered_map<Key, std::uint32_t> index_;  ///< key -> slot
+  std::size_t occupancy_ = 0;
   EvictionSink sink_;
   CacheStats stats_;
 };

@@ -20,16 +20,25 @@ namespace perfq::kv {
 
 /// Fixed-capacity byte-string key. Max 32 bytes = 256 bits, comfortably above
 /// any GROUPBY field combination in the paper.
+///
+/// Hot-path design: the 64-bit hash of the key bytes is computed ONCE at
+/// construction and carried with the key (`raw_hash()`). Every downstream
+/// consumer — the cache's bucket index, the per-bucket probe tag, and the
+/// backing store's `std::unordered_map` — derives its value by mixing the
+/// cached hash with its own seed instead of rehashing the bytes, so a packet
+/// pays for exactly one byte-level hash no matter how many structures it
+/// touches (§3.3's "one hash" per-packet budget).
 class Key {
  public:
   static constexpr std::size_t kCapacity = 32;
 
-  Key() = default;
+  Key() : hash_(empty_hash()) {}
 
   explicit Key(std::span<const std::byte> bytes) {
     if (bytes.size() > kCapacity) throw ConfigError{"kv::Key: key too long"};
     len_ = static_cast<std::uint8_t>(bytes.size());
     std::memcpy(bytes_.data(), bytes.data(), bytes.size());
+    hash_ = hash_bytes(this->bytes(), 0);
   }
 
   /// Build a key from a list of 64-bit field values, packing each into the
@@ -44,6 +53,7 @@ class Key {
         k.bytes_[k.len_++] = static_cast<std::byte>(values[i] >> (8 * b));
       }
     }
+    k.hash_ = hash_bytes(k.bytes(), 0);
     return k;
   }
 
@@ -53,8 +63,14 @@ class Key {
   [[nodiscard]] std::size_t size() const { return len_; }
   [[nodiscard]] bool empty() const { return len_ == 0; }
 
+  /// The cached seed-0 hash of the key bytes; never rehashes.
+  [[nodiscard]] std::uint64_t raw_hash() const { return hash_; }
+
+  /// Seeded hash derived from the cached hash by mixing, not rehashing.
+  /// Equal keys agree for every seed; distinct seeds give decorrelated
+  /// values (mix64 is bijective, so no information is lost).
   [[nodiscard]] std::uint64_t hash(std::uint64_t seed = 0) const {
-    return hash_bytes(bytes(), seed);
+    return seed == 0 ? hash_ : mix64(hash_ ^ mix64(seed));
   }
 
   friend bool operator==(const Key& a, const Key& b) {
@@ -75,15 +91,30 @@ class Key {
   }
 
  private:
+  /// Hash of the empty key, computed once: caches of millions of slots
+  /// default-construct that many Keys, which must not each rehash.
+  static std::uint64_t empty_hash() {
+    static const std::uint64_t kEmptyHash = hash_bytes({}, 0);
+    return kEmptyHash;
+  }
+
   std::array<std::byte, kCapacity> bytes_{};
+  std::uint64_t hash_ = 0;  ///< seed-0 hash of bytes(), maintained on mutation
   std::uint8_t len_ = 0;
 };
+
+/// Seed for `std::hash<Key>` (backing store and any other map users). Chosen
+/// distinct from Cache's default bucket seed (0x5eedcafe) AND from the raw
+/// seed-0 hash, so hash-map bucket placement is decorrelated from the SRAM
+/// cache's bucket placement: a pathological trace that collides in one
+/// structure does not automatically collide in the other.
+inline constexpr std::uint64_t kStdHashSeed = 0x9e3779b97f4a7c15ULL;
 
 }  // namespace perfq::kv
 
 template <>
 struct std::hash<perfq::kv::Key> {
   std::size_t operator()(const perfq::kv::Key& k) const noexcept {
-    return static_cast<std::size_t>(k.hash());
+    return static_cast<std::size_t>(k.hash(perfq::kv::kStdHashSeed));
   }
 };

@@ -27,6 +27,9 @@ class KeyValueStore {
   /// Fold one record into the store under `key`.
   void process(const Key& key, const PacketRecord& rec) { cache_.process(key, rec); }
 
+  /// Software-prefetch the cache bucket `key` maps to (batched engine path).
+  void prefetch(const Key& key) const { cache_.prefetch(key); }
+
   /// Push all cache-resident values to the backing store (query window end,
   /// or the paper's periodic refresh). After flush(), reads from the backing
   /// store see every packet processed so far.

@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/time.hpp"
 #include "packet/packet.hpp"
 
@@ -72,8 +74,32 @@ inline constexpr std::size_t kNumFields = 16;
 /// hardware area model to size keys.
 [[nodiscard]] int field_bits(FieldId id);
 
-/// Extract a field as the query-language value type.
-[[nodiscard]] double field_value(const PacketRecord& rec, FieldId id);
+/// Extract a field as the query-language value type. Inline: this sits on
+/// the per-packet hot path (fold VM field preamble, ScalarExpr slot loads)
+/// where an out-of-line call per field would dominate the fold itself.
+[[nodiscard]] inline double field_value(const PacketRecord& rec, FieldId id) {
+  switch (id) {
+    case FieldId::kSrcIp: return static_cast<double>(rec.pkt.flow.src_ip);
+    case FieldId::kDstIp: return static_cast<double>(rec.pkt.flow.dst_ip);
+    case FieldId::kSrcPort: return static_cast<double>(rec.pkt.flow.src_port);
+    case FieldId::kDstPort: return static_cast<double>(rec.pkt.flow.dst_port);
+    case FieldId::kProto: return static_cast<double>(rec.pkt.flow.proto);
+    case FieldId::kPktLen: return static_cast<double>(rec.pkt.pkt_len);
+    case FieldId::kPayloadLen: return static_cast<double>(rec.pkt.payload_len);
+    case FieldId::kTcpSeq: return static_cast<double>(rec.pkt.tcp_seq);
+    case FieldId::kTcpFlags: return static_cast<double>(rec.pkt.tcp_flags);
+    case FieldId::kIpTtl: return static_cast<double>(rec.pkt.ip_ttl);
+    case FieldId::kPktUniq: return static_cast<double>(rec.pkt.pkt_uniq);
+    case FieldId::kPktPath: return static_cast<double>(rec.pkt.pkt_path);
+    case FieldId::kQid: return static_cast<double>(rec.qid);
+    case FieldId::kTin: return static_cast<double>(rec.tin.count());
+    case FieldId::kTout:
+      return rec.tout.is_infinite() ? std::numeric_limits<double>::infinity()
+                                    : static_cast<double>(rec.tout.count());
+    case FieldId::kQsize: return static_cast<double>(rec.qsize);
+  }
+  throw InternalError{"field_value: unknown FieldId"};
+}
 
 /// The "5tuple" abbreviation used throughout the paper's examples.
 [[nodiscard]] const std::vector<FieldId>& five_tuple_fields();

@@ -18,9 +18,12 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
       geometry = it->second;
     }
     switches_.push_back(SwitchInstance{
-        &plan, std::make_unique<kv::KeyValueStore>(geometry, plan.kernel,
-                                                   config_.hash_seed,
-                                                   config_.eviction_policy)});
+        &plan,
+        std::make_unique<kv::KeyValueStore>(geometry, plan.kernel,
+                                            config_.hash_seed,
+                                            config_.eviction_policy),
+        {},
+        {}});
   }
 
   // Stream SELECT sinks: stream selects no other query consumes.
@@ -42,41 +45,66 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
   }
 }
 
-void QueryEngine::process(const PacketRecord& rec) {
+void QueryEngine::process_batch(std::span<const PacketRecord> records) {
   check(!finished_, "QueryEngine: process after finish");
-  ++records_;
-  if (config_.refresh_interval > Nanos{0}) {
-    if (next_refresh_ == Nanos{0}) next_refresh_ = rec.tin + config_.refresh_interval;
-    if (rec.tin >= next_refresh_) {
-      // Periodic backing-store refresh (§3.2): exact for linear folds, and
-      // non-linear folds record one more segment (accounted in accuracy).
-      for (auto& sw : switches_) sw.store->flush(rec.tin);
-      ++refreshes_;
-      next_refresh_ = rec.tin + config_.refresh_interval;
+  for (std::size_t base = 0; base < records.size(); base += kBatchChunk) {
+    const std::size_t n = std::min(kBatchChunk, records.size() - base);
+    const std::span<const PacketRecord> chunk = records.subspan(base, n);
+
+    // Pass 1: evaluate prefilters and extract every key (computing its
+    // cached hash once), prefetching the owning cache bucket so its tag row
+    // and slots are resident by the time pass 2 folds the record.
+    for (auto& sw : switches_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const compiler::RecordSource source({&chunk[i], 1});
+        sw.pass[i] = !sw.plan->prefilter.has_value() ||
+                     sw.plan->prefilter->eval_bool(source);
+        if (sw.pass[i]) {
+          sw.keys[i] = compiler::extract_key(*sw.plan, chunk[i]);
+          sw.store->prefetch(sw.keys[i]);
+        }
+      }
     }
-  }
-  const compiler::RecordSource source({&rec, 1});
-  for (auto& sw : switches_) {
-    if (sw.plan->prefilter.has_value() && !sw.plan->prefilter->eval_bool(source)) {
-      continue;
+
+    // Pass 2: fold records in time order (refresh boundaries included;
+    // prefetches above have no side effects, so ordering is preserved).
+    for (std::size_t i = 0; i < n; ++i) {
+      const PacketRecord& rec = chunk[i];
+      ++records_;
+      if (config_.refresh_interval > Nanos{0}) {
+        if (next_refresh_ == Nanos{0}) {
+          next_refresh_ = rec.tin + config_.refresh_interval;
+        }
+        if (rec.tin >= next_refresh_) {
+          // Periodic backing-store refresh (§3.2): exact for linear folds,
+          // and non-linear folds record one more segment (accounted in
+          // accuracy).
+          for (auto& sw : switches_) sw.store->flush(rec.tin);
+          ++refreshes_;
+          next_refresh_ = rec.tin + config_.refresh_interval;
+        }
+      }
+      for (auto& sw : switches_) {
+        if (sw.pass[i]) sw.store->process(sw.keys[i], rec);
+      }
+      const compiler::RecordSource source({&rec, 1});
+      for (auto& sink : sinks_) {
+        if (sink.compiled.filter.has_value() &&
+            !sink.compiled.filter->eval_bool(source)) {
+          continue;
+        }
+        if (sink.table.row_count() >= config_.max_stream_rows) {
+          sink.overflowed = true;
+          continue;
+        }
+        std::vector<double> row;
+        row.reserve(sink.compiled.projections.size());
+        for (const auto& [name, expr] : sink.compiled.projections) {
+          row.push_back(expr.eval(source));
+        }
+        sink.table.add_row(std::move(row));
+      }
     }
-    sw.store->process(compiler::extract_key(*sw.plan, rec), rec);
-  }
-  for (auto& sink : sinks_) {
-    if (sink.compiled.filter.has_value() &&
-        !sink.compiled.filter->eval_bool(source)) {
-      continue;
-    }
-    if (sink.table.row_count() >= config_.max_stream_rows) {
-      sink.overflowed = true;
-      continue;
-    }
-    std::vector<double> row;
-    row.reserve(sink.compiled.projections.size());
-    for (const auto& [name, expr] : sink.compiled.projections) {
-      row.push_back(expr.eval(source));
-    }
-    sink.table.add_row(std::move(row));
   }
 }
 

@@ -172,6 +172,127 @@ SELECT 5tuple, gear GROUPBY 5tuple
   }
 }
 
+// ---------------------------------------------------- fold bytecode VM ----
+
+/// The Fig. 2 query corpus as fold definitions (every aggregation the paper
+/// lists that lowers to a fold body), used to property-test the bytecode VM.
+struct CorpusEntry {
+  const char* name;
+  const char* source;
+};
+const CorpusEntry kFig2Corpus[] = {
+    {"counter", R"(
+def counter (cnt, (pkt_len)):
+    cnt = cnt + 1
+
+SELECT 5tuple, counter GROUPBY 5tuple
+)"},
+    {"bytecounter", R"(
+def bytecounter ((cnt, bytes), (pkt_len)):
+    cnt = cnt + 1
+    bytes = bytes + pkt_len
+
+SELECT 5tuple, bytecounter GROUPBY 5tuple
+)"},
+    {"ewma", R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+)"},
+    {"outofseq", R"(
+def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple
+)"},
+    {"nonmt", R"(
+def nonmt ((maxseq, nm_count), (tcpseq)):
+    if maxseq > tcpseq: nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple
+)"},
+    {"perc", R"(
+def perc ((tot, high), qin):
+    if qin > K: high = high + 1
+    tot = tot + 1
+
+SELECT qid, perc GROUPBY qid
+)"},
+    {"sum_lat", R"(
+def sum_lat (lat, (tin, tout)):
+    lat = lat + (tout - tin)
+
+SELECT 5tuple, sum_lat GROUPBY 5tuple
+)"},
+    {"gear", R"(
+def gear (acc, (pkt_len)):
+    if pkt_len > 500:
+        acc = 2 * acc
+    else:
+        acc = acc + 1
+
+SELECT 5tuple, gear GROUPBY 5tuple
+)"},
+};
+
+TEST(FoldVm, BytecodeMatchesInterpreterBitForBitAcrossFig2Corpus) {
+  // Property: for every corpus fold and every record of a randomized TCP
+  // stream, the bytecode VM's update() must equal the AST-walking
+  // interpreter's update() BIT FOR BIT (same IEEE ops in the same order;
+  // exact double equality, not a tolerance).
+  const auto records = tcp_stream(2000, 99);
+  for (const CorpusEntry& entry : kFig2Corpus) {
+    SCOPED_TRACE(entry.name);
+    const auto analysis =
+        analyze_source(entry.source, {{"alpha", 0.125}, {"K", 100.0}});
+    const CompiledFoldKernel kernel(analysis.folds[0], {});
+    EXPECT_GT(kernel.body().vm().instruction_count(), 0u);
+    kv::StateVector vm_state = kernel.initial_state();
+    kv::StateVector interp_state = kernel.initial_state();
+    for (const auto& rec : records) {
+      kernel.update(vm_state, rec);
+      kernel.update_interpreted(interp_state, rec);
+      for (std::size_t d = 0; d < vm_state.dims(); ++d) {
+        ASSERT_EQ(vm_state[d], interp_state[d])
+            << "VM diverged from interpreter at dim " << d;
+      }
+    }
+  }
+}
+
+TEST(FoldVm, ExecutesRowsThroughGenericSource) {
+  // The collection layer drives the same bytecode through a RowSource; the
+  // VM and interpreter must agree there too (different load path).
+  const Resolver resolver = [](const std::string& name) -> std::optional<Slot> {
+    if (name == "x") return Slot{0, 0};
+    if (name == "y") return Slot{0, 1};
+    return std::nullopt;
+  };
+  const auto analysis = lang::analyze_source(R"(
+def blend ((acc, n), (x, y)):
+    acc = acc + x * y - acc / (n + 1)
+    n = n + 1
+
+SELECT 5tuple, blend GROUPBY 5tuple
+)");
+  const FoldBody body = FoldBody::compile(analysis.folds[0].def, resolver);
+  std::vector<double> vm_state{0.0, 0.0};
+  std::vector<double> interp_state{0.0, 0.0};
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> row{static_cast<double>(rng.below(1000)),
+                                  static_cast<double>(rng.below(1000))};
+    const RowSource source({row.data(), row.size()});
+    body.execute({vm_state.data(), vm_state.size()}, source);
+    body.execute_interpreted({interp_state.data(), interp_state.size()}, source);
+    ASSERT_EQ(vm_state[0], interp_state[0]);
+    ASSERT_EQ(vm_state[1], interp_state[1]);
+  }
+}
+
 // --------------------------------------------------------- program plans --
 
 TEST(ProgramCompiler, PerFlowCountersPlan) {

@@ -1,12 +1,39 @@
-// Cache mechanics: geometries, LRU behaviour, eviction accounting (Fig. 4).
+// Cache mechanics: geometries, LRU behaviour, eviction accounting (Fig. 4),
+// and the tag-probed index: cross-checks against an unordered_map shadow,
+// hash decorrelation, and the zero-allocation steady state.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/cache.hpp"
 #include "trace/simple.hpp"
+
+// Counting global allocator: lets tests assert that steady-state
+// Cache::process performs zero heap allocations (tag-probed index + pooled
+// aux arena). Counts every new/delete in the test binary; tests snapshot the
+// counter around the region of interest.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace perfq::kv {
 namespace {
@@ -187,6 +214,135 @@ TEST(Cache, EvictionFractionMatchesCounts) {
   for (std::uint32_t i = 0; i < 10; ++i) cache.process(key_of(i), rec_of(i));
   // 10 packets, 9 evictions (first init does not evict).
   EXPECT_DOUBLE_EQ(cache.stats().eviction_fraction(), 0.9);
+}
+
+// ------------------------------------------- tag-probed index validation --
+
+/// Reference model of the pre-refactor cache semantics: a std::unordered_map
+/// shadow tracking (key -> expected count state) plus hit/miss/eviction
+/// tallies. The tag-probed cache must match it event for event.
+TEST(Cache, TagProbeMatchesShadowMapOverZipfTrace) {
+  constexpr std::uint64_t kRecords = 1'000'000;
+  constexpr std::uint32_t kFlows = 40'000;
+  const auto records = trace::zipf_records(kRecords, kFlows, 1.1, 2024);
+
+  const CacheGeometry geom = CacheGeometry::set_associative(1 << 12, 8);
+  Cache cache(geom, count_kernel());
+
+  // Shadow state: resident value per key, plus merged evicted totals.
+  std::unordered_map<Key, double> resident;
+  std::unordered_map<Key, double> evicted_totals;
+  std::uint64_t evictions = 0;
+  std::uint64_t flushes = 0;
+  cache.set_eviction_sink([&](EvictedValue&& ev) {
+    const auto it = resident.find(ev.key);
+    ASSERT_NE(it, resident.end()) << "eviction of a key the shadow lost";
+    ASSERT_DOUBLE_EQ(ev.state[0], it->second)
+        << "evicted count diverges from shadow";
+    evicted_totals[ev.key] += ev.state[0];
+    resident.erase(it);
+    if (ev.final_flush) {
+      ++flushes;
+    } else {
+      ++evictions;
+    }
+  });
+
+  std::uint64_t hits = 0;
+  std::uint64_t inits = 0;
+  for (const auto& rec : records) {
+    const auto bytes = rec.pkt.flow.to_bytes();
+    const Key key{std::span<const std::byte>{bytes.data(), bytes.size()}};
+    const bool was_resident = resident.count(key) > 0;
+    cache.process(key, rec);
+    if (was_resident) {
+      ++hits;
+    } else {
+      ++inits;
+    }
+    resident[key] += 1.0;
+    // Spot-check resident state through the tag probe (every 1009th record
+    // to keep the O(n) peek affordable over a 1M trace).
+    if ((hits + inits) % 1009 == 0) {
+      const auto v = cache.peek(key);
+      ASSERT_TRUE(v.has_value());
+      ASSERT_DOUBLE_EQ((*v)[0], resident[key]);
+    }
+  }
+
+  EXPECT_EQ(cache.stats().hits, hits);
+  EXPECT_EQ(cache.stats().initializations, inits);
+  EXPECT_EQ(cache.stats().evictions, evictions);
+  EXPECT_EQ(cache.occupancy(), resident.size());
+
+  // Final flush: every resident entry must emerge exactly once with the
+  // shadow's value (asserted in the sink), and totals must cover the trace.
+  cache.flush(Nanos{1});
+  EXPECT_EQ(cache.stats().flushes, flushes);
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_TRUE(resident.empty());
+  double total = 0.0;
+  for (const auto& [key, count] : evicted_totals) total += count;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kRecords));
+}
+
+TEST(Cache, StdHashDecorrelatedFromBucketHash) {
+  // std::hash<Key> (backing store) must not mirror the cache's bucket
+  // placement: keys colliding in one structure shouldn't automatically
+  // collide in the other (satellite of the tag-probe refactor; the old
+  // default seeds were effectively correlated).
+  constexpr std::uint64_t kBuckets = 1 << 10;
+  std::uint64_t same = 0;
+  std::uint64_t checked = 0;
+  for (std::uint32_t f = 0; f < 20000; f += 2) {
+    const Key a = key_of(f);
+    const Key b = key_of(f + 1);
+    const bool cache_collide =
+        reduce_range(a.hash(0x5eedcafe), kBuckets) ==
+        reduce_range(b.hash(0x5eedcafe), kBuckets);
+    if (!cache_collide) continue;
+    ++checked;
+    same += reduce_range(std::hash<Key>{}(a), kBuckets) ==
+            reduce_range(std::hash<Key>{}(b), kBuckets);
+  }
+  // Under independence, P(map collision | cache collision) = 1/kBuckets;
+  // allow generous slack but rule out correlation.
+  EXPECT_GT(checked, 0u);
+  EXPECT_LT(same, checked / 4 + 2);
+  // And equal keys still agree, with the cached hash intact.
+  const Key k = key_of(7);
+  EXPECT_EQ(std::hash<Key>{}(k), std::hash<Key>{}(key_of(7)));
+  EXPECT_EQ(k.hash(), k.raw_hash());
+  EXPECT_NE(std::hash<Key>{}(k), static_cast<std::size_t>(k.raw_hash()));
+}
+
+TEST(Cache, SteadyStateProcessAllocatesNothingForConstAKernels) {
+  // Acceptance criterion: with a const-A/h=0 kernel (COUNT), the per-packet
+  // path — tag probe, fold, LRU touch, even capacity evictions — must not
+  // touch the heap once the cache is warm.
+  const auto records = trace::zipf_records(200'000, 4000, 1.1, 7);
+  Cache cache(CacheGeometry::set_associative(1 << 10, 8), count_kernel());
+  cache.set_eviction_sink({});
+
+  std::vector<Key> keys;
+  keys.reserve(records.size());
+  for (const auto& rec : records) {
+    const auto bytes = rec.pkt.flow.to_bytes();
+    keys.emplace_back(std::span<const std::byte>{bytes.data(), bytes.size()});
+  }
+
+  // Warm up: fill buckets so the steady state includes eviction traffic.
+  for (std::size_t i = 0; i < 100'000; ++i) cache.process(keys[i], records[i]);
+
+  const std::uint64_t before = g_allocations.load();
+  for (std::size_t i = 100'000; i < records.size(); ++i) {
+    cache.process(keys[i], records[i]);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state Cache::process allocated on the heap";
+  EXPECT_GT(cache.stats().evictions, 0u)
+      << "workload too small to exercise the eviction path";
 }
 
 }  // namespace

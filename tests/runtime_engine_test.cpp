@@ -344,6 +344,56 @@ R2 = SELECT srcip, COUNT FROM R1 WHERE COUNT > 2
   EXPECT_THROW((void)engine.table("R9"), QueryError);
 }
 
+TEST(Engine, BatchProcessingMatchesScalarExactly) {
+  // process_batch (up-front key extraction + bucket prefetch) must be
+  // observationally identical to per-record process(): same result tables,
+  // same cache statistics, same refresh count.
+  const char* source = R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+R1 = SELECT 5tuple, ewma GROUPBY 5tuple
+R2 = SELECT srcip, qid FROM T WHERE tout - tin > 1000
+)";
+  const auto records = mixed_workload(5000, 40, 21);
+
+  EngineConfig config = small_cache_config();
+  config.refresh_interval = Nanos{200'000};  // exercise mid-batch refreshes
+
+  QueryEngine scalar(compile_source(source, {{"alpha", 0.125}}), config);
+  for (const auto& rec : records) scalar.process(rec);
+  scalar.finish(Nanos{1'000'000'000});
+
+  QueryEngine batched(compile_source(source, {{"alpha", 0.125}}), config);
+  batched.process_batch(records);
+  batched.finish(Nanos{1'000'000'000});
+
+  EXPECT_EQ(batched.records_processed(), scalar.records_processed());
+  EXPECT_EQ(batched.refresh_count(), scalar.refresh_count());
+  const auto ss = scalar.store_stats();
+  const auto bs = batched.store_stats();
+  ASSERT_EQ(ss.size(), bs.size());
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    EXPECT_EQ(bs[i].cache.packets, ss[i].cache.packets);
+    EXPECT_EQ(bs[i].cache.hits, ss[i].cache.hits);
+    EXPECT_EQ(bs[i].cache.evictions, ss[i].cache.evictions);
+    EXPECT_EQ(bs[i].backing_writes, ss[i].backing_writes);
+  }
+  for (const char* table : {"R1", "R2"}) {
+    const ResultTable& st = scalar.table(table);
+    const ResultTable& bt = batched.table(table);
+    ASSERT_EQ(bt.row_count(), st.row_count()) << table;
+    for (std::size_t r = 0; r < st.row_count(); ++r) {
+      const auto& srow = st.rows()[r];
+      const auto& brow = bt.rows()[r];
+      ASSERT_EQ(brow.size(), srow.size());
+      for (std::size_t c = 0; c < srow.size(); ++c) {
+        EXPECT_EQ(brow[c], srow[c]) << table << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
 TEST(Engine, ApiMisuseThrows) {
   QueryEngine engine(compile_source("SELECT COUNT GROUPBY srcip"));
   EXPECT_THROW((void)engine.result(), Error);  // before finish
