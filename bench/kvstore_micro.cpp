@@ -16,11 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "common/hugepage.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/kvstore.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/sharded/sharded_engine.hpp"
 #include "switchsim/match_compiler.hpp"
+#include "trace/replay.hpp"
 #include "trace/simple.hpp"
 
 namespace {
@@ -195,6 +198,51 @@ void BM_EngineProcessBatch(benchmark::State& state) {
   state.SetItemsProcessed(processed);
 }
 BENCHMARK(BM_EngineProcessBatch);
+
+void BM_EngineProcessBatchHugePages(benchmark::State& state) {
+  // Same as BM_EngineProcessBatch with the slot arena on 2 MiB pages: the
+  // batched path's bucket prefetches are DTLB-capped at 4 KiB pages (the
+  // ROADMAP open item); huge pages recover the difference.
+  const auto records = workload(1 << 18, 1 << 20);
+  runtime::EngineConfig config = engine_bench_config();
+  config.geometry = config.geometry.with_huge_pages();
+  runtime::QueryEngine engine(engine_bench_program(), config);
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    engine.process_batch(records);
+    processed += static_cast<std::int64_t>(records.size());
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["huge_pages_supported"] =
+      benchmark::Counter(huge_pages_supported() ? 1 : 0);
+}
+BENCHMARK(BM_EngineProcessBatchHugePages);
+
+// ---- sharded engine scaling ------------------------------------------------
+// Same program, geometry and trace as BM_EngineProcessBatch; the argument is
+// the shard (worker thread) count. Each shard owns a 1/N bucket slice, so
+// the per-shard working set shrinks as N grows — on a multi-core machine the
+// records/s curve is the ROADMAP "Scaling" table.
+
+void BM_ShardedEngine(benchmark::State& state) {
+  const auto records = workload(1 << 18, 1 << 20);
+  runtime::ShardedEngineConfig config;
+  config.engine = engine_bench_config();
+  config.engine.geometry = config.engine.geometry.with_huge_pages();
+  config.num_shards = static_cast<std::size_t>(state.range(0));
+  runtime::ShardedEngine engine(engine_bench_program(), config);
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    const auto stats = trace::replay_into(engine, records, /*batch=*/4096);
+    processed += static_cast<std::int64_t>(stats.records);
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["shards"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+// Wall-clock rate: the pipeline spans several threads, so CPU-time-based
+// items/s would overstate throughput on loaded machines.
+BENCHMARK(BM_ShardedEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_TcamLookup(benchmark::State& state) {
   const auto analysis = lang::analyze_source(

@@ -1,0 +1,65 @@
+// Unbounded multi-producer queue with swap-based draining.
+//
+// The sharded runtime's eviction path uses one of these per shard: the shard
+// worker pushes EvictedValue batches (it is the queue's only producer — the
+// per-key epoch-order contract of the backing store's merge depends on one
+// FIFO stream per key, so keep it that way), and the background merge thread
+// drains whole batches at a time into the concurrent backing store.
+// Throughput here is nowhere near the fold path's,
+// so a mutex with O(1) swap-drain beats a lock-free list in both simplicity
+// and cache behavior: producers append to a vector, the consumer swaps it
+// out wholesale and reuses its own buffer's capacity across drains.
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace perfq {
+
+template <typename T>
+class MpscQueue {
+ public:
+  void push(T&& item) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(item));
+  }
+
+  /// Move the whole `batch` in under one lock; `batch` is left empty with its
+  /// capacity intact (producers reuse it as their staging buffer).
+  void push_batch(std::vector<T>& batch) {
+    if (batch.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        items_.swap(batch);
+      } else {
+        items_.insert(items_.end(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+      }
+    }
+    batch.clear();
+  }
+
+  /// Swap all queued items into `out` (cleared first). Returns false if the
+  /// queue was empty. FIFO per producer, which is what the per-key epoch
+  /// merge order requires (each key's evictions come from a single shard).
+  bool drain(std::vector<T>& out) {
+    out.clear();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    items_.swap(out);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+};
+
+}  // namespace perfq

@@ -285,12 +285,6 @@ FoldVm FoldVmCompiler::compile(const FoldBody& body) {
   b.emit_block(body.body_);
   b.vm.code_.push_back({Op::kHalt, 0, 0, 0, 0});
 
-  // Persistent register file: constants written once here; field/state
-  // preloads and scratch registers are rewritten by every run().
-  b.vm.regs_.assign(FoldVm::kMaxRegs, 0.0);
-  std::copy(b.vm.const_pool_.begin(), b.vm.const_pool_.end(),
-            b.vm.regs_.begin());
-
   // ---- quickening: recognize whole-program superinstruction shapes --------
   // The canonical linear fold (EWMA, Fig. 2):
   //   [kMul t1 = cA * sPre] [kSub t2 = fx - fy] [kMul t3 = cB * t2]

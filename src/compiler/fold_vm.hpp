@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -124,14 +125,9 @@ class FoldVm {
   void run(LoadFn&& load, std::span<double> state) const;
 
   std::vector<Instr> code_;          ///< always ends with kHalt
-  std::vector<double> const_pool_;   ///< written once into regs_[0 ..)
-  std::vector<FieldLoad> fields_;    ///< loaded into regs_ on entry
-  std::vector<StateLoad> states_;    ///< loaded into regs_ on entry
-  /// Persistent register file: constants live at the bottom, written once at
-  /// compile time; field/state preloads and scratch registers are rewritten
-  /// on every run. Mutable + unsynchronized: a FoldVm executes on one thread
-  /// (per-switch stores are single-threaded, as is the collection layer).
-  mutable std::vector<double> regs_;
+  std::vector<double> const_pool_;   ///< copied into the low registers per run
+  std::vector<FieldLoad> fields_;    ///< loaded into the registers on entry
+  std::vector<StateLoad> states_;    ///< loaded into the registers on entry
   std::uint32_t reg_count_ = 0;
 
   // Quickened shape operands (valid when special_ != kNone).
@@ -156,7 +152,16 @@ void FoldVm::run(LoadFn&& load, std::span<double> state) const {
     return;
   }
 
-  double* r = regs_.data();  // constants already sit in the low registers
+  // Per-call register file on the stack: execution is re-entrant, so shard
+  // workers can share one compiled kernel per query with no synchronization.
+  // Constants occupy the low registers; every other register the program
+  // reads is written first (field/state preloads below, scratch by the
+  // bytecode itself), so the rest needs no initialization.
+  double regs[kMaxRegs];
+  double* r = regs;
+  if (!const_pool_.empty()) {
+    std::memcpy(r, const_pool_.data(), const_pool_.size() * sizeof(double));
+  }
   for (const FieldLoad& f : fields_) r[f.reg] = load(f.slot);
   for (const StateLoad& s : states_) r[s.reg] = state[s.idx];
 

@@ -115,6 +115,17 @@ SwitchQueryPlan build_switch_plan(const AnalyzedProgram& analysis,
     plan.key.push_back(std::move(comp));
   }
 
+  // Precompute the fast extractor when every component is a plain field
+  // reference (record-context slots index FieldId).
+  for (const auto& comp : plan.key) {
+    const auto slot = comp.expr.as_slot_load();
+    if (!slot.has_value()) {
+      plan.fast_key_fields.clear();
+      break;
+    }
+    plan.fast_key_fields.push_back(static_cast<FieldId>(slot->index));
+  }
+
   // Aggregation kernels.
   std::vector<std::shared_ptr<const kv::FoldKernel>> parts;
   for (const auto& agg : q.aggregations) {
@@ -199,10 +210,25 @@ CompiledProgram compile_source(std::string_view source,
 }
 
 kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
-  const RecordSource source({&rec, 1});
   std::array<std::uint64_t, 16> values{};
   std::array<std::uint8_t, 16> widths{};
   check(plan.key.size() <= 16, "extract_key: too many key components");
+  if (!plan.fast_key_fields.empty()) {
+    // Plain-field key (5tuple, srcip, qid, ...): read the fields directly —
+    // same value, clamp and pack as the expression path below, minus the
+    // tree walk. This is the dispatcher's per-record routing cost in the
+    // sharded runtime.
+    for (std::size_t i = 0; i < plan.key.size(); ++i) {
+      const double v = field_value(rec, plan.fast_key_fields[i]);
+      const double clamped =
+          std::clamp(v, 0.0, 18446744073709549568.0 /* ~2^64 */);
+      values[i] = static_cast<std::uint64_t>(clamped);
+      widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
+    }
+    return kv::Key::pack({values.data(), plan.key.size()},
+                         {widths.data(), plan.key.size()});
+  }
+  const RecordSource source({&rec, 1});
   for (std::size_t i = 0; i < plan.key.size(); ++i) {
     const double v = plan.key[i].expr.eval(source);
     // Key fields are integer-valued; clamp defensively (e.g. infinity).

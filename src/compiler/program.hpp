@@ -39,6 +39,12 @@ struct SwitchQueryPlan {
   std::optional<ScalarExpr> prefilter;  ///< composed WHERE chain over T
   lang::ExprPtr prefilter_ast;  ///< same predicate as AST (for TCAM lowering)
   std::vector<KeyComponent> key;
+  /// Fast extractor: when every key component is a plain field reference
+  /// (the common case — e.g. 5tuple, srcip, qid), the FieldIds are
+  /// precomputed here and extract_key() reads fields directly instead of
+  /// evaluating expression trees. This is the sharded dispatcher's per-
+  /// record routing cost, so it matters doubly there. Empty = slow path.
+  std::vector<FieldId> fast_key_fields;
   std::shared_ptr<const kv::FoldKernel> kernel;  ///< combined aggregations
   std::vector<std::string> value_columns;  ///< per state dim, output order
   kv::Linearity linearity = kv::Linearity::kNotLinear;

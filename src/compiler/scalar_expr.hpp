@@ -85,6 +85,15 @@ class ScalarExpr {
   /// True if the expression is a literal constant (A-matrix classification).
   [[nodiscard]] bool is_constant(double* value = nullptr) const;
 
+  /// If the whole expression is a single depth-0 slot load, that slot.
+  /// Lets hot paths (key extraction) bypass tree evaluation entirely.
+  [[nodiscard]] std::optional<Slot> as_slot_load() const {
+    if (root_ < 0) return std::nullopt;
+    const Node& n = nodes_[static_cast<std::size_t>(root_)];
+    if (n.op != Op::kSlot || n.slot.depth != 0) return std::nullopt;
+    return n.slot;
+  }
+
   /// Largest record depth referenced (0 = current packet only).
   [[nodiscard]] int max_depth() const { return max_depth_; }
 

@@ -9,14 +9,19 @@
 namespace perfq::kv {
 
 Cache::Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
-             std::uint64_t hash_seed, EvictionPolicy policy)
+             std::uint64_t hash_seed, EvictionPolicy policy,
+             std::uint64_t bucket_scale)
     : geometry_(geometry),
       kernel_(std::move(kernel)),
       hash_seed_(hash_seed),
       seed_mix_(mix64(hash_seed)),
       policy_(policy),
-      victim_rng_state_(mix64(hash_seed ^ 0xF00DF00DULL) | 1) {
+      bucket_scale_(bucket_scale),
+      victim_rng_state_(mix64(hash_seed ^ 0xF00DF00DULL) | 1),
+      slots_(PageAllocator<Slot>(geometry.huge_pages)),
+      tags_(PageAllocator<std::uint8_t>(geometry.huge_pages)) {
   if (kernel_ == nullptr) throw ConfigError{"Cache: null kernel"};
+  if (bucket_scale_ == 0) throw ConfigError{"Cache: zero bucket scale"};
   const std::uint64_t total = geometry_.total_slots();
   if (total == 0) throw ConfigError{"Cache: zero slots"};
   if (total > std::numeric_limits<std::uint32_t>::max() - 1) {
@@ -37,6 +42,22 @@ Cache::Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
 
 std::uint32_t Cache::probe(const Key& key, std::uint64_t bucket,
                            std::uint8_t tag) const {
+  // Fully-associative geometry (n = 1): the tag row is one huge bucket, so a
+  // linear scan's expected cost is half the occupancy even on a hit. Probe a
+  // few slots in MRU order first — under any skewed workload the hot keys
+  // sit at the front of the recency list and resolve in a handful of pointer
+  // hops — then fall back to the exact side index for cold keys and misses.
+  if (geometry_.num_buckets == 1) {
+    constexpr int kMruProbeDepth = 16;
+    std::uint32_t idx = buckets_[0].mru;
+    for (int d = 0; d < kMruProbeDepth && idx != kInvalid; ++d) {
+      if (tags_[idx] == tag && slots_[idx].key == key) return idx;
+      idx = slots_[idx].next;
+    }
+    const auto it = n1_index_.find(key);
+    return it == n1_index_.end() ? kInvalid : it->second;
+  }
+
   // Tag scan rejects empty slots (kEmptyTag) and ~255/256 of occupied
   // non-matches without touching the slot array. memchr vectorizes the scan,
   // which matters for the fully-associative geometry (one huge bucket).
@@ -57,6 +78,13 @@ std::uint32_t Cache::probe(const Key& key, std::uint64_t bucket,
 }
 
 void Cache::prefetch(const Key& key) const {
+  if (geometry_.num_buckets == 1) {
+    // The n = 1 probe walks the MRU chain / side index, not the tag row;
+    // only the bucket header (mru head) is guaranteed useful — and no
+    // bucket hash is needed to find it.
+    __builtin_prefetch(buckets_.data());
+    return;
+  }
   const std::uint64_t b = bucket_of_hash(bucket_hash(key));
   const std::uint64_t base = b * geometry_.associativity;
   __builtin_prefetch(tags_.data() + base);
@@ -134,6 +162,7 @@ void Cache::process(const Key& key, const PacketRecord& rec) {
   slot.packets = 0;
   slot.first_tin = rec.tin;
   tags_[idx] = tag;
+  if (geometry_.num_buckets == 1) n1_index_.emplace(key, idx);
   ++occupancy_;
   if (!aux_.empty()) {
     LinearAux& aux = aux_[idx];
@@ -243,6 +272,7 @@ EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
 void Cache::evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush) {
   check(slot_occupied(slot_idx), "Cache: evicting empty slot");
   EvictedValue ev = make_evicted(slot_idx, now, final_flush);
+  if (geometry_.num_buckets == 1) n1_index_.erase(slots_[slot_idx].key);
   const std::uint64_t b = slot_idx / geometry_.associativity;
   unlink(buckets_[b], slot_idx);
   --buckets_[b].used;

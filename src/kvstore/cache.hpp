@@ -22,21 +22,40 @@
 //     lookup hardware would do — no std::unordered_map walk.
 //   - Per-slot auxiliary state lives in a pooled arena indexed by slot
 //     (allocated once at construction, vectors reuse their capacity across
-//     epochs), so steady-state process() performs ZERO heap allocations for
-//     const-A/h=0 kernels and only amortized ones otherwise.
+//     epochs), so for n > 1 geometries steady-state process() performs ZERO
+//     heap allocations for const-A/h=0 kernels and only amortized ones
+//     otherwise. (The fully-associative n = 1 geometry — an idealized model,
+//     not a hardware target — keeps an exact side index whose nodes are
+//     heap-allocated per initialize/evict.)
+//
+// Threading: a Cache is single-threaded (the sharded runtime gives each
+// worker its own). The shared FoldKernel must be stateless per update; the
+// fold VM keeps its register file on the call stack for exactly this reason.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hugepage.hpp"
 #include "common/time.hpp"
 #include "kvstore/fold.hpp"
 #include "kvstore/geometry.hpp"
 #include "kvstore/key.hpp"
 
 namespace perfq::kv {
+
+/// The bucket-placement hash every cache derives bucket indices from: the
+/// key's cached hash mixed with the structure's seed. Exposed so the sharded
+/// runtime's dispatcher can route keys with the *same* function the caches
+/// use (shard = high bits, in-shard bucket = the remaining bits), keeping
+/// shard bucket slices exactly aligned with the single-cache layout.
+[[nodiscard]] inline std::uint64_t placement_hash(const Key& key,
+                                                  std::uint64_t seed) {
+  return key.hash(seed);  // the cache's bucket_hash() computes this same value
+}
 
 /// Everything the backing store needs to absorb one evicted entry.
 struct EvictedValue {
@@ -71,9 +90,19 @@ class Cache {
   using EvictionSink = std::function<void(EvictedValue&&)>;
 
   /// `hash_seed` decorrelates the bucket-index hash from other structures.
+  ///
+  /// `bucket_scale` (default 1: no effect) makes this cache a *bucket slice*
+  /// of a conceptually larger cache: with scale N, a key whose placement
+  /// hash h satisfies floor(h·N / 2^64) == s (i.e. shard s of N) lands in
+  /// local bucket reduce_range(h·N mod 2^64, num_buckets) — exactly global
+  /// bucket s·num_buckets + local of an (N·num_buckets)-bucket cache. The
+  /// sharded runtime uses this so each shard's cache reproduces its slice of
+  /// the single-threaded cache bit-for-bit (same bucket contents, same LRU
+  /// order, same evictions).
   Cache(CacheGeometry geometry, std::shared_ptr<const FoldKernel> kernel,
         std::uint64_t hash_seed = 0x5eedcafe,
-        EvictionPolicy policy = EvictionPolicy::kLru);
+        EvictionPolicy policy = EvictionPolicy::kLru,
+        std::uint64_t bucket_scale = 1);
 
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
@@ -138,12 +167,14 @@ class Cache {
   };
 
   /// Bucket-placement hash: the key's cached hash mixed with this cache's
-  /// seed (precomputed in `seed_mix_`); identical to key.hash(hash_seed_).
+  /// seed (precomputed in `seed_mix_`); identical to placement_hash().
   [[nodiscard]] std::uint64_t bucket_hash(const Key& key) const {
     return hash_seed_ == 0 ? key.raw_hash() : mix64(key.raw_hash() ^ seed_mix_);
   }
+  /// With the default scale of 1 this is plain reduce_range; with scale N it
+  /// selects this slice's local bucket (see the constructor comment).
   [[nodiscard]] std::uint64_t bucket_of_hash(std::uint64_t h) const {
-    return reduce_range(h, geometry_.num_buckets);
+    return reduce_range(h * bucket_scale_, geometry_.num_buckets);
   }
   /// 8-bit probe tag from hash bits reduce_range() weighs least.
   [[nodiscard]] static std::uint8_t tag_of_hash(std::uint64_t h) {
@@ -173,11 +204,19 @@ class Cache {
   std::uint64_t hash_seed_;
   std::uint64_t seed_mix_;  ///< mix64(hash_seed_), precomputed
   EvictionPolicy policy_;
+  std::uint64_t bucket_scale_ = 1;  ///< shard slice scale (see constructor)
   std::uint64_t victim_rng_state_;  ///< xorshift state for kRandom
-  std::vector<Slot> slots_;     ///< bucket b owns [b*m, (b+1)*m)
-  std::vector<std::uint8_t> tags_;  ///< parallel to slots_: probe tags
+  /// Slot arena and tag row are page-allocated so CacheGeometry::huge_pages
+  /// can put the DTLB-heavy arrays on 2 MiB pages.
+  std::vector<Slot, PageAllocator<Slot>> slots_;  ///< bucket b owns [b*m, (b+1)*m)
+  std::vector<std::uint8_t, PageAllocator<std::uint8_t>> tags_;  ///< probe tags
   std::vector<LinearAux> aux_;  ///< parallel to slots_; empty unless needs_aux()
   std::vector<Bucket> buckets_;
+  /// Fully-associative geometry (n = 1) only, empty otherwise: exact
+  /// key → slot index for cold keys. The single bucket is too large for the
+  /// tag scan to stay competitive (the ROADMAP probe-regression item); hot
+  /// keys still resolve through the MRU front-probe without touching this.
+  std::unordered_map<Key, std::uint32_t> n1_index_;
   std::size_t occupancy_ = 0;
   EvictionSink sink_;
   CacheStats stats_;

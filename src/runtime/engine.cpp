@@ -4,7 +4,7 @@
 #include <set>
 
 #include "common/error.hpp"
-#include "compiler/fold_compiler.hpp"
+#include "runtime/collection.hpp"
 
 namespace perfq::runtime {
 
@@ -17,13 +17,11 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
         it != config_.per_query_geometry.end()) {
       geometry = it->second;
     }
-    switches_.push_back(SwitchInstance{
-        &plan,
-        std::make_unique<kv::KeyValueStore>(geometry, plan.kernel,
-                                            config_.hash_seed,
-                                            config_.eviction_policy),
-        {},
-        {}});
+    auto store = std::make_unique<kv::KeyValueStore>(
+        geometry, plan.kernel, config_.hash_seed, config_.eviction_policy);
+    kv::Cache& cache = store->cache();
+    switches_.push_back(
+        SwitchInstance{&plan, std::move(store), SwitchFoldCore(plan, cache)});
   }
 
   // Stream SELECT sinks: stream selects no other query consumes.
@@ -55,15 +53,7 @@ void QueryEngine::process_batch(std::span<const PacketRecord> records) {
     // cached hash once), prefetching the owning cache bucket so its tag row
     // and slots are resident by the time pass 2 folds the record.
     for (auto& sw : switches_) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const compiler::RecordSource source({&chunk[i], 1});
-        sw.pass[i] = !sw.plan->prefilter.has_value() ||
-                     sw.plan->prefilter->eval_bool(source);
-        if (sw.pass[i]) {
-          sw.keys[i] = compiler::extract_key(*sw.plan, chunk[i]);
-          sw.store->prefetch(sw.keys[i]);
-        }
-      }
+      for (std::size_t i = 0; i < n; ++i) sw.core.prepare(i, chunk[i]);
     }
 
     // Pass 2: fold records in time order (refresh boundaries included;
@@ -84,9 +74,7 @@ void QueryEngine::process_batch(std::span<const PacketRecord> records) {
           next_refresh_ = rec.tin + config_.refresh_interval;
         }
       }
-      for (auto& sw : switches_) {
-        if (sw.pass[i]) sw.store->process(sw.keys[i], rec);
-      }
+      for (auto& sw : switches_) sw.core.fold(i, rec);
       const compiler::RecordSource source({&rec, 1});
       for (auto& sink : sinks_) {
         if (sink.compiled.filter.has_value() &&
@@ -119,229 +107,20 @@ void QueryEngine::finish(Nanos now) {
   sinks_.clear();
   for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
     if (tables_.count(static_cast<int>(i)) > 0) continue;
-    run_collection_query(static_cast<int>(i));
+    run_collection_query(program_, static_cast<int>(i), tables_);
   }
 }
 
 void QueryEngine::materialize_switch_tables() {
   for (auto& sw : switches_) {
-    const auto& q = program_.analysis.queries[static_cast<std::size_t>(
-        sw.plan->query_index)];
-    ResultTable table(q.output);
-    sw.store->backing().for_each([&](const kv::Key& key,
-                                     const kv::StateVector& value,
-                                     bool /*valid*/) {
-      std::vector<double> row = compiler::unpack_key(*sw.plan, key);
-      for (std::size_t d = 0; d < value.dims(); ++d) row.push_back(value[d]);
-      table.add_row(std::move(row));
-    });
-    tables_.emplace(sw.plan->query_index, std::move(table));
+    tables_.emplace(
+        sw.plan->query_index,
+        materialize_switch_table(program_, *sw.plan, sw.store->backing()));
   }
-}
-
-namespace {
-
-/// Name resolver over a schema for row-based evaluation.
-compiler::Resolver schema_resolver(const lang::Schema& schema) {
-  return [&schema](const std::string& name) -> std::optional<compiler::Slot> {
-    const int idx = schema.index_of(name);
-    if (idx < 0) {
-      // Query-level value constants (TCP/UDP) still resolve in row context
-      // through sema's constant folding; anything left unknown is an error.
-      return std::nullopt;
-    }
-    return compiler::Slot{0, idx};
-  };
-}
-
-}  // namespace
-
-void QueryEngine::run_collection_query(int index) {
-  const auto& q = program_.analysis.queries[static_cast<std::size_t>(index)];
-
-  switch (q.def.kind) {
-    case lang::QueryDef::Kind::kSelect: {
-      if (q.output.stream_over_base) return;  // intermediate stream: no table
-      const ResultTable* in = find_table(q.input);
-      check(in != nullptr, "collection: input table missing");
-      const lang::Schema& in_schema = in->schema();
-      const auto resolver = schema_resolver(in_schema);
-      std::optional<compiler::ScalarExpr> where;
-      if (q.def.where) {
-        where = compiler::ScalarExpr::compile(*q.def.where, resolver);
-      }
-      std::vector<compiler::ScalarExpr> projections;
-      projections.reserve(q.projections.size());
-      for (const auto& p : q.projections) {
-        projections.push_back(compiler::ScalarExpr::compile(*p.expr, resolver));
-      }
-      ResultTable out(q.output);
-      for (const auto& row : in->rows()) {
-        const compiler::RowSource source({row.data(), row.size()});
-        if (where.has_value() && !where->eval_bool(source)) continue;
-        std::vector<double> projected;
-        projected.reserve(projections.size());
-        for (const auto& p : projections) projected.push_back(p.eval(source));
-        out.add_row(std::move(projected));
-      }
-      tables_.emplace(index, std::move(out));
-      return;
-    }
-
-    case lang::QueryDef::Kind::kGroupBy: {
-      check(!q.on_switch, "collection: on-switch groupby reached soft path");
-      const ResultTable* in = find_table(q.input);
-      check(in != nullptr, "collection: input table missing");
-      const lang::Schema& in_schema = in->schema();
-      const auto resolver = schema_resolver(in_schema);
-
-      std::optional<compiler::ScalarExpr> where;
-      if (q.def.where) {
-        where = compiler::ScalarExpr::compile(*q.def.where, resolver);
-      }
-      std::vector<std::size_t> key_idx;
-      for (const auto& k : q.key_columns) {
-        key_idx.push_back(static_cast<std::size_t>(in_schema.index_of(k)));
-      }
-
-      // Aggregation executors over rows.
-      struct SoftAgg {
-        lang::AggregationSpec::Kind kind;
-        std::optional<compiler::ScalarExpr> sum_expr;
-        std::optional<compiler::FoldBody> fold;
-        std::size_t dims = 1;
-      };
-      std::vector<SoftAgg> aggs;
-      std::size_t value_dims = 0;
-      for (const auto& spec : q.aggregations) {
-        SoftAgg agg;
-        agg.kind = spec.kind;
-        if (spec.kind == lang::AggregationSpec::Kind::kSum) {
-          agg.sum_expr = compiler::ScalarExpr::compile(*spec.sum_expr, resolver);
-        } else if (spec.kind == lang::AggregationSpec::Kind::kFold) {
-          const int fi = program_.analysis.fold_index(spec.fold_name);
-          check(fi >= 0, "collection: unknown fold");
-          const auto& fold = program_.analysis.folds[static_cast<std::size_t>(fi)];
-          agg.fold = compiler::FoldBody::compile(fold.def, resolver);
-          agg.dims = fold.def.state_vars.size();
-        }
-        value_dims += agg.dims;
-        aggs.push_back(std::move(agg));
-      }
-
-      std::map<std::vector<double>, std::vector<double>> groups;
-      for (const auto& row : in->rows()) {
-        const compiler::RowSource source({row.data(), row.size()});
-        if (where.has_value() && !where->eval_bool(source)) continue;
-        std::vector<double> key;
-        key.reserve(key_idx.size());
-        for (const auto i : key_idx) key.push_back(row[i]);
-        auto [it, inserted] = groups.try_emplace(std::move(key));
-        if (inserted) it->second.assign(value_dims, 0.0);
-        std::size_t off = 0;
-        for (const auto& agg : aggs) {
-          switch (agg.kind) {
-            case lang::AggregationSpec::Kind::kCount:
-              it->second[off] += 1.0;
-              break;
-            case lang::AggregationSpec::Kind::kSum:
-              it->second[off] += agg.sum_expr->eval(source);
-              break;
-            case lang::AggregationSpec::Kind::kFold:
-              agg.fold->execute(
-                  {it->second.data() + off, agg.dims}, source);
-              break;
-          }
-          off += agg.dims;
-        }
-      }
-
-      ResultTable out(q.output);
-      for (const auto& [key, values] : groups) {
-        std::vector<double> row = key;
-        row.insert(row.end(), values.begin(), values.end());
-        out.add_row(std::move(row));
-      }
-      tables_.emplace(index, std::move(out));
-      return;
-    }
-
-    case lang::QueryDef::Kind::kJoin: {
-      const ResultTable* left = find_table(q.left);
-      const ResultTable* right = find_table(q.right);
-      check(left != nullptr && right != nullptr, "collection: join input missing");
-      const lang::Schema& ls = left->schema();
-      const lang::Schema& rs = right->schema();
-
-      std::vector<std::size_t> lkey;
-      std::vector<std::size_t> rkey;
-      for (const auto& k : q.key_columns) {
-        lkey.push_back(static_cast<std::size_t>(ls.index_of(k)));
-        rkey.push_back(static_cast<std::size_t>(rs.index_of(k)));
-      }
-      std::vector<std::size_t> lval;
-      std::vector<std::size_t> rval;
-      for (std::size_t c = 0; c < ls.size(); ++c) {
-        if (std::find(lkey.begin(), lkey.end(), c) == lkey.end()) {
-          lval.push_back(c);
-        }
-      }
-      for (std::size_t c = 0; c < rs.size(); ++c) {
-        if (std::find(rkey.begin(), rkey.end(), c) == rkey.end()) {
-          rval.push_back(c);
-        }
-      }
-
-      // Hash join (keys are unique on both sides by construction).
-      std::map<std::vector<double>, const std::vector<double>*> left_index;
-      for (const auto& row : left->rows()) {
-        std::vector<double> key;
-        for (const auto i : lkey) key.push_back(row[i]);
-        left_index.emplace(std::move(key), &row);
-      }
-
-      const auto resolver = schema_resolver(q.joined_schema);
-      std::optional<compiler::ScalarExpr> where;
-      if (q.def.where) {
-        where = compiler::ScalarExpr::compile(*q.def.where, resolver);
-      }
-      std::vector<compiler::ScalarExpr> projections;
-      for (const auto& p : q.projections) {
-        projections.push_back(compiler::ScalarExpr::compile(*p.expr, resolver));
-      }
-
-      ResultTable out(q.output);
-      for (const auto& rrow : right->rows()) {
-        std::vector<double> key;
-        for (const auto i : rkey) key.push_back(rrow[i]);
-        const auto it = left_index.find(key);
-        if (it == left_index.end()) continue;
-        // Joined row in joined_schema order: keys, left non-keys, right
-        // non-keys (matching sema's construction).
-        std::vector<double> joined = key;
-        for (const auto i : lval) joined.push_back((*it->second)[i]);
-        for (const auto i : rval) joined.push_back(rrow[i]);
-        const compiler::RowSource source({joined.data(), joined.size()});
-        if (where.has_value() && !where->eval_bool(source)) continue;
-        std::vector<double> row = key;
-        for (const auto& p : projections) row.push_back(p.eval(source));
-        out.add_row(std::move(row));
-      }
-      tables_.emplace(index, std::move(out));
-      return;
-    }
-  }
-}
-
-ResultTable& QueryEngine::table_for(int index) {
-  const auto it = tables_.find(index);
-  check(it != tables_.end(), "QueryEngine: table not materialized");
-  return it->second;
 }
 
 const ResultTable* QueryEngine::find_table(int index) const {
-  const auto it = tables_.find(index);
-  return it == tables_.end() ? nullptr : &it->second;
+  return find_collection_table(tables_, index);
 }
 
 const ResultTable& QueryEngine::result() const {

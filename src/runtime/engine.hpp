@@ -18,6 +18,7 @@
 
 #include "compiler/program.hpp"
 #include "kvstore/kvstore.hpp"
+#include "runtime/fold_core.hpp"
 #include "runtime/table.hpp"
 
 namespace perfq::runtime {
@@ -89,16 +90,15 @@ class QueryEngine {
   [[nodiscard]] const kv::KeyValueStore& store(std::string_view query_name) const;
 
  private:
-  /// Records per prefetch chunk: large enough to hide bucket fetch latency,
-  /// small enough that prefetched lines survive until their fold.
-  static constexpr std::size_t kBatchChunk = 32;
+  /// Records per prefetch chunk (the fold core's two-pass scratch size).
+  static constexpr std::size_t kBatchChunk = SwitchFoldCore::kChunk;
 
   struct SwitchInstance {
     const compiler::SwitchQueryPlan* plan;
     std::unique_ptr<kv::KeyValueStore> store;
-    // Per-chunk scratch for the batched path (avoids per-batch allocation).
-    std::array<kv::Key, kBatchChunk> keys;
-    std::array<bool, kBatchChunk> pass{};
+    /// The reusable hot path (prefilter/extract/prefetch/fold) over the
+    /// store's cache; shard workers run the same core (runtime/fold_core).
+    SwitchFoldCore core;
   };
   struct StreamSink {
     compiler::CompiledStreamSelect compiled;
@@ -107,8 +107,6 @@ class QueryEngine {
   };
 
   void materialize_switch_tables();
-  void run_collection_query(int index);
-  [[nodiscard]] ResultTable& table_for(int index);
   [[nodiscard]] const ResultTable* find_table(int index) const;
 
   compiler::CompiledProgram program_;

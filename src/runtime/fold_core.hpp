@@ -1,0 +1,72 @@
+// The per-switch-query fold core: the line-rate hot path of one on-switch
+// GROUPBY, factored out of QueryEngine so the same code drives both the
+// single-threaded engine and the sharded runtime's shard workers.
+//
+// The core owns the chunked two-pass scratch of the batched path:
+//   pass 1  prepare(): prefilter, key extraction (computing the cached hash
+//           once), software-prefetch of the owning cache bucket;
+//   pass 2  fold():    the actual cache operation, in record order.
+// so the bucket fetch of record i+k overlaps the fold of record i. The
+// sharded path uses prepare_extracted(): its dispatcher has already evaluated
+// the prefilter and extracted the key (it needed the hash to route), so the
+// worker only prefetches and folds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "compiler/program.hpp"
+#include "kvstore/cache.hpp"
+
+namespace perfq::runtime {
+
+class SwitchFoldCore {
+ public:
+  /// Records per prefetch chunk: large enough to hide bucket fetch latency,
+  /// small enough that prefetched lines survive until their fold.
+  static constexpr std::size_t kChunk = 32;
+
+  /// Non-owning: `plan` and `cache` must outlive the core.
+  SwitchFoldCore(const compiler::SwitchQueryPlan& plan, kv::Cache& cache)
+      : plan_(&plan), cache_(&cache) {}
+
+  /// Pass 1 for chunk slot `i`: evaluate the prefilter, extract the key and
+  /// prefetch its bucket. Returns whether the record passed.
+  bool prepare(std::size_t i, const PacketRecord& rec) {
+    const compiler::RecordSource source({&rec, 1});
+    pass_[i] = !plan_->prefilter.has_value() ||
+               plan_->prefilter->eval_bool(source);
+    if (pass_[i]) {
+      keys_[i] = compiler::extract_key(*plan_, rec);
+      cache_->prefetch(keys_[i]);
+    }
+    return pass_[i];
+  }
+
+  /// Pass 1 variant for the sharded path: the admit decision and the key
+  /// arrive from the dispatcher, so only the prefetch remains.
+  void prepare_extracted(std::size_t i, const kv::Key& key) {
+    pass_[i] = true;
+    keys_[i] = key;
+    cache_->prefetch(key);
+  }
+
+  /// Pass 2 for chunk slot `i`: fold the record if it passed pass 1.
+  void fold(std::size_t i, const PacketRecord& rec) {
+    if (pass_[i]) cache_->process(keys_[i], rec);
+  }
+
+  void flush(Nanos now) { cache_->flush(now); }
+
+  [[nodiscard]] const compiler::SwitchQueryPlan& plan() const { return *plan_; }
+  [[nodiscard]] kv::Cache& cache() { return *cache_; }
+  [[nodiscard]] const kv::Cache& cache() const { return *cache_; }
+
+ private:
+  const compiler::SwitchQueryPlan* plan_;
+  kv::Cache* cache_;
+  std::array<kv::Key, kChunk> keys_;
+  std::array<bool, kChunk> pass_{};
+};
+
+}  // namespace perfq::runtime

@@ -1,0 +1,387 @@
+#include "runtime/sharded/sharded_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "runtime/collection.hpp"
+
+namespace perfq::runtime {
+
+namespace {
+
+/// Which shard owns `key`: the high bits of the cache-placement hash. With
+/// num_buckets % num_shards == 0 this is exactly "which bucket-slice of the
+/// full cache the key's bucket falls in" (see Cache's bucket_scale comment).
+std::uint64_t shard_of(const kv::Key& key, std::uint64_t hash_seed,
+                       std::uint64_t num_shards) {
+  return reduce_range(kv::placement_hash(key, hash_seed), num_shards);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
+                             ShardedEngineConfig config)
+    : program_(std::move(program)), config_(std::move(config)) {
+  const std::size_t n_shards = config_.num_shards;
+  if (n_shards == 0) throw ConfigError{"ShardedEngine: zero shards"};
+  if (config_.dispatch_batch == 0) {
+    throw ConfigError{"ShardedEngine: zero dispatch batch"};
+  }
+  if (config_.eviction_batch == 0) {
+    throw ConfigError{"ShardedEngine: zero eviction batch"};
+  }
+  const std::size_t backing_shards =
+      config_.backing_shards == 0 ? n_shards : config_.backing_shards;
+  if (program_.switch_plans.size() >
+      static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max())) {
+    throw ConfigError{"ShardedEngine: too many switch queries"};
+  }
+
+  // Resolve each switch query's geometry and its per-shard bucket slice.
+  std::vector<kv::CacheGeometry> shard_geometry;
+  for (const auto& plan : program_.switch_plans) {
+    plans_.push_back(&plan);
+    kv::CacheGeometry geometry = config_.engine.geometry;
+    if (const auto it = config_.engine.per_query_geometry.find(plan.name);
+        it != config_.engine.per_query_geometry.end()) {
+      geometry = it->second;
+    }
+    if (geometry.num_buckets % n_shards != 0) {
+      throw ConfigError{
+          "ShardedEngine: geometry '" + geometry.to_string() + "' for query '" +
+          plan.name + "' needs num_buckets divisible by num_shards (" +
+          std::to_string(n_shards) + ") for exact shard/bucket alignment"};
+    }
+    kv::CacheGeometry slice = geometry;
+    slice.num_buckets = geometry.num_buckets / n_shards;
+    shard_geometry.push_back(slice);
+    backings_.push_back(std::make_unique<kv::ShardedBackingStore>(
+        plan.kernel, backing_shards));
+  }
+
+  // Stream SELECT sinks (dispatcher-side, identical to QueryEngine's).
+  std::set<int> consumed;
+  for (const auto& q : program_.analysis.queries) {
+    consumed.insert(q.input);
+    consumed.insert(q.left);
+    consumed.insert(q.right);
+  }
+  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
+    const auto& q = program_.analysis.queries[i];
+    if (q.def.kind == lang::QueryDef::Kind::kSelect &&
+        q.output.stream_over_base && consumed.count(static_cast<int>(i)) == 0) {
+      sinks_.push_back(StreamSink{
+          compiler::compile_stream_select(program_.analysis,
+                                          static_cast<int>(i)),
+          ResultTable(q.output), false});
+    }
+  }
+
+  // Shards: per query a cache slice whose evictions feed the shard's MPSC
+  // queue (batched) instead of a synchronous backing-store absorb.
+  shards_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    Shard& sh = *shard;
+    for (std::size_t q = 0; q < plans_.size(); ++q) {
+      sh.caches.push_back(std::make_unique<kv::Cache>(
+          shard_geometry[q], plans_[q]->kernel, config_.engine.hash_seed,
+          config_.engine.eviction_policy, /*bucket_scale=*/n_shards));
+      sh.caches.back()->set_eviction_sink(
+          [this, &sh, q](kv::EvictedValue&& ev) {
+            sh.evict_buf.push_back(
+                TaggedEviction{static_cast<std::uint16_t>(q), std::move(ev)});
+            if (sh.evict_buf.size() >= config_.eviction_batch) {
+              sh.evictions.push_batch(sh.evict_buf);
+            }
+          });
+    }
+    for (std::size_t q = 0; q < plans_.size(); ++q) {
+      sh.cores.emplace_back(*plans_[q], *sh.caches[q]);
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  merge_thread_ = std::thread([this] { merge_loop(); });
+  for (auto& shard : shards_) {
+    Shard& sh = *shard;
+    sh.thread = std::thread([this, &sh] { worker_loop(sh); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  // Bench/abort path: tear the pipeline down without the final flush.
+  if (!threads_stopped_) stop_pipeline(/*flush=*/false, Nanos{0});
+}
+
+void ShardedEngine::stage(Shard& shard, ShardMsg&& msg) {
+  shard.staging.push_back(std::move(msg));
+  if (shard.staging.size() >= config_.dispatch_batch) publish(shard);
+}
+
+void ShardedEngine::publish(Shard& shard) {
+  std::span<ShardMsg> pending(shard.staging);
+  while (!pending.empty()) {
+    const std::size_t pushed = shard.ring.push_bulk(pending);
+    pending = pending.subspan(pushed);
+    // Ring full: the worker is behind; let it run (essential on machines
+    // with fewer cores than threads).
+    if (pushed == 0) std::this_thread::yield();
+  }
+  shard.staging.clear();
+}
+
+void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
+  check(!finished_, "ShardedEngine: process after finish");
+  const std::uint64_t n_shards = shards_.size();
+  for (const PacketRecord& rec : records) {
+    ++records_;
+
+    // Periodic refresh (§3.2), mirrored from QueryEngine: the boundary is
+    // detected here — in global record order — and broadcast in-band, so
+    // every shard flushes at exactly the single-threaded trace times.
+    if (config_.engine.refresh_interval > Nanos{0}) {
+      if (next_refresh_ == Nanos{0}) {
+        next_refresh_ = rec.tin + config_.engine.refresh_interval;
+      }
+      if (rec.tin >= next_refresh_) {
+        for (auto& shard : shards_) {
+          ShardMsg flush;
+          flush.kind = ShardMsg::Kind::kFlush;
+          flush.rec.tin = rec.tin;
+          stage(*shard, std::move(flush));
+        }
+        ++refreshes_;
+        next_refresh_ = rec.tin + config_.engine.refresh_interval;
+      }
+    }
+
+    // Route: one message per switch query that admits the record. The key
+    // is extracted here (the dispatcher needs its hash to pick the shard)
+    // and shipped with the record so workers skip straight to the fold.
+    const compiler::RecordSource source({&rec, 1});
+    for (std::size_t q = 0; q < plans_.size(); ++q) {
+      const compiler::SwitchQueryPlan& plan = *plans_[q];
+      if (plan.prefilter.has_value() && !plan.prefilter->eval_bool(source)) {
+        continue;
+      }
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kRecord;
+      msg.query = static_cast<std::uint16_t>(q);
+      msg.key = compiler::extract_key(plan, rec);
+      msg.rec = rec;
+      const std::uint64_t s =
+          shard_of(msg.key, config_.engine.hash_seed, n_shards);
+      stage(*shards_[s], std::move(msg));
+    }
+
+    // Stream sinks stay on the dispatcher: their tables are order-sensitive
+    // row appends and must match the single-threaded engine exactly.
+    for (auto& sink : sinks_) {
+      if (sink.compiled.filter.has_value() &&
+          !sink.compiled.filter->eval_bool(source)) {
+        continue;
+      }
+      if (sink.table.row_count() >= config_.engine.max_stream_rows) {
+        sink.overflowed = true;
+        continue;
+      }
+      std::vector<double> row;
+      row.reserve(sink.compiled.projections.size());
+      for (const auto& [name, expr] : sink.compiled.projections) {
+        row.push_back(expr.eval(source));
+      }
+      sink.table.add_row(std::move(row));
+    }
+  }
+  // Publish the tail so nothing lingers in dispatcher staging between
+  // batches (keeps worker pipelines busy and the backing store fresh).
+  for (auto& shard : shards_) publish(*shard);
+}
+
+void ShardedEngine::worker_loop(Shard& sh) {
+  std::array<ShardMsg, SwitchFoldCore::kChunk> buf;
+  bool running = true;
+  std::uint32_t idle_polls = 0;
+  while (running) {
+    const std::size_t n = sh.ring.pop_bulk({buf.data(), buf.size()});
+    if (n == 0) {
+      // Bounded backoff: yield while traffic is merely bursty, park briefly
+      // once the ring looks genuinely idle so an unfed engine does not pin
+      // a core (latency cost on wake: one sleep quantum).
+      if (++idle_polls < kIdlePollsBeforeSleep) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+      continue;
+    }
+    idle_polls = 0;
+    // Pass 1: prefetch every record's cache bucket (no side effects).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[i].kind == ShardMsg::Kind::kRecord) {
+        sh.cores[buf[i].query].prepare_extracted(i, buf[i].key);
+      }
+    }
+    // Pass 2: fold in arrival order; flush boundaries are in-band.
+    for (std::size_t i = 0; i < n; ++i) {
+      ShardMsg& msg = buf[i];
+      switch (msg.kind) {
+        case ShardMsg::Kind::kRecord:
+          sh.cores[msg.query].fold(i, msg.rec);
+          break;
+        case ShardMsg::Kind::kFlush:
+          for (auto& cache : sh.caches) cache->flush(msg.rec.tin);
+          // Refresh wants the backing store fresh soon: hand the flush's
+          // evictions to the merge thread immediately.
+          sh.evictions.push_batch(sh.evict_buf);
+          break;
+        case ShardMsg::Kind::kStop:
+          running = false;  // nothing follows a stop message
+          break;
+      }
+    }
+  }
+  sh.evictions.push_batch(sh.evict_buf);
+}
+
+void ShardedEngine::merge_loop() {
+  std::vector<TaggedEviction> drained;
+  std::uint32_t idle_polls = 0;
+  for (;;) {
+    bool any = false;
+    for (auto& shard : shards_) {
+      if (shard->evictions.drain(drained)) {
+        any = true;
+        for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+      }
+    }
+    if (any) {
+      idle_polls = 0;
+      continue;
+    }
+    if (merge_stop_.load(std::memory_order_acquire)) {
+      // Producers are joined before merge_stop_ is set, so nothing new can
+      // arrive — but a worker may have pushed to a queue after this sweep
+      // already passed it. One final sweep picks those up.
+      for (auto& shard : shards_) {
+        if (shard->evictions.drain(drained)) {
+          for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+        }
+      }
+      return;
+    }
+    if (++idle_polls < kIdlePollsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+}
+
+void ShardedEngine::stop_pipeline(bool flush, Nanos now) {
+  for (auto& shard : shards_) {
+    if (flush) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kFlush;
+      msg.rec.tin = now;
+      stage(*shard, std::move(msg));
+    }
+    ShardMsg stop;
+    stop.kind = ShardMsg::Kind::kStop;
+    stage(*shard, std::move(stop));
+    publish(*shard);
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  merge_stop_.store(true, std::memory_order_release);
+  if (merge_thread_.joinable()) merge_thread_.join();
+  threads_stopped_ = true;
+}
+
+void ShardedEngine::finish(Nanos now) {
+  check(!finished_, "ShardedEngine: finish called twice");
+  finished_ = true;
+  stop_pipeline(/*flush=*/true, now);
+
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    tables_.emplace(
+        plans_[q]->query_index,
+        materialize_switch_table(program_, *plans_[q], *backings_[q]));
+  }
+  for (auto& sink : sinks_) {
+    tables_.emplace(sink.compiled.query_index, std::move(sink.table));
+  }
+  sinks_.clear();
+  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
+    if (tables_.count(static_cast<int>(i)) > 0) continue;
+    run_collection_query(program_, static_cast<int>(i), tables_);
+  }
+}
+
+const ResultTable* ShardedEngine::find_table(int index) const {
+  return find_collection_table(tables_, index);
+}
+
+const ResultTable& ShardedEngine::result() const {
+  check(finished_, "ShardedEngine: result before finish");
+  const int last = static_cast<int>(program_.analysis.queries.size()) - 1;
+  const ResultTable* t = find_table(last);
+  check(t != nullptr, "ShardedEngine: program result not materialized");
+  return *t;
+}
+
+const ResultTable& ShardedEngine::table(std::string_view name) const {
+  check(finished_, "ShardedEngine: table before finish");
+  const int idx = program_.analysis.query_index(name);
+  if (idx < 0) {
+    throw QueryError{"result", "unknown table '" + std::string{name} + "'"};
+  }
+  const ResultTable* t = find_table(idx);
+  if (t == nullptr) {
+    throw QueryError{"result", "table '" + std::string{name} +
+                                   "' is a stream intermediate and was not "
+                                   "materialized"};
+  }
+  return *t;
+}
+
+std::vector<StoreStats> ShardedEngine::store_stats() const {
+  check(finished_, "ShardedEngine: store_stats before finish");
+  std::vector<StoreStats> out;
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    StoreStats s;
+    s.name = plans_[q]->name;
+    s.linearity = plans_[q]->linearity;
+    for (const auto& shard : shards_) {
+      const kv::CacheStats& cs = shard->caches[q]->stats();
+      s.cache.packets += cs.packets;
+      s.cache.hits += cs.hits;
+      s.cache.initializations += cs.initializations;
+      s.cache.evictions += cs.evictions;
+      s.cache.flushes += cs.flushes;
+    }
+    s.accuracy = backings_[q]->accuracy();
+    s.backing_writes = backings_[q]->writes();
+    s.backing_capacity_writes = backings_[q]->capacity_writes();
+    s.keys = backings_[q]->key_count();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const kv::ShardedBackingStore& ShardedEngine::backing(
+    std::string_view query_name) const {
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    if (plans_[q]->name == query_name) return *backings_[q];
+  }
+  throw QueryError{"result",
+                   "no switch query named '" + std::string{query_name} + "'"};
+}
+
+}  // namespace perfq::runtime

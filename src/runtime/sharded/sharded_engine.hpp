@@ -1,0 +1,181 @@
+// The sharded multi-core runtime: ShardedEngine.
+//
+// Topology (dispatcher → rings → shard workers → eviction queues → merge
+// thread → concurrent backing store):
+//
+//   caller thread (dispatcher)
+//     - evaluates each switch query's prefilter, extracts the aggregation
+//       key (one hash per record per query) and routes the record to
+//       shard = high bits of the cache-placement hash (RSS-style);
+//     - batches messages per shard and publishes them into that shard's
+//       fixed-capacity SPSC ring;
+//     - runs stream SELECT sinks inline (they are order-sensitive appends);
+//     - turns refresh boundaries into in-band flush messages, so every shard
+//       flushes at exactly the same trace times as the single-threaded
+//       engine.
+//   N shard workers
+//     - each owns a private per-shard cache per switch query (its *bucket
+//       slice* of the configured geometry — see Cache's bucket_scale) and
+//       folds records through the same SwitchFoldCore hot path QueryEngine
+//       uses; zero cross-shard locking on the fold path;
+//     - cache evictions are buffered and enqueued onto the shard's MPSC
+//       eviction queue instead of synchronously touching the backing store.
+//   1 merge thread
+//     - drains the eviction queues into the per-query ShardedBackingStore
+//       (sharded by key, one mutex per sub-store), so the paper's periodic
+//       refresh keeps the backing store fresh while workers keep folding.
+//
+// Determinism: because shard s's cache is exactly the bucket slice
+// [s·n/N, (s+1)·n/N) of the single engine's n-bucket cache — same bucket
+// contents, same LRU order, same capacity evictions, same flush times — the
+// sharded engine's results are bit-identical to QueryEngine's for every
+// linear-kernel query (the exact merge applies the same epoch sequence per
+// key), and non-linear kernels produce the identical value-segment sets and
+// AccuracyStats. This is the paper's linear-in-state merge doing double duty:
+// the operation that reconciles SRAM with DRAM also makes multi-core scale-
+// out lossless. Requires num_buckets % num_shards == 0 per query geometry
+// (and LRU/FIFO eviction; kRandom draws per-shard RNG streams and is only
+// statistically equivalent).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.hpp"
+#include "common/spsc_ring.hpp"
+#include "compiler/program.hpp"
+#include "kvstore/sharded_backing_store.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/fold_core.hpp"
+#include "runtime/table.hpp"
+
+namespace perfq::runtime {
+
+struct ShardedEngineConfig {
+  /// Geometry/seed/policy/refresh/stream settings, shared with QueryEngine.
+  /// The geometry is the *total* cache budget: each shard gets a
+  /// 1/num_shards bucket slice of it.
+  EngineConfig engine;
+  /// Worker thread count (each owns one ring + one cache slice per query).
+  std::size_t num_shards = 4;
+  /// Capacity of each shard's SPSC record ring, in messages (rounded up to a
+  /// power of two).
+  std::size_t ring_capacity = 4096;
+  /// Records the dispatcher stages per shard before publishing to the ring.
+  std::size_t dispatch_batch = 256;
+  /// Sub-stores per query in the concurrent backing store (0 = num_shards).
+  std::size_t backing_shards = 0;
+  /// Evictions a worker buffers before pushing to its MPSC eviction queue.
+  std::size_t eviction_batch = 128;
+};
+
+/// Drop-in multi-core counterpart of QueryEngine (same process/finish/result
+/// surface; see the file comment for the equivalence guarantee).
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(compiler::CompiledProgram program,
+                         ShardedEngineConfig config = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void process(const PacketRecord& rec) { process_batch({&rec, 1}); }
+
+  /// Dispatch a batch of time-ordered records to the shard pipeline. Returns
+  /// once every record is staged or published; folding proceeds async.
+  void process_batch(std::span<const PacketRecord> records);
+
+  /// Drain rings and eviction queues, join all threads, then materialize
+  /// results (cross-shard union is exact; see file comment). Call once.
+  void finish(Nanos now);
+
+  [[nodiscard]] const ResultTable& result() const;
+  [[nodiscard]] const ResultTable& table(std::string_view name) const;
+
+  /// Aggregated per-query stats (cache counters summed across shards).
+  /// Only valid after finish().
+  [[nodiscard]] std::vector<StoreStats> store_stats() const;
+
+  /// The concurrent backing store of a switch query. Safe to read mid-run
+  /// (locked per sub-store) — the paper's "monitoring applications can pull
+  /// results" while folding continues.
+  [[nodiscard]] const kv::ShardedBackingStore& backing(
+      std::string_view query_name) const;
+
+  [[nodiscard]] std::uint64_t records_processed() const { return records_; }
+  [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const compiler::CompiledProgram& program() const {
+    return program_;
+  }
+
+ private:
+  /// Idle backoff for the worker/merge poll loops: yield for this many empty
+  /// polls (bursty traffic), then park in short sleeps (truly idle).
+  static constexpr std::uint32_t kIdlePollsBeforeSleep = 256;
+  static constexpr std::chrono::microseconds kIdleSleep{100};
+
+  struct ShardMsg {
+    enum class Kind : std::uint8_t { kRecord, kFlush, kStop };
+    Kind kind = Kind::kRecord;
+    std::uint16_t query = 0;  ///< switch-instance index (kRecord)
+    kv::Key key;              ///< extracted aggregation key (kRecord)
+    PacketRecord rec;         ///< the record; rec.tin carries flush time
+  };
+
+  struct TaggedEviction {
+    std::uint16_t query = 0;
+    kv::EvictedValue ev;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<ShardMsg> ring;
+    MpscQueue<TaggedEviction> evictions;
+    std::vector<std::unique_ptr<kv::Cache>> caches;  ///< per switch query
+    std::vector<SwitchFoldCore> cores;               ///< parallel to caches
+    std::vector<TaggedEviction> evict_buf;  ///< worker-local staging
+    std::vector<ShardMsg> staging;          ///< dispatcher-local staging
+    std::thread thread;
+  };
+
+  struct StreamSink {
+    compiler::CompiledStreamSelect compiled;
+    ResultTable table;
+    bool overflowed = false;
+  };
+
+  void worker_loop(Shard& shard);
+  void merge_loop();
+  void stage(Shard& shard, ShardMsg&& msg);
+  void publish(Shard& shard);
+  /// Send kFlush (optionally) + kStop to every shard and join all threads.
+  void stop_pipeline(bool flush, Nanos now);
+  [[nodiscard]] const ResultTable* find_table(int index) const;
+
+  compiler::CompiledProgram program_;
+  ShardedEngineConfig config_;
+  std::vector<const compiler::SwitchQueryPlan*> plans_;
+  std::vector<std::unique_ptr<kv::ShardedBackingStore>> backings_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<StreamSink> sinks_;
+  std::thread merge_thread_;
+  std::atomic<bool> merge_stop_{false};
+  std::map<int, ResultTable> tables_;
+  std::uint64_t records_ = 0;
+  std::uint64_t refreshes_ = 0;
+  Nanos next_refresh_{0};
+  bool finished_ = false;
+  bool threads_stopped_ = false;
+};
+
+}  // namespace perfq::runtime

@@ -1,0 +1,50 @@
+// Trace replay driver: stream a record trace into any engine.
+//
+// Works with both QueryEngine and ShardedEngine (anything exposing
+// process_batch/finish) and is the harness the scaling bench and the shard
+// equivalence tests use: time-ordered batched delivery, optional trace
+// repetition for longer steady-state runs, and a throughput readout.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <span>
+
+#include "packet/record.hpp"
+
+namespace perfq::trace {
+
+struct ReplayStats {
+  std::uint64_t records = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double records_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0;
+  }
+};
+
+/// Feed `records` into `engine` in `batch`-sized time-ordered batches,
+/// `repeats` times over, without calling finish(). Returns wall-clock
+/// throughput of the delivery (for a pipelined engine this measures the
+/// sustainable dispatch rate; finish() settles the tail).
+template <typename Engine>
+ReplayStats replay_into(Engine& engine, std::span<const PacketRecord> records,
+                        std::size_t batch = 1024, std::size_t repeats = 1) {
+  if (batch == 0) batch = 1;
+  ReplayStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t base = 0; base < records.size(); base += batch) {
+      const std::size_t n = std::min(batch, records.size() - base);
+      engine.process_batch(records.subspan(base, n));
+      stats.records += n;
+    }
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace perfq::trace
