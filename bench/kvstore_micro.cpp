@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/hugepage.hpp"
+#include "compiler/key_router.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/kvstore.hpp"
@@ -244,6 +245,37 @@ void BM_ShardedEngine(benchmark::State& state) {
 // items/s would overstate throughput on loaded machines.
 BENCHMARK(BM_ShardedEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+void BM_ShardedEngineParallelDispatch(benchmark::State& state) {
+  // Args: (dispatchers D, shards N). D co-dispatcher threads each route a
+  // disjoint slice of every batch through the D×N ring matrix; the workers'
+  // sequence-ordered merge keeps results bit-identical. On a multi-core
+  // machine the D axis is the lever that lifts the serial-dispatch Amdahl
+  // ceiling BM_ShardedEngine runs into.
+  const auto records = workload(1 << 18, 1 << 20);
+  runtime::ShardedEngineConfig config;
+  config.engine = engine_bench_config();
+  config.engine.geometry = config.engine.geometry.with_huge_pages();
+  config.num_dispatchers = static_cast<std::size_t>(state.range(0));
+  config.num_shards = static_cast<std::size_t>(state.range(1));
+  runtime::ShardedEngine engine(engine_bench_program(), config);
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    const auto stats = trace::replay_into(engine, records, /*batch=*/4096);
+    processed += static_cast<std::int64_t>(stats.records);
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["dispatchers"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["shards"] =
+      benchmark::Counter(static_cast<double>(state.range(1)));
+}
+BENCHMARK(BM_ShardedEngineParallelDispatch)
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({2, 4})
+    ->UseRealTime();
+
 void BM_TcamLookup(benchmark::State& state) {
   const auto analysis = lang::analyze_source(
       "SELECT COUNT GROUPBY 5tuple WHERE proto == TCP and qsize > 100");
@@ -273,6 +305,23 @@ void BM_KeyExtractAndPack(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_KeyExtractAndPack);
+
+void BM_KeyRouterHash(benchmark::State& state) {
+  // The record-direct dispatch cost: pack the plain-field key into a stack
+  // buffer and hash it, no kv::Key materialized. This is the per-record
+  // serial work of the sharded dispatcher (vs BM_KeyExtractAndPack, the PR 2
+  // dispatch path), i.e. the Amdahl term of multi-core scaling.
+  const auto program = compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
+  const auto router = compiler::KeyRouter::make(program.switch_plans[0]);
+  const auto records = workload(4096, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router->raw_hash(records[i]));
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KeyRouterHash);
 
 }  // namespace
 

@@ -1,0 +1,66 @@
+// Record-direct key routing for plain-field GROUPBY keys.
+//
+// The sharded runtime's dispatcher must know each record's key hash to pick a
+// shard, and PR 2 paid for that with a full extract_key(): evaluate/clamp the
+// fields, pack a kv::Key (32-byte inline array + length bookkeeping), hash
+// it, then copy the whole Key into the shard message. For plain-field keys
+// (5tuple, srcip, qid — every key component a direct FieldId load, i.e.
+// SwitchQueryPlan::fast_key_fields non-empty) none of that materialization is
+// needed on the dispatch path: KeyRouter packs the key bytes into a stack
+// buffer and hashes them there, so dispatch cost drops to the hash-only
+// floor and the shard message carries an 8-byte hash instead of a 48-byte
+// Key. The shard worker re-packs the key on its own core — parallel, off the
+// serial dispatcher — and installs the shipped hash via Key::pack_prehashed,
+// so the byte-level hash is still computed exactly once per record.
+//
+// Equivalence contract: raw_hash(rec) == extract_key(plan, rec).raw_hash()
+// and make_key(rec, raw_hash(rec)) == extract_key(plan, rec), bit for bit
+// (same field_value() reads, same clamp, same big-endian packing).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "compiler/program.hpp"
+#include "kvstore/key.hpp"
+
+namespace perfq::compiler {
+
+class KeyRouter {
+ public:
+  /// A router for `plan`, or nullopt when the plan has computed key
+  /// components (those must take extract_key()'s expression-tree path).
+  /// Self-contained: the router copies the field ids and widths it needs.
+  [[nodiscard]] static std::optional<KeyRouter> make(const SwitchQueryPlan& plan);
+
+  /// The key's seed-0 byte hash computed straight from the record: pack the
+  /// plain fields into a stack buffer, hash once. No kv::Key materialized.
+  [[nodiscard]] std::uint64_t raw_hash(const PacketRecord& rec) const;
+
+  /// Worker-side rebuild: pack the key and install the dispatcher's hash
+  /// (skipping the byte-level rehash). `raw_hash` must come from
+  /// raw_hash(rec) for this same record.
+  [[nodiscard]] kv::Key make_key(const PacketRecord& rec,
+                                 std::uint64_t raw_hash) const;
+
+ private:
+  explicit KeyRouter(const SwitchQueryPlan& plan);
+
+  /// Pack the key's fields (field_value read + clamp + truncate, identical
+  /// to extract_key's fast path) into `values`/`widths`; returns arity.
+  std::size_t pack_values(const PacketRecord& rec, std::uint64_t* values,
+                          std::uint8_t* widths) const;
+
+  struct Component {
+    FieldId field;
+    std::uint8_t bytes;
+  };
+  /// Key components never exceed extract_key's 16-component bound.
+  std::array<Component, 16> components_{};
+  std::size_t arity_ = 0;
+  std::size_t key_len_ = 0;  ///< total packed bytes
+};
+
+}  // namespace perfq::compiler

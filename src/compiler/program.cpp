@@ -103,15 +103,25 @@ SwitchQueryPlan build_switch_plan(const AnalyzedProgram& analysis,
 
   // Key components: column expressions composed down to T.
   for (const auto& col : q.key_columns) {
-    const lang::Column* column = in_schema.find(col);
-    check(column != nullptr, "switch plan: key column missing from schema");
     KeyComponent comp;
     comp.column = col;
-    comp.bytes = (column->bits + 7) / 8;
-    const auto it = bindings.find(col);
-    const ExprPtr name_expr = lang::make_name(col);
-    const Expr& source_expr = it != bindings.end() ? *it->second : *name_expr;
-    comp.expr = ScalarExpr::compile(source_expr, base_record_resolver());
+    if (const auto ck = q.computed_keys.find(col); ck != q.computed_keys.end()) {
+      // Computed key: bind the expression through the stream view and keep
+      // the tree — computed keys are never eligible for the fast-field path.
+      const lang::Column* column = q.output.find(col);
+      check(column != nullptr, "switch plan: computed key missing from schema");
+      comp.bytes = (column->bits + 7) / 8;
+      const ExprPtr bound = substitute_names(*ck->second, bindings);
+      comp.expr = ScalarExpr::compile(*bound, base_record_resolver());
+    } else {
+      const lang::Column* column = in_schema.find(col);
+      check(column != nullptr, "switch plan: key column missing from schema");
+      comp.bytes = (column->bits + 7) / 8;
+      const auto it = bindings.find(col);
+      const ExprPtr name_expr = lang::make_name(col);
+      const Expr& source_expr = it != bindings.end() ? *it->second : *name_expr;
+      comp.expr = ScalarExpr::compile(source_expr, base_record_resolver());
+    }
     plan.key.push_back(std::move(comp));
   }
 
@@ -209,9 +219,13 @@ CompiledProgram compile_source(std::string_view source,
   return compile_program(lang::analyze_source(source, params));
 }
 
-kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
-  std::array<std::uint64_t, 16> values{};
-  std::array<std::uint8_t, 16> widths{};
+namespace {
+
+/// Shared value extraction of extract_key/extract_key_prehashed: fill
+/// `values`/`widths` for every key component (fast field path or expression
+/// tree), with the clamp/truncation both packers must agree on.
+void extract_key_values(const SwitchQueryPlan& plan, const PacketRecord& rec,
+                        std::uint64_t* values, std::uint8_t* widths) {
   check(plan.key.size() <= 16, "extract_key: too many key components");
   if (!plan.fast_key_fields.empty()) {
     // Plain-field key (5tuple, srcip, qid, ...): read the fields directly —
@@ -219,26 +233,36 @@ kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
     // tree walk. This is the dispatcher's per-record routing cost in the
     // sharded runtime.
     for (std::size_t i = 0; i < plan.key.size(); ++i) {
-      const double v = field_value(rec, plan.fast_key_fields[i]);
-      const double clamped =
-          std::clamp(v, 0.0, 18446744073709549568.0 /* ~2^64 */);
-      values[i] = static_cast<std::uint64_t>(clamped);
+      values[i] = key_component_value(field_value(rec, plan.fast_key_fields[i]));
       widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
     }
-    return kv::Key::pack({values.data(), plan.key.size()},
-                         {widths.data(), plan.key.size()});
+    return;
   }
   const RecordSource source({&rec, 1});
   for (std::size_t i = 0; i < plan.key.size(); ++i) {
-    const double v = plan.key[i].expr.eval(source);
-    // Key fields are integer-valued; clamp defensively (e.g. infinity).
-    const double clamped =
-        std::clamp(v, 0.0, 18446744073709549568.0 /* ~2^64 */);
-    values[i] = static_cast<std::uint64_t>(clamped);
+    values[i] = key_component_value(plan.key[i].expr.eval(source));
     widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
   }
+}
+
+}  // namespace
+
+kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
+  std::array<std::uint64_t, 16> values{};
+  std::array<std::uint8_t, 16> widths{};
+  extract_key_values(plan, rec, values.data(), widths.data());
   return kv::Key::pack({values.data(), plan.key.size()},
                        {widths.data(), plan.key.size()});
+}
+
+kv::Key extract_key_prehashed(const SwitchQueryPlan& plan,
+                              const PacketRecord& rec,
+                              std::uint64_t raw_hash) {
+  std::array<std::uint64_t, 16> values{};
+  std::array<std::uint8_t, 16> widths{};
+  extract_key_values(plan, rec, values.data(), widths.data());
+  return kv::Key::pack_prehashed({values.data(), plan.key.size()},
+                                 {widths.data(), plan.key.size()}, raw_hash);
 }
 
 std::vector<double> unpack_key(const SwitchQueryPlan& plan, const kv::Key& key) {

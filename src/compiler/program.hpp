@@ -11,6 +11,8 @@
 // analysis.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -89,9 +91,25 @@ struct CompiledStreamSelect {
 [[nodiscard]] CompiledProgram compile_source(
     std::string_view source, const std::map<std::string, double>& params = {});
 
+/// The one definition of how a key component's double value becomes the
+/// unsigned integer that gets packed: clamp defensively (key fields are
+/// integer-valued, but expressions can produce infinity) and truncate.
+/// extract_key and the sharded runtime's KeyRouter must agree bit-for-bit.
+[[nodiscard]] inline std::uint64_t key_component_value(double v) {
+  const double clamped = std::clamp(v, 0.0, 18446744073709549568.0 /* ~2^64 */);
+  return static_cast<std::uint64_t>(clamped);
+}
+
 /// Extract the packed key for one record under a plan.
 [[nodiscard]] kv::Key extract_key(const SwitchQueryPlan& plan,
                                   const PacketRecord& rec);
+
+/// extract_key() with the byte-level hash supplied (from a dispatcher that
+/// already extracted this record's key) instead of recomputed — the sharded
+/// worker's path for computed-key plans, keeping one hash per record.
+[[nodiscard]] kv::Key extract_key_prehashed(const SwitchQueryPlan& plan,
+                                            const PacketRecord& rec,
+                                            std::uint64_t raw_hash);
 
 /// Inverse of extract_key: unpack component values from a packed key.
 [[nodiscard]] std::vector<double> unpack_key(const SwitchQueryPlan& plan,

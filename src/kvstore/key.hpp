@@ -45,16 +45,32 @@ class Key {
   /// given number of bytes (big-endian). Used by the compiler's key extractor.
   static Key pack(std::span<const std::uint64_t> values,
                   std::span<const std::uint8_t> widths) {
-    check(values.size() == widths.size(), "kv::Key::pack: arity mismatch");
-    Key k;
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (k.len_ + widths[i] > kCapacity) throw ConfigError{"kv::Key: key too long"};
-      for (int b = widths[i] - 1; b >= 0; --b) {
-        k.bytes_[k.len_++] = static_cast<std::byte>(values[i] >> (8 * b));
-      }
-    }
+    Key k = pack_bytes(values, widths);
     k.hash_ = hash_bytes(k.bytes(), 0);
     return k;
+  }
+
+  /// pack() with the byte-level hash supplied by the caller instead of
+  /// recomputed. The sharded runtime's record-direct dispatcher hashes the
+  /// packed key bytes without materializing a Key; the shard worker re-packs
+  /// the key on its own core and installs that hash here. The caller
+  /// guarantees `raw_hash == hash_bytes(packed bytes, 0)` — every downstream
+  /// consumer (bucket index, probe tag, std::hash) derives from it.
+  static Key pack_prehashed(std::span<const std::uint64_t> values,
+                            std::span<const std::uint8_t> widths,
+                            std::uint64_t raw_hash) {
+    Key k = pack_bytes(values, widths);
+    k.hash_ = raw_hash;
+    return k;
+  }
+
+  /// The hash pack() would cache for these values/widths, without keeping
+  /// the Key. Shares pack_bytes() so the byte layout the hash covers has
+  /// exactly one definition — hash_packed(v, w) == pack(v, w).raw_hash().
+  [[nodiscard]] static std::uint64_t hash_packed(
+      std::span<const std::uint64_t> values,
+      std::span<const std::uint8_t> widths) {
+    return hash_bytes(pack_bytes(values, widths).bytes(), 0);
   }
 
   [[nodiscard]] std::span<const std::byte> bytes() const {
@@ -91,6 +107,21 @@ class Key {
   }
 
  private:
+  /// Shared packing loop of pack()/pack_prehashed(): bytes and length only,
+  /// hash left for the caller to install.
+  static Key pack_bytes(std::span<const std::uint64_t> values,
+                        std::span<const std::uint8_t> widths) {
+    check(values.size() == widths.size(), "kv::Key::pack: arity mismatch");
+    Key k;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (k.len_ + widths[i] > kCapacity) throw ConfigError{"kv::Key: key too long"};
+      for (int b = widths[i] - 1; b >= 0; --b) {
+        k.bytes_[k.len_++] = static_cast<std::byte>(values[i] >> (8 * b));
+      }
+    }
+    return k;
+  }
+
   /// Hash of the empty key, computed once: caches of millions of slots
   /// default-construct that many Keys, which must not each rehash.
   static std::uint64_t empty_hash() {

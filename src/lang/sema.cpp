@@ -371,9 +371,25 @@ class ProgramAnalyzer {
     // query GROUPBY 5tuple over a per-packet aggregate.
     for (const auto& g : out.def.groupby_fields) {
       if (g->kind != ExprKind::kName) {
-        sema_fail("GROUPBY field must be a column name, got '" + to_string(*g) +
-                      "'",
-                  out.def.line);
+        // Computed key (e.g. GROUPBY qid, qsize / 64): legal only over the
+        // packet stream, where the on-switch key-value store evaluates the
+        // expression per record. The collection layer resolves soft-GROUPBY
+        // keys by column name against materialized tables, so those keep
+        // requiring plain names.
+        if (!in.stream_over_base) {
+          sema_fail("GROUPBY field over an aggregate must be a column name, "
+                    "got '" + to_string(*g) + "'",
+                    out.def.line);
+        }
+        ExprPtr expr = g->clone();
+        fold_constants_impl(expr, result_.params, {});
+        check_expr(*expr, in);
+        std::string name = to_string(*expr);
+        if (!contains(out.key_columns, name)) {
+          out.key_columns.push_back(name);
+          out.computed_keys.emplace(std::move(name), std::move(expr));
+        }
+        continue;
       }
       if (g->name == "pkt_uniq" && in.find("srcip") != nullptr) {
         for (const auto& name : in.expand("5tuple")) {
@@ -453,7 +469,19 @@ class ProgramAnalyzer {
     // Output schema: keys, then aggregate columns.
     Schema schema;
     schema.key = out.key_columns;
-    for (const auto& k : out.key_columns) schema.add(*in.find(k));
+    for (const auto& k : out.key_columns) {
+      if (const Column* c = in.find(k)) {
+        schema.add(*c);
+        continue;
+      }
+      // Computed key: a fresh 64-bit column (key values are packed as
+      // 8-byte truncated unsigned integers; see extract_key's clamp).
+      check(out.computed_keys.count(k) > 0, "groupby: unresolved key column");
+      Column c;
+      c.name = k;
+      c.bits = 64;
+      schema.add(std::move(c));
+    }
     for (auto& agg : out.aggregations) {
       if (agg.kind == AggregationSpec::Kind::kFold) {
         const auto& fold =

@@ -45,6 +45,12 @@ struct AnalyzedQuery {
   Schema joined_schema;
   // kGroupBy:
   std::vector<std::string> key_columns;  ///< expanded + canonicalized
+  /// Expression-valued key columns (e.g. GROUPBY qid, qsize / 64), keyed by
+  /// output column name (the expression's canonical rendering). Only legal
+  /// for on-switch GROUPBYs, where the key-value store evaluates the
+  /// expression per record; absent for plain-name keys. Computed keys never
+  /// take the compiler's fast-field extraction path.
+  std::map<std::string, ExprPtr> computed_keys;
   std::vector<AggregationSpec> aggregations;
   bool on_switch = false;  ///< true: lowers to the switch key-value store
   // kSelect / kJoin projections: output column name + expression.

@@ -7,19 +7,15 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "runtime/collection.hpp"
 
 namespace perfq::runtime {
 
 namespace {
 
-/// Which shard owns `key`: the high bits of the cache-placement hash. With
-/// num_buckets % num_shards == 0 this is exactly "which bucket-slice of the
-/// full cache the key's bucket falls in" (see Cache's bucket_scale comment).
-std::uint64_t shard_of(const kv::Key& key, std::uint64_t hash_seed,
-                       std::uint64_t num_shards) {
-  return reduce_range(kv::placement_hash(key, hash_seed), num_shards);
-}
+/// kStop's sequence value: orders after every record and flush.
+constexpr std::uint64_t kStopSeq = std::numeric_limits<std::uint64_t>::max();
 
 }  // namespace
 
@@ -27,7 +23,13 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
                              ShardedEngineConfig config)
     : program_(std::move(program)), config_(std::move(config)) {
   const std::size_t n_shards = config_.num_shards;
-  if (n_shards == 0) throw ConfigError{"ShardedEngine: zero shards"};
+  const std::size_t n_dispatchers = config_.num_dispatchers;
+  if (n_shards == 0) {
+    throw ConfigError{"ShardedEngine: num_shards must be at least 1"};
+  }
+  if (n_dispatchers == 0) {
+    throw ConfigError{"ShardedEngine: num_dispatchers must be at least 1"};
+  }
   if (config_.dispatch_batch == 0) {
     throw ConfigError{"ShardedEngine: zero dispatch batch"};
   }
@@ -40,11 +42,13 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
       static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max())) {
     throw ConfigError{"ShardedEngine: too many switch queries"};
   }
+  seed_mix_ = mix64(config_.engine.hash_seed);
 
   // Resolve each switch query's geometry and its per-shard bucket slice.
   std::vector<kv::CacheGeometry> shard_geometry;
   for (const auto& plan : program_.switch_plans) {
     plans_.push_back(&plan);
+    routers_.push_back(compiler::KeyRouter::make(plan));
     kv::CacheGeometry geometry = config_.engine.geometry;
     if (const auto it = config_.engine.per_query_geometry.find(plan.name);
         it != config_.engine.per_query_geometry.end()) {
@@ -82,11 +86,16 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
   }
 
   // Shards: per query a cache slice whose evictions feed the shard's MPSC
-  // queue (batched) instead of a synchronous backing-store absorb.
+  // queue (batched) instead of a synchronous backing-store absorb; one input
+  // ring per dispatcher.
   shards_.reserve(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s) {
-    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    auto shard = std::make_unique<Shard>();
     Shard& sh = *shard;
+    for (std::size_t d = 0; d < n_dispatchers; ++d) {
+      sh.rings.push_back(
+          std::make_unique<SpscRing<ShardMsg>>(config_.ring_capacity));
+    }
     for (std::size_t q = 0; q < plans_.size(); ++q) {
       sh.caches.push_back(std::make_unique<kv::Cache>(
           shard_geometry[q], plans_[q]->kernel, config_.engine.hash_seed,
@@ -106,10 +115,22 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
     shards_.push_back(std::move(shard));
   }
 
+  // Dispatchers: index 0 is the caller thread; the rest are helper threads
+  // parked on their job slots.
+  dispatchers_.reserve(n_dispatchers);
+  for (std::size_t d = 0; d < n_dispatchers; ++d) {
+    auto dispatcher = std::make_unique<Dispatcher>();
+    dispatcher->staging.resize(n_shards);
+    dispatchers_.push_back(std::move(dispatcher));
+  }
+
   merge_thread_ = std::thread([this] { merge_loop(); });
   for (auto& shard : shards_) {
     Shard& sh = *shard;
     sh.thread = std::thread([this, &sh] { worker_loop(sh); });
+  }
+  for (std::size_t d = 1; d < n_dispatchers; ++d) {
+    dispatchers_[d]->thread = std::thread([this, d] { co_dispatcher_loop(d); });
   }
 }
 
@@ -118,69 +139,104 @@ ShardedEngine::~ShardedEngine() {
   if (!threads_stopped_) stop_pipeline(/*flush=*/false, Nanos{0});
 }
 
-void ShardedEngine::stage(Shard& shard, ShardMsg&& msg) {
-  shard.staging.push_back(std::move(msg));
-  if (shard.staging.size() >= config_.dispatch_batch) publish(shard);
+std::uint64_t ShardedEngine::placement_of_raw(std::uint64_t raw) const {
+  return config_.engine.hash_seed == 0 ? raw : mix64(raw ^ seed_mix_);
 }
 
-void ShardedEngine::publish(Shard& shard) {
-  std::span<ShardMsg> pending(shard.staging);
+void ShardedEngine::stage(std::size_t d, std::size_t shard, ShardMsg&& msg) {
+  std::vector<ShardMsg>& staging = dispatchers_[d]->staging[shard];
+  staging.push_back(std::move(msg));
+  if (staging.size() >= config_.dispatch_batch) publish(d, shard);
+}
+
+void ShardedEngine::publish(std::size_t d, std::size_t shard) {
+  std::vector<ShardMsg>& staging = dispatchers_[d]->staging[shard];
+  SpscRing<ShardMsg>& ring = *shards_[shard]->rings[d];
+  std::span<ShardMsg> pending(staging);
   while (!pending.empty()) {
-    const std::size_t pushed = shard.ring.push_bulk(pending);
+    const std::size_t pushed = ring.push_bulk(pending);
     pending = pending.subspan(pushed);
     // Ring full: the worker is behind; let it run (essential on machines
-    // with fewer cores than threads).
+    // with fewer cores than threads). Workers drain their rings even while
+    // their merge is blocked, so this always makes progress.
     if (pushed == 0) std::this_thread::yield();
   }
-  shard.staging.clear();
+  staging.clear();
 }
 
-void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
-  check(!finished_, "ShardedEngine: process after finish");
-  const std::uint64_t n_shards = shards_.size();
-  for (const PacketRecord& rec : records) {
-    ++records_;
+void ShardedEngine::push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg) {
+  while (!ring.try_push(std::move(msg))) std::this_thread::yield();
+}
 
-    // Periodic refresh (§3.2), mirrored from QueryEngine: the boundary is
-    // detected here — in global record order — and broadcast in-band, so
-    // every shard flushes at exactly the single-threaded trace times.
-    if (config_.engine.refresh_interval > Nanos{0}) {
-      if (next_refresh_ == Nanos{0}) {
-        next_refresh_ = rec.tin + config_.engine.refresh_interval;
+void ShardedEngine::dispatch_slice(std::size_t d,
+                                   std::span<const PacketRecord> slice,
+                                   std::uint64_t base,
+                                   std::span<const FlushEvent> flushes,
+                                   std::uint64_t watermark_seq) {
+  const std::uint64_t n_shards = shards_.size();
+  const FlushEvent* flush = flushes.data();
+  const FlushEvent* flush_end = flushes.data() + flushes.size();
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    const PacketRecord& rec = slice[i];
+    const std::uint64_t g = base + i;
+
+    // Refresh boundaries firing before this record (detected by the
+    // caller's global pre-scan): broadcast in-band through this
+    // dispatcher's rings; the workers' merge executes them at exactly
+    // sequence position 2g, i.e. the single-threaded trace times.
+    while (flush != flush_end && flush->pos == g) {
+      for (std::uint64_t s = 0; s < n_shards; ++s) {
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kFlush;
+        msg.seq = 2 * g;
+        msg.rec.tin = flush->time;
+        stage(d, s, std::move(msg));
       }
-      if (rec.tin >= next_refresh_) {
-        for (auto& shard : shards_) {
-          ShardMsg flush;
-          flush.kind = ShardMsg::Kind::kFlush;
-          flush.rec.tin = rec.tin;
-          stage(*shard, std::move(flush));
-        }
-        ++refreshes_;
-        next_refresh_ = rec.tin + config_.engine.refresh_interval;
-      }
+      ++flush;
     }
 
-    // Route: one message per switch query that admits the record. The key
-    // is extracted here (the dispatcher needs its hash to pick the shard)
-    // and shipped with the record so workers skip straight to the fold.
+    // Route: one message per switch query that admits the record. Only the
+    // key's hash is computed here — record-direct for plain-field keys (no
+    // kv::Key materialized); the worker re-packs the key on its own core.
     const compiler::RecordSource source({&rec, 1});
     for (std::size_t q = 0; q < plans_.size(); ++q) {
       const compiler::SwitchQueryPlan& plan = *plans_[q];
       if (plan.prefilter.has_value() && !plan.prefilter->eval_bool(source)) {
         continue;
       }
+      const std::uint64_t raw =
+          routers_[q].has_value()
+              ? routers_[q]->raw_hash(rec)
+              : compiler::extract_key(plan, rec).raw_hash();
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kRecord;
       msg.query = static_cast<std::uint16_t>(q);
-      msg.key = compiler::extract_key(plan, rec);
+      msg.seq = 2 * g + 1;
+      msg.raw_hash = raw;
       msg.rec = rec;
-      const std::uint64_t s =
-          shard_of(msg.key, config_.engine.hash_seed, n_shards);
-      stage(*shards_[s], std::move(msg));
+      const std::uint64_t s = reduce_range(placement_of_raw(raw), n_shards);
+      stage(d, s, std::move(msg));
     }
+  }
+  for (std::uint64_t s = 0; s < n_shards; ++s) publish(d, s);
+  // Watermark: with co-dispatchers a worker may only act on a message once
+  // every other ring provably cannot deliver an earlier one; the watermark
+  // is that proof for rings this slice left sparse. Pointless at D = 1.
+  if (dispatchers_.size() > 1) {
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kWatermark;
+      msg.seq = watermark_seq;
+      push_message(*shards_[s]->rings[d], std::move(msg));
+    }
+  }
+}
 
-    // Stream sinks stay on the dispatcher: their tables are order-sensitive
-    // row appends and must match the single-threaded engine exactly.
+void ShardedEngine::run_stream_sinks(std::span<const PacketRecord> records) {
+  // Stream sinks stay on the caller: their tables are order-sensitive row
+  // appends and must match the single-threaded engine exactly.
+  for (const PacketRecord& rec : records) {
+    const compiler::RecordSource source({&rec, 1});
     for (auto& sink : sinks_) {
       if (sink.compiled.filter.has_value() &&
           !sink.compiled.filter->eval_bool(source)) {
@@ -198,17 +254,167 @@ void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
       sink.table.add_row(std::move(row));
     }
   }
-  // Publish the tail so nothing lingers in dispatcher staging between
-  // batches (keeps worker pipelines busy and the backing store fresh).
-  for (auto& shard : shards_) publish(*shard);
 }
 
-void ShardedEngine::worker_loop(Shard& sh) {
+void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
+  check(!finished_, "ShardedEngine: process after finish");
+  const std::size_t n = records.size();
+  if (n == 0) return;
+  const std::uint64_t base = records_;
+  records_ += n;
+
+  // Periodic refresh (§3.2): the boundary depends on every preceding
+  // record's tin, so it is detected here — serially, in global record order
+  // — and handed to whichever dispatcher owns the slice it falls in. One
+  // compare per record, a sliver of the ~hash-sized routing cost.
+  flush_events_.clear();
+  if (config_.engine.refresh_interval > Nanos{0}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Nanos tin = records[i].tin;
+      if (next_refresh_ == Nanos{0}) {
+        next_refresh_ = tin + config_.engine.refresh_interval;
+      }
+      if (tin >= next_refresh_) {
+        flush_events_.push_back(FlushEvent{base + i, tin});
+        ++refreshes_;
+        next_refresh_ = tin + config_.engine.refresh_interval;
+      }
+    }
+  }
+
+  const std::size_t n_dispatchers = dispatchers_.size();
+  const std::uint64_t watermark = 2 * (base + n);
+  if (n_dispatchers == 1) {
+    dispatch_slice(0, records, base, flush_events_, watermark);
+    if (!sinks_.empty()) run_stream_sinks(records);
+    return;
+  }
+
+  // Slice the batch into D contiguous runs and fan the tail slices out to
+  // the helper dispatchers; the caller takes slice 0 and the (serial,
+  // order-sensitive) stream sinks while the helpers work.
+  const std::size_t chunk = (n + n_dispatchers - 1) / n_dispatchers;
+  const auto slice_of = [&](std::size_t d) {
+    const std::size_t lo = std::min(n, d * chunk);
+    const std::size_t hi = std::min(n, lo + chunk);
+    return std::pair<std::size_t, std::size_t>{lo, hi};
+  };
+  const auto flushes_in = [&](std::uint64_t lo, std::uint64_t hi) {
+    // flush_events_ is sorted by pos; slice [base+lo, base+hi).
+    const std::span<const FlushEvent> all(flush_events_);
+    const auto begin = static_cast<std::size_t>(
+        std::partition_point(all.begin(), all.end(),
+                             [&](const FlushEvent& e) {
+                               return e.pos < base + lo;
+                             }) -
+        all.begin());
+    const auto end = static_cast<std::size_t>(
+        std::partition_point(all.begin() + begin, all.end(),
+                             [&](const FlushEvent& e) {
+                               return e.pos < base + hi;
+                             }) -
+        all.begin());
+    return all.subspan(begin, end - begin);
+  };
+  for (std::size_t d = 1; d < n_dispatchers; ++d) {
+    Dispatcher& dp = *dispatchers_[d];
+    const auto [lo, hi] = slice_of(d);
+    dp.job_slice = records.subspan(lo, hi - lo);
+    dp.job_base = base + lo;
+    dp.job_flushes = flushes_in(lo, hi);
+    dp.job_watermark = watermark;
+    dp.posted.store(dp.posted.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
+  const auto [lo0, hi0] = slice_of(0);
+  dispatch_slice(0, records.subspan(lo0, hi0 - lo0), base,
+                 flushes_in(lo0, hi0), watermark);
+  if (!sinks_.empty()) run_stream_sinks(records);
+  // The records span is borrowed from the caller: do not return until every
+  // helper has finished reading (and staging) its slice.
+  for (std::size_t d = 1; d < n_dispatchers; ++d) {
+    Dispatcher& dp = *dispatchers_[d];
+    const std::uint64_t target = dp.posted.load(std::memory_order_relaxed);
+    while (dp.completed.load(std::memory_order_acquire) != target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedEngine::co_dispatcher_loop(std::size_t d) {
+  Dispatcher& dp = *dispatchers_[d];
+  std::uint64_t done = 0;
+  std::uint32_t idle_polls = 0;
+  for (;;) {
+    const std::uint64_t posted = dp.posted.load(std::memory_order_acquire);
+    if (posted == done) {
+      if (dp.exit.load(std::memory_order_acquire)) {
+        // Drain-free exit: push this dispatcher's kStop down every ring so
+        // each worker knows lane d is done.
+        for (auto& shard : shards_) {
+          ShardMsg stop;
+          stop.kind = ShardMsg::Kind::kStop;
+          stop.seq = kStopSeq;
+          push_message(*shard->rings[d], std::move(stop));
+        }
+        return;
+      }
+      if (++idle_polls < kIdlePollsBeforeSleep) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+      continue;
+    }
+    idle_polls = 0;
+    dispatch_slice(d, dp.job_slice, dp.job_base, dp.job_flushes,
+                   dp.job_watermark);
+    done = posted;
+    dp.completed.store(done, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::worker_prepare(Shard& sh, std::size_t i,
+                                   const ShardMsg& msg) {
+  // Re-pack the record's key on this core — installing the dispatcher's
+  // hash (no rehash) via the plan's KeyRouter; computed keys re-walk the
+  // expression tree here, off the serial dispatcher — and prefetch its
+  // cache bucket.
+  const std::size_t q = msg.query;
+  sh.cores[q].prepare_extracted(
+      i, routers_[q].has_value()
+             ? routers_[q]->make_key(msg.rec, msg.raw_hash)
+             : compiler::extract_key_prehashed(*plans_[q], msg.rec,
+                                               msg.raw_hash));
+}
+
+void ShardedEngine::worker_process(Shard& sh, std::size_t i, ShardMsg& msg) {
+  switch (msg.kind) {
+    case ShardMsg::Kind::kRecord:
+      sh.cores[msg.query].fold(i, msg.rec);
+      break;
+    case ShardMsg::Kind::kFlush:
+      for (auto& cache : sh.caches) cache->flush(msg.rec.tin);
+      // Refresh wants the backing store fresh soon: hand the flush's
+      // evictions to the merge thread immediately.
+      sh.evictions.push_batch(sh.evict_buf);
+      break;
+    case ShardMsg::Kind::kWatermark:
+    case ShardMsg::Kind::kStop:
+      break;  // control messages carry no work
+  }
+}
+
+void ShardedEngine::worker_loop_single_lane(Shard& sh) {
+  // One dispatcher: its ring is already in global sequence order, so the
+  // whole lane-merge machinery reduces to the direct two-pass pop loop (no
+  // per-message buffering copies).
+  SpscRing<ShardMsg>& ring = *sh.rings[0];
   std::array<ShardMsg, SwitchFoldCore::kChunk> buf;
   bool running = true;
   std::uint32_t idle_polls = 0;
   while (running) {
-    const std::size_t n = sh.ring.pop_bulk({buf.data(), buf.size()});
+    const std::size_t n = ring.pop_bulk({buf.data(), buf.size()});
     if (n == 0) {
       // Bounded backoff: yield while traffic is merely bursty, park briefly
       // once the ring looks genuinely idle so an unfed engine does not pin
@@ -221,29 +427,156 @@ void ShardedEngine::worker_loop(Shard& sh) {
       continue;
     }
     idle_polls = 0;
-    // Pass 1: prefetch every record's cache bucket (no side effects).
     for (std::size_t i = 0; i < n; ++i) {
       if (buf[i].kind == ShardMsg::Kind::kRecord) {
-        sh.cores[buf[i].query].prepare_extracted(i, buf[i].key);
+        worker_prepare(sh, i, buf[i]);
       }
     }
-    // Pass 2: fold in arrival order; flush boundaries are in-band.
     for (std::size_t i = 0; i < n; ++i) {
-      ShardMsg& msg = buf[i];
-      switch (msg.kind) {
-        case ShardMsg::Kind::kRecord:
-          sh.cores[msg.query].fold(i, msg.rec);
-          break;
-        case ShardMsg::Kind::kFlush:
-          for (auto& cache : sh.caches) cache->flush(msg.rec.tin);
-          // Refresh wants the backing store fresh soon: hand the flush's
-          // evictions to the merge thread immediately.
-          sh.evictions.push_batch(sh.evict_buf);
-          break;
-        case ShardMsg::Kind::kStop:
-          running = false;  // nothing follows a stop message
-          break;
+      if (buf[i].kind == ShardMsg::Kind::kStop) {
+        running = false;  // nothing follows a stop message
+        break;
       }
+      worker_process(sh, i, buf[i]);
+    }
+  }
+  sh.evictions.push_batch(sh.evict_buf);
+}
+
+void ShardedEngine::worker_loop(Shard& sh) {
+  const std::size_t n_lanes = sh.rings.size();
+  if (n_lanes == 1) {
+    worker_loop_single_lane(sh);
+    return;
+  }
+  std::vector<Lane> lanes(n_lanes);
+  std::array<ShardMsg, kPopChunk> scratch;
+  std::array<ShardMsg, SwitchFoldCore::kChunk> chunk;
+  std::uint32_t idle_polls = 0;
+
+  // Drain a lane's ring into its local buffer and consume any control
+  // messages at the head. Returns true if anything arrived.
+  const auto poll_lane = [&](std::size_t d) {
+    Lane& lane = lanes[d];
+    bool progressed = false;
+    if (!lane.stopped) {
+      const std::size_t got =
+          sh.rings[d]->pop_bulk({scratch.data(), scratch.size()});
+      if (got > 0) {
+        progressed = true;
+        if (lane.head == lane.buf.size()) {
+          lane.buf.clear();
+          lane.head = 0;
+        } else if (lane.head >= 4 * kPopChunk) {
+          // Reclaim the consumed prefix: in steady state the merge is often
+          // gated on another lane while this one keeps filling, so head may
+          // never reach size() — without compaction the dead prefix grows
+          // for the life of the run. Amortized O(live) moves.
+          lane.buf.erase(lane.buf.begin(),
+                         lane.buf.begin() +
+                             static_cast<std::ptrdiff_t>(lane.head));
+          lane.head = 0;
+        }
+        for (std::size_t i = 0; i < got; ++i) {
+          lane.buf.push_back(std::move(scratch[i]));
+        }
+      }
+    }
+    while (lane.head < lane.buf.size()) {
+      const ShardMsg& front = lane.buf[lane.head];
+      if (front.kind == ShardMsg::Kind::kWatermark) {
+        lane.bound = std::max(lane.bound, front.seq);
+        ++lane.head;
+      } else if (front.kind == ShardMsg::Kind::kStop) {
+        lane.stopped = true;
+        lane.bound = kStopSeq;
+        ++lane.head;
+      } else {
+        break;
+      }
+    }
+    return progressed;
+  };
+
+  for (;;) {
+    bool progressed = false;
+    for (std::size_t d = 0; d < n_lanes; ++d) {
+      progressed |= poll_lane(d);
+    }
+
+    // Gather a chunk of safely ordered messages: repeatedly take the
+    // smallest buffered seq, provided every other lane either has a later
+    // message buffered or a bound proving it cannot deliver an earlier one
+    // (seq uniqueness makes bound == seq safe; see the header comment).
+    std::size_t n = 0;
+    while (n < chunk.size()) {
+      std::size_t best = n_lanes;
+      std::uint64_t best_seq = kStopSeq;
+      for (std::size_t d = 0; d < n_lanes; ++d) {
+        const Lane& lane = lanes[d];
+        if (lane.head < lane.buf.size() && lane.buf[lane.head].seq < best_seq) {
+          best = d;
+          best_seq = lane.buf[lane.head].seq;
+        }
+      }
+      if (best == n_lanes) break;
+      bool safe = true;
+      for (std::size_t d = 0; d < n_lanes && safe; ++d) {
+        const Lane& lane = lanes[d];
+        if (d != best && lane.head == lane.buf.size() &&
+            lane.bound < best_seq) {
+          safe = false;
+        }
+      }
+      if (!safe) break;
+      Lane& lane = lanes[best];
+      chunk[n++] = std::move(lane.buf[lane.head++]);
+      // FIFO per producer: nothing earlier can follow from this lane.
+      lane.bound = std::max(lane.bound, best_seq);
+      while (lane.head < lane.buf.size()) {
+        const ShardMsg& front = lane.buf[lane.head];
+        if (front.kind == ShardMsg::Kind::kWatermark) {
+          lane.bound = std::max(lane.bound, front.seq);
+          ++lane.head;
+        } else if (front.kind == ShardMsg::Kind::kStop) {
+          lane.stopped = true;
+          lane.bound = kStopSeq;
+          ++lane.head;
+        } else {
+          break;
+        }
+      }
+    }
+
+    if (n == 0) {
+      bool done = true;
+      for (const Lane& lane : lanes) {
+        if (!lane.stopped || lane.head < lane.buf.size()) done = false;
+      }
+      if (done) break;
+      if (progressed) continue;
+      // Bounded backoff: yield while traffic is merely bursty, park briefly
+      // once the rings look genuinely idle so an unfed engine does not pin
+      // a core (latency cost on wake: one sleep quantum).
+      if (++idle_polls < kIdlePollsBeforeSleep) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+      continue;
+    }
+    idle_polls = 0;
+
+    // Pass 1: key re-pack + bucket prefetch; pass 2: fold in sequence
+    // order, flush boundaries in-band (kWatermark/kStop never reach the
+    // chunk — they are consumed during lane normalization).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chunk[i].kind == ShardMsg::Kind::kRecord) {
+        worker_prepare(sh, i, chunk[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_process(sh, i, chunk[i]);
     }
   }
   sh.evictions.push_batch(sh.evict_buf);
@@ -284,17 +617,28 @@ void ShardedEngine::merge_loop() {
 }
 
 void ShardedEngine::stop_pipeline(bool flush, Nanos now) {
-  for (auto& shard : shards_) {
+  // Helper dispatchers first: each pushes its own kStop down its rings on
+  // exit (rings are single-producer; only thread d may write rings[d]).
+  for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
+    dispatchers_[d]->exit.store(true, std::memory_order_release);
+  }
+  for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
+    if (dispatchers_[d]->thread.joinable()) dispatchers_[d]->thread.join();
+  }
+  // Caller-owned rings: final flush (ordered after every record) + kStop.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (flush) {
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kFlush;
+      msg.seq = 2 * records_;
       msg.rec.tin = now;
-      stage(*shard, std::move(msg));
+      stage(0, s, std::move(msg));
     }
     ShardMsg stop;
     stop.kind = ShardMsg::Kind::kStop;
-    stage(*shard, std::move(stop));
-    publish(*shard);
+    stop.seq = kStopSeq;
+    stage(0, s, std::move(stop));
+    publish(0, s);
   }
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();

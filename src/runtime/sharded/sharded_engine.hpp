@@ -1,23 +1,28 @@
 // The sharded multi-core runtime: ShardedEngine.
 //
-// Topology (dispatcher → rings → shard workers → eviction queues → merge
-// thread → concurrent backing store):
+// Topology (dispatchers → D×N ring matrix → shard workers → eviction queues
+// → merge thread → concurrent backing store):
 //
-//   caller thread (dispatcher)
-//     - evaluates each switch query's prefilter, extracts the aggregation
-//       key (one hash per record per query) and routes the record to
-//       shard = high bits of the cache-placement hash (RSS-style);
-//     - batches messages per shard and publishes them into that shard's
-//       fixed-capacity SPSC ring;
-//     - runs stream SELECT sinks inline (they are order-sensitive appends);
-//     - turns refresh boundaries into in-band flush messages, so every shard
-//       flushes at exactly the same trace times as the single-threaded
-//       engine.
+//   D dispatcher threads (the caller thread is dispatcher 0; D-1 helpers)
+//     - each owns a disjoint contiguous slice of every input batch: it
+//       evaluates each switch query's prefilter, computes the key's hash
+//       straight from the record (record-direct routing — for plain-field
+//       keys the compiler::KeyRouter packs and hashes on the stack, no
+//       kv::Key materialized) and routes the record to shard = high bits of
+//       the cache-placement hash (RSS-style);
+//     - publishes batched messages into its own per-shard SPSC ring — ring
+//       (d, s) has exactly one producer (dispatcher d) and one consumer
+//       (worker s), so the D×N matrix needs no locks anywhere;
+//     - stamps every message with a global sequence number (the record's
+//       position in the stream), and ends every batch slice with a watermark
+//       so consumers know the ring has gone quiet up to a bound.
 //   N shard workers
-//     - each owns a private per-shard cache per switch query (its *bucket
-//       slice* of the configured geometry — see Cache's bucket_scale) and
-//       folds records through the same SwitchFoldCore hot path QueryEngine
-//       uses; zero cross-shard locking on the fold path;
+//     - each merges its D input rings in sequence order (smallest seq whose
+//       safety bound proves no other ring can still deliver an earlier one),
+//       re-packs the key on its own core (reusing the dispatcher's hash via
+//       Key::pack_prehashed — the byte-level hash is still computed once per
+//       record), and folds through the same SwitchFoldCore hot path
+//       QueryEngine uses against its private bucket-slice cache;
 //     - cache evictions are buffered and enqueued onto the shard's MPSC
 //       eviction queue instead of synchronously touching the backing store.
 //   1 merge thread
@@ -25,17 +30,19 @@
 //       (sharded by key, one mutex per sub-store), so the paper's periodic
 //       refresh keeps the backing store fresh while workers keep folding.
 //
-// Determinism: because shard s's cache is exactly the bucket slice
+// Determinism: the sequence-ordered merge means every worker folds exactly
+// the record subsequence — in exactly the global order — that the serial
+// dispatcher of PR 2 would have fed it, so the PR 2 guarantee carries over
+// unchanged for every D: shard s's cache is exactly the bucket slice
 // [s·n/N, (s+1)·n/N) of the single engine's n-bucket cache — same bucket
-// contents, same LRU order, same capacity evictions, same flush times — the
-// sharded engine's results are bit-identical to QueryEngine's for every
-// linear-kernel query (the exact merge applies the same epoch sequence per
-// key), and non-linear kernels produce the identical value-segment sets and
-// AccuracyStats. This is the paper's linear-in-state merge doing double duty:
-// the operation that reconciles SRAM with DRAM also makes multi-core scale-
-// out lossless. Requires num_buckets % num_shards == 0 per query geometry
-// (and LRU/FIFO eviction; kRandom draws per-shard RNG streams and is only
-// statistically equivalent).
+// contents, same LRU order, same capacity evictions, same flush times — and
+// results are bit-identical to QueryEngine's for every linear-kernel query
+// (identical value-segment sets and AccuracyStats for non-linear kernels).
+// Refresh boundaries are detected once, in global record order, by the
+// caller's pre-scan and shipped in-band with the sequence number of the
+// record they precede. Requires num_buckets % num_shards == 0 per query
+// geometry (and LRU/FIFO eviction; kRandom draws per-shard RNG streams and
+// is only statistically equivalent).
 #pragma once
 
 #include <atomic>
@@ -43,6 +50,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -51,6 +59,7 @@
 
 #include "common/mpsc_queue.hpp"
 #include "common/spsc_ring.hpp"
+#include "compiler/key_router.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/sharded_backing_store.hpp"
 #include "runtime/engine.hpp"
@@ -64,12 +73,19 @@ struct ShardedEngineConfig {
   /// The geometry is the *total* cache budget: each shard gets a
   /// 1/num_shards bucket slice of it.
   EngineConfig engine;
-  /// Worker thread count (each owns one ring + one cache slice per query).
+  /// Worker thread count (each owns one cache slice per query and one ring
+  /// per dispatcher).
   std::size_t num_shards = 4;
-  /// Capacity of each shard's SPSC record ring, in messages (rounded up to a
-  /// power of two).
+  /// Dispatcher thread count D. 1 (default) = the caller thread dispatches
+  /// alone, exactly PR 2's topology. D > 1 splits every batch into D
+  /// contiguous slices dispatched concurrently (the caller takes slice 0,
+  /// D-1 helper threads the rest) through a D×num_shards ring matrix; the
+  /// workers' sequence-ordered merge keeps results bit-identical.
+  std::size_t num_dispatchers = 1;
+  /// Capacity of each (dispatcher, shard) SPSC record ring, in messages
+  /// (rounded up to a power of two).
   std::size_t ring_capacity = 4096;
-  /// Records the dispatcher stages per shard before publishing to the ring.
+  /// Records a dispatcher stages per shard before publishing to the ring.
   std::size_t dispatch_batch = 256;
   /// Sub-stores per query in the concurrent backing store (0 = num_shards).
   std::size_t backing_shards = 0;
@@ -114,22 +130,35 @@ class ShardedEngine {
   [[nodiscard]] std::uint64_t records_processed() const { return records_; }
   [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t num_dispatchers() const {
+    return dispatchers_.size();
+  }
   [[nodiscard]] const compiler::CompiledProgram& program() const {
     return program_;
   }
 
  private:
-  /// Idle backoff for the worker/merge poll loops: yield for this many empty
-  /// polls (bursty traffic), then park in short sleeps (truly idle).
+  /// Idle backoff for the worker/merge/co-dispatcher poll loops: yield for
+  /// this many empty polls (bursty traffic), then park in short sleeps
+  /// (truly idle).
   static constexpr std::uint32_t kIdlePollsBeforeSleep = 256;
   static constexpr std::chrono::microseconds kIdleSleep{100};
+  /// Messages a worker pops from one ring per refill pass.
+  static constexpr std::size_t kPopChunk = 64;
 
+  // Sequence numbering (the merge order): the record at global stream index
+  // g carries seq 2g+1; a refresh flush firing *before* record g carries
+  // seq 2g; a watermark bounding a batch that ends at index g carries 2g.
+  // Every processable message seq is unique across a worker's D rings (one
+  // dispatcher owns each record and each flush), so a candidate is safe as
+  // soon as every other ring's next-possible seq is >= it.
   struct ShardMsg {
-    enum class Kind : std::uint8_t { kRecord, kFlush, kStop };
+    enum class Kind : std::uint8_t { kRecord, kFlush, kWatermark, kStop };
     Kind kind = Kind::kRecord;
-    std::uint16_t query = 0;  ///< switch-instance index (kRecord)
-    kv::Key key;              ///< extracted aggregation key (kRecord)
-    PacketRecord rec;         ///< the record; rec.tin carries flush time
+    std::uint16_t query = 0;     ///< switch-instance index (kRecord)
+    std::uint64_t seq = 0;       ///< global merge order (see above)
+    std::uint64_t raw_hash = 0;  ///< key's seed-0 byte hash (kRecord)
+    PacketRecord rec;            ///< the record; rec.tin carries flush time
   };
 
   struct TaggedEviction {
@@ -138,14 +167,37 @@ class ShardedEngine {
   };
 
   struct Shard {
-    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
-    SpscRing<ShardMsg> ring;
+    /// rings[d]: the SPSC conduit from dispatcher d (sole producer) to this
+    /// shard's worker (sole consumer).
+    std::vector<std::unique_ptr<SpscRing<ShardMsg>>> rings;
     MpscQueue<TaggedEviction> evictions;
     std::vector<std::unique_ptr<kv::Cache>> caches;  ///< per switch query
     std::vector<SwitchFoldCore> cores;               ///< parallel to caches
     std::vector<TaggedEviction> evict_buf;  ///< worker-local staging
-    std::vector<ShardMsg> staging;          ///< dispatcher-local staging
     std::thread thread;
+  };
+
+  /// A refresh boundary detected by the caller's serial pre-scan: the flush
+  /// fires before the record at global stream index `pos`.
+  struct FlushEvent {
+    std::uint64_t pos = 0;
+    Nanos time;
+  };
+
+  struct Dispatcher {
+    /// Per-shard staging buffers (published to rings[this dispatcher]).
+    std::vector<std::vector<ShardMsg>> staging;
+    // Job slot for helper dispatchers (d >= 1): the caller writes the job
+    // fields, then publishes them with a release store to `posted`; the
+    // helper acknowledges through `completed`.
+    std::span<const PacketRecord> job_slice;
+    std::uint64_t job_base = 0;
+    std::span<const FlushEvent> job_flushes;
+    std::uint64_t job_watermark = 0;
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> posted{0};
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> completed{0};
+    std::atomic<bool> exit{false};
+    std::thread thread;  ///< helpers only; dispatcher 0 is the caller
   };
 
   struct StreamSink {
@@ -154,20 +206,58 @@ class ShardedEngine {
     bool overflowed = false;
   };
 
+  /// One worker-side view of one input ring: messages drained FIFO into an
+  /// unbounded local buffer (the worker always drains even when the merge
+  /// is blocked on another ring — that keeps dispatchers from wedging on a
+  /// full ring) plus the ring's proven lower bound on future seqs.
+  struct Lane {
+    std::vector<ShardMsg> buf;
+    std::size_t head = 0;
+    std::uint64_t bound = 0;  ///< future msgs from this ring have seq >= bound
+    bool stopped = false;
+  };
+
   void worker_loop(Shard& shard);
+  /// D = 1 fast path: one ring, already in global sequence order — pop
+  /// straight into the fold chunk with no lane buffering or merge.
+  void worker_loop_single_lane(Shard& shard);
+  /// Pass 1 of a gathered chunk slot: re-pack the record's key on this core
+  /// and prefetch its cache bucket. Pass 2 (prepare/fold split shared by
+  /// both worker loops).
+  void worker_prepare(Shard& shard, std::size_t i, const ShardMsg& msg);
+  void worker_process(Shard& shard, std::size_t i, ShardMsg& msg);
   void merge_loop();
-  void stage(Shard& shard, ShardMsg&& msg);
-  void publish(Shard& shard);
-  /// Send kFlush (optionally) + kStop to every shard and join all threads.
+  void co_dispatcher_loop(std::size_t d);
+  /// Dispatch one contiguous slice as dispatcher d: route records, emit
+  /// in-slice flushes, publish staging, and (for D > 1) end with a
+  /// watermark carrying `watermark_seq`.
+  void dispatch_slice(std::size_t d, std::span<const PacketRecord> slice,
+                      std::uint64_t base, std::span<const FlushEvent> flushes,
+                      std::uint64_t watermark_seq);
+  void run_stream_sinks(std::span<const PacketRecord> records);
+  void stage(std::size_t d, std::size_t shard, ShardMsg&& msg);
+  void publish(std::size_t d, std::size_t shard);
+  /// Push one message to a ring, yielding while it is full.
+  static void push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg);
+  /// Send final kFlush (optionally) + kStop through every ring (helpers
+  /// push their own on exit) and join all threads.
   void stop_pipeline(bool flush, Nanos now);
+  /// The cache-placement hash from a key's raw (seed-0) hash; identical to
+  /// kv::placement_hash(key, hash_seed) without needing the key.
+  [[nodiscard]] std::uint64_t placement_of_raw(std::uint64_t raw) const;
   [[nodiscard]] const ResultTable* find_table(int index) const;
 
   compiler::CompiledProgram program_;
   ShardedEngineConfig config_;
+  std::uint64_t seed_mix_ = 0;  ///< mix64(hash_seed), precomputed
   std::vector<const compiler::SwitchQueryPlan*> plans_;
+  /// Record-direct router per plan; nullopt = computed key, expression path.
+  std::vector<std::optional<compiler::KeyRouter>> routers_;
   std::vector<std::unique_ptr<kv::ShardedBackingStore>> backings_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
   std::vector<StreamSink> sinks_;
+  std::vector<FlushEvent> flush_events_;  ///< per-batch scratch (caller only)
   std::thread merge_thread_;
   std::atomic<bool> merge_stop_{false};
   std::map<int, ResultTable> tables_;

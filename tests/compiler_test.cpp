@@ -2,7 +2,10 @@
 // (differential vs hand-written builtins), key packing, plan construction.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
+#include "compiler/key_router.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "lang/parser.hpp"
@@ -350,6 +353,75 @@ R1 = SELECT COUNT, SUM(pkt_len) FROM R0 GROUPBY 5tuple WHERE proto == TCP
   auto large = trace::RecordBuilder{}.flow_index(1).len(500, 446).build();
   EXPECT_FALSE(plan.prefilter->eval_bool(RecordSource({&small, 1})));
   EXPECT_TRUE(plan.prefilter->eval_bool(RecordSource({&large, 1})));
+}
+
+TEST(ProgramCompiler, MixedComputedKeyClearsFastPathEntirely) {
+  // Regression: a plan mixing one plain-field key component with one
+  // expression component must clear fast_key_fields entirely — a partial
+  // fast-field list would pack a key from the wrong components. Both the
+  // engine's extraction and the sharded dispatcher's routing key off this.
+  const CompiledProgram mixed =
+      compile_source("SELECT COUNT GROUPBY srcip, pkt_len / 256");
+  ASSERT_EQ(mixed.switch_plans.size(), 1u);
+  const SwitchQueryPlan& plan = mixed.switch_plans[0];
+  ASSERT_EQ(plan.key.size(), 2u);
+  EXPECT_TRUE(plan.fast_key_fields.empty());
+  EXPECT_FALSE(plan.key[0].expr.as_slot_load().has_value() &&
+               plan.key[1].expr.as_slot_load().has_value());
+
+  // The all-plain twin keeps the fast path.
+  const CompiledProgram plain =
+      compile_source("SELECT COUNT GROUPBY srcip, pkt_len");
+  ASSERT_EQ(plain.switch_plans[0].fast_key_fields.size(), 2u);
+
+  // And extraction matches the expression tree's values: srcip passed
+  // through, pkt_len / 256 truncated to an 8-byte unsigned integer.
+  const auto rec = trace::RecordBuilder{}.flow_index(3).len(1000, 946).build();
+  const kv::Key key = extract_key(plan, rec);
+  // The prehashed variant (the sharded worker's computed-key path) must
+  // agree bit-for-bit while installing the supplied hash.
+  const kv::Key pre = extract_key_prehashed(plan, rec, key.raw_hash());
+  EXPECT_TRUE(pre == key);
+  EXPECT_EQ(pre.raw_hash(), key.raw_hash());
+  const auto values = unpack_key(plan, key);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], static_cast<double>(rec.pkt.flow.src_ip));
+  EXPECT_DOUBLE_EQ(values[1],
+                   std::floor(static_cast<double>(rec.pkt.pkt_len) / 256.0));
+}
+
+TEST(ProgramCompiler, ComputedKeyRejectedForSoftGroupBy) {
+  // The collection layer resolves soft-GROUPBY keys by column name against
+  // materialized tables; expression keys are only legal on-switch.
+  EXPECT_THROW((void)compile_source(R"(
+R1 = SELECT 5tuple, COUNT GROUPBY 5tuple
+R2 = SELECT COUNT FROM R1 GROUPBY srcip / 256
+)"),
+               QueryError);
+}
+
+TEST(KeyRouter, MatchesExtractKeyBitForBit) {
+  // The record-direct router must agree with extract_key exactly: same
+  // packed bytes, same cached hash — the dispatcher routes by the router's
+  // hash while the worker re-packs via make_key.
+  const CompiledProgram p = compile_source("SELECT COUNT GROUPBY 5tuple");
+  const auto router = KeyRouter::make(p.switch_plans[0]);
+  ASSERT_TRUE(router.has_value());
+  for (std::uint32_t f = 0; f < 200; ++f) {
+    const auto rec = trace::RecordBuilder{}.flow_index(f).build();
+    const kv::Key want = extract_key(p.switch_plans[0], rec);
+    const std::uint64_t raw = router->raw_hash(rec);
+    EXPECT_EQ(raw, want.raw_hash());
+    const kv::Key got = router->make_key(rec, raw);
+    EXPECT_TRUE(got == want);
+    EXPECT_EQ(got.raw_hash(), want.raw_hash());
+    EXPECT_EQ(got.hash(0x5eedcafe), want.hash(0x5eedcafe));
+  }
+
+  // Computed-key plans are not routable record-direct.
+  const CompiledProgram computed =
+      compile_source("SELECT COUNT GROUPBY srcip, pkt_len / 256");
+  EXPECT_FALSE(KeyRouter::make(computed.switch_plans[0]).has_value());
 }
 
 TEST(ProgramCompiler, StreamSelectCompiles) {

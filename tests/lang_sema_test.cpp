@@ -328,5 +328,37 @@ R1 = SELECT COUNT GROUPBY dstip
                QueryError);
 }
 
+TEST(Sema, ComputedGroupByKeyOverStreamAccepted) {
+  // An expression GROUPBY key over the packet stream becomes a computed key
+  // column named by the expression's canonical rendering, with a fresh
+  // 64-bit schema column; free constants fold into the key expression.
+  const auto p = analyze_source("SELECT COUNT GROUPBY srcip, pkt_len / B",
+                                {{"B", 256.0}});
+  const AnalyzedQuery& q = p.queries.at(0);
+  ASSERT_EQ(q.key_columns.size(), 2u);
+  EXPECT_EQ(q.key_columns[0], "srcip");
+  EXPECT_EQ(q.key_columns[1], "pkt_len / 256");
+  ASSERT_EQ(q.computed_keys.size(), 1u);
+  ASSERT_TRUE(q.computed_keys.count("pkt_len / 256") > 0);
+  EXPECT_TRUE(q.on_switch);
+  const Column* c = q.output.find("pkt_len / 256");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->bits, 64);
+}
+
+TEST(Sema, ComputedGroupByKeyOverAggregateRejected) {
+  // Soft GROUPBYs resolve keys by column name against materialized tables.
+  EXPECT_THROW((void)analyze_source(R"(
+R1 = SELECT 5tuple, COUNT GROUPBY 5tuple
+R2 = SELECT COUNT FROM R1 GROUPBY srcip / 256
+)"),
+               QueryError);
+}
+
+TEST(Sema, ComputedGroupByKeyWithUnknownColumnRejected) {
+  EXPECT_THROW((void)analyze_source("SELECT COUNT GROUPBY mystery / 2"),
+               QueryError);
+}
+
 }  // namespace
 }  // namespace perfq::lang

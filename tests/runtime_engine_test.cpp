@@ -401,5 +401,54 @@ TEST(Engine, ApiMisuseThrows) {
   EXPECT_THROW(engine.process(trace::RecordBuilder{}.build()), Error);
 }
 
+TEST(Engine, ComputedKeyGroupByMatchesGroundTruth) {
+  // A computed-key GROUPBY (expression component alongside a plain field)
+  // must take the expression-tree extraction path — the fast-field path is
+  // cleared for mixed plans — and still produce exactly the grouping the
+  // expression defines.
+  QueryEngine engine(compile_source("SELECT COUNT GROUPBY srcip, pkt_len / 256"),
+                     small_cache_config());
+  EXPECT_TRUE(engine.program().switch_plans.at(0).fast_key_fields.empty());
+  const auto records = mixed_workload(5000, 40, 7);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> truth;
+  for (const auto& rec : records) {
+    engine.process(rec);
+    // Same truncation as extract_key: the expression value as an unsigned
+    // integer (pkt_len / 256 is nonnegative, so plain truncation).
+    const auto bucket = static_cast<std::uint64_t>(
+        static_cast<double>(rec.pkt.pkt_len) / 256.0);
+    ++truth[{rec.pkt.flow.src_ip, bucket}];
+  }
+  engine.finish(Nanos{1'000'000'000});
+
+  const ResultTable& result = engine.result();
+  ASSERT_EQ(result.row_count(), truth.size());
+  const std::size_t ip_col = result.column("srcip");
+  const std::size_t bucket_col = result.column("pkt_len / 256");
+  const std::size_t cnt_col = result.column("COUNT");
+  for (const auto& row : result.rows()) {
+    const auto key = std::make_pair(
+        static_cast<std::uint64_t>(row[ip_col]),
+        static_cast<std::uint64_t>(row[bucket_col]));
+    ASSERT_TRUE(truth.count(key) > 0)
+        << "unexpected group (" << key.first << ", " << key.second << ")";
+    EXPECT_EQ(static_cast<std::uint64_t>(row[cnt_col]), truth[key]);
+  }
+}
+
+TEST(Engine, FinishTwiceAndProcessAfterFinishThrowCleanly) {
+  const auto records = mixed_workload(200, 10, 33);
+  QueryEngine engine(compile_source("SELECT COUNT GROUPBY srcip"));
+  engine.process_batch(records);
+  engine.finish(Nanos{1'000'000'000});
+  EXPECT_NO_THROW((void)engine.result());
+  EXPECT_THROW(engine.finish(Nanos{2'000'000'000}), Error);
+  EXPECT_THROW(engine.process(records[0]), Error);
+  EXPECT_THROW(engine.process_batch(records), Error);
+  // The failed calls must not have corrupted the finished state.
+  EXPECT_NO_THROW((void)engine.result());
+  EXPECT_EQ(engine.records_processed(), 200u);
+}
+
 }  // namespace
 }  // namespace perfq::runtime

@@ -118,10 +118,12 @@ EngineConfig engine_config(Nanos refresh) {
   return config;
 }
 
-ShardedEngineConfig sharded_config(std::size_t shards, Nanos refresh) {
+ShardedEngineConfig sharded_config(std::size_t shards, Nanos refresh,
+                                   std::size_t dispatchers = 1) {
   ShardedEngineConfig config;
   config.engine = engine_config(refresh);
   config.num_shards = shards;
+  config.num_dispatchers = dispatchers;
   config.ring_capacity = 512;
   config.dispatch_batch = 64;
   return config;
@@ -145,9 +147,10 @@ void expect_tables_bit_identical(const ResultTable& want,
 }
 
 void run_equivalence(const CorpusEntry& entry, std::size_t shards,
-                     Nanos refresh) {
+                     Nanos refresh, std::size_t dispatchers = 1) {
   const std::string context = std::string(entry.name) + " shards=" +
-                              std::to_string(shards) +
+                              std::to_string(shards) + " dispatchers=" +
+                              std::to_string(dispatchers) +
                               " refresh=" + std::to_string(refresh.count());
   const auto records = workload();
 
@@ -157,7 +160,7 @@ void run_equivalence(const CorpusEntry& entry, std::size_t shards,
   single.finish(12_s);
 
   ShardedEngine sharded(compiler::compile_source(entry.source, kParams),
-                        sharded_config(shards, refresh));
+                        sharded_config(shards, refresh, dispatchers));
   trace::replay_into(sharded, records, /*batch=*/777);
   sharded.finish(12_s);
 
@@ -253,6 +256,62 @@ R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple
   }
 }
 
+TEST(ShardedEngine, ParallelDispatchBitIdenticalAcrossMatrix) {
+  // The tentpole property: D co-dispatchers feeding N shards through the
+  // D×N ring matrix, with the workers' sequence-ordered merge, must stay
+  // bit-identical to the single-threaded engine for every (D, N) — the
+  // merge reconstructs exactly the serial dispatch order per shard.
+  for (const auto& entry : kFig2Corpus) {
+    for (const std::size_t dispatchers : {2u, 4u}) {
+      for (const std::size_t shards : {1u, 2u, 8u}) {
+        run_equivalence(entry, shards, /*refresh=*/0_s, dispatchers);
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, ParallelDispatchWithPeriodicRefresh) {
+  // Refresh boundaries are detected by the caller's serial pre-scan and
+  // broadcast by whichever dispatcher owns the slice they fall in; the
+  // merge must execute them at exactly the single-threaded trace times.
+  for (const std::size_t dispatchers : {2u, 4u}) {
+    for (const std::size_t shards : {2u, 8u}) {
+      run_equivalence(kFig2Corpus[2], shards, /*refresh=*/1_s, dispatchers);
+      run_equivalence(kFig2Corpus[4], shards, /*refresh=*/1_s, dispatchers);
+    }
+  }
+  // Aggressive refresh: many in-band flushes interleaved with records.
+  run_equivalence(kFig2Corpus[0], 8, /*refresh=*/100_ms, 4);
+}
+
+TEST(ShardedEngine, ParallelDispatchSmallAndRaggedBatches) {
+  // Batches smaller than D leave some dispatchers with empty slices; their
+  // watermarks must still unblock the workers' merge.
+  const auto records = workload();
+  QueryEngine single(compiler::compile_source(kFig2Corpus[0].source, kParams),
+                     engine_config(0_s));
+  single.process_batch(records);
+  single.finish(12_s);
+
+  ShardedEngine sharded(compiler::compile_source(kFig2Corpus[0].source, kParams),
+                        sharded_config(2, 0_s, 4));
+  // Ragged delivery: 1-record batches, then 3, then one big tail.
+  std::span<const PacketRecord> span(records);
+  for (std::size_t i = 0; i < 10 && i < span.size(); ++i) {
+    sharded.process_batch(span.subspan(i, 1));
+  }
+  std::size_t base = std::min<std::size_t>(10, span.size());
+  while (base + 3 < span.size() && base < 40) {
+    sharded.process_batch(span.subspan(base, 3));
+    base += 3;
+  }
+  sharded.process_batch(span.subspan(base));
+  sharded.finish(12_s);
+
+  expect_tables_bit_identical(single.result(), sharded.result(),
+                              "ragged batches");
+}
+
 TEST(ShardedEngine, RejectsGeometryNotDivisibleByShards) {
   ShardedEngineConfig config;
   config.engine.geometry = kv::CacheGeometry::fully_associative(64);  // n = 1
@@ -261,6 +320,68 @@ TEST(ShardedEngine, RejectsGeometryNotDivisibleByShards) {
                                  "SELECT COUNT GROUPBY srcip"),
                              config),
                ConfigError);
+  // Also when only a per-query override is misaligned.
+  ShardedEngineConfig per_query;
+  per_query.num_shards = 8;
+  per_query.engine.geometry = kv::CacheGeometry::set_associative(64, 8);
+  per_query.engine.per_query_geometry["result"] =
+      kv::CacheGeometry::set_associative(36, 9);  // 4 buckets, 8 shards
+  EXPECT_THROW(ShardedEngine(compiler::compile_source(
+                                 "SELECT COUNT GROUPBY srcip"),
+                             per_query),
+               ConfigError);
+}
+
+TEST(ShardedEngine, RejectsZeroShardsAndZeroDispatchers) {
+  ShardedEngineConfig zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_THROW(ShardedEngine(compiler::compile_source(
+                                 "SELECT COUNT GROUPBY srcip"),
+                             zero_shards),
+               ConfigError);
+  ShardedEngineConfig zero_dispatchers;
+  zero_dispatchers.num_dispatchers = 0;
+  EXPECT_THROW(ShardedEngine(compiler::compile_source(
+                                 "SELECT COUNT GROUPBY srcip"),
+                             zero_dispatchers),
+               ConfigError);
+}
+
+TEST(ShardedEngine, FinishTwiceAndProcessAfterFinishThrowCleanly) {
+  const auto records = workload();
+  ShardedEngine engine(compiler::compile_source("SELECT COUNT GROUPBY srcip"),
+                       sharded_config(2, 0_s, 2));
+  engine.process_batch(std::span<const PacketRecord>(records).first(100));
+  engine.finish(12_s);
+  EXPECT_NO_THROW((void)engine.result());
+  EXPECT_THROW(engine.finish(12_s), Error);
+  EXPECT_THROW(engine.process(records[0]), Error);
+  EXPECT_THROW(engine.process_batch(std::span<const PacketRecord>(records)),
+               Error);
+  // The failed calls must not have corrupted the finished state.
+  EXPECT_NO_THROW((void)engine.result());
+  EXPECT_EQ(engine.records_processed(), 100u);
+}
+
+TEST(ShardedEngine, ComputedKeyProgramMatchesSingleEngine) {
+  // Computed-key GROUPBYs take the slow (expression-tree) dispatch path:
+  // the dispatcher extracts the key just for its hash and the worker
+  // re-extracts it on its own core. Results must still be bit-identical.
+  const char* source = "SELECT COUNT GROUPBY srcip, pkt_len / 256";
+  const auto records = workload();
+  QueryEngine single(compiler::compile_source(source), engine_config(0_s));
+  single.process_batch(records);
+  single.finish(12_s);
+
+  ShardedEngine sharded(compiler::compile_source(source),
+                        sharded_config(8, 0_s, 2));
+  trace::replay_into(sharded, records, /*batch=*/777);
+  sharded.finish(12_s);
+
+  EXPECT_TRUE(
+      sharded.program().switch_plans.at(0).fast_key_fields.empty());
+  expect_tables_bit_identical(single.result(), sharded.result(),
+                              "computed key");
 }
 
 TEST(ShardedEngine, BackingStoreIsFreshMidRun) {
