@@ -11,7 +11,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 #include "trace/flow_session.hpp"
 
 namespace {
@@ -106,25 +106,26 @@ int main() {
     auto program = compiler::compile_source(q.source, q.params);
     const std::string linearity = classify(program);
 
-    runtime::EngineConfig engine_config;
-    engine_config.geometry = kv::CacheGeometry::set_associative(1u << 12, 8);
-    runtime::QueryEngine engine(std::move(program), engine_config);
+    const auto engine =
+        runtime::EngineBuilder(std::move(program))
+            .geometry(kv::CacheGeometry::set_associative(1u << 12, 8))
+            .build();
 
     trace::FlowSessionGenerator gen(config);
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t packets = 0;
     while (auto rec = gen.next()) {
-      engine.process(*rec);
+      engine->process(*rec);
       ++packets;
     }
-    engine.finish(config.duration);
+    engine->finish(config.duration);
     const auto elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
 
     table.add_row({q.name, linearity, q.paper_linearity,
-                   std::to_string(engine.program().switch_plans.size()),
-                   std::to_string(engine.result().row_count()),
+                   std::to_string(engine->program().switch_plans.size()),
+                   std::to_string(engine->result().row_count()),
                    fmt_double(static_cast<double>(packets) / elapsed / 1e6, 2)});
     if (linearity != q.paper_linearity) {
       std::printf("!! classification mismatch for '%s'\n", q.name.c_str());

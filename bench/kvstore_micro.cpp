@@ -21,8 +21,7 @@
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/kvstore.hpp"
-#include "runtime/engine.hpp"
-#include "runtime/sharded/sharded_engine.hpp"
+#include "runtime/engine_builder.hpp"
 #include "switchsim/match_compiler.hpp"
 #include "trace/replay.hpp"
 #include "trace/simple.hpp"
@@ -159,7 +158,10 @@ BENCHMARK(BM_CompiledEwmaUpdateInterpreted);
 // ---- batched vs scalar engine processing ----------------------------------
 // Same program, same records; the only difference is process() per record vs
 // process_batch() over the whole span (up-front key extraction + bucket
-// prefetch). The ratio is the batching win.
+// prefetch). The ratio is the batching win. Engines are built the way every
+// driver builds them — through EngineBuilder, measured through the virtual
+// Engine surface (the batch-level call amortizes the dispatch to nothing;
+// this bench is the guard that keeps it that way).
 
 compiler::CompiledProgram engine_bench_program() {
   // Compiled fresh per engine (CompiledProgram owns its ASTs and is
@@ -167,21 +169,21 @@ compiler::CompiledProgram engine_bench_program() {
   return compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
 }
 
-runtime::EngineConfig engine_bench_config() {
-  runtime::EngineConfig config;
+kv::CacheGeometry engine_bench_geometry() {
   // Large enough that the slot array dwarfs the LLC: scalar processing
   // stalls on one DRAM bucket fetch per packet, which is exactly the
   // latency the batched path's prefetch overlaps.
-  config.geometry = kv::CacheGeometry::set_associative(1 << 18, 8);
-  return config;
+  return kv::CacheGeometry::set_associative(1 << 18, 8);
 }
 
 void BM_EngineProcessScalar(benchmark::State& state) {
   const auto records = workload(1 << 18, 1 << 20);
-  runtime::QueryEngine engine(engine_bench_program(), engine_bench_config());
+  const auto engine = runtime::EngineBuilder(engine_bench_program())
+                          .geometry(engine_bench_geometry())
+                          .build();
   std::size_t i = 0;
   for (auto _ : state) {
-    engine.process(records[i]);
+    engine->process(records[i]);
     if (++i == records.size()) i = 0;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -190,10 +192,12 @@ BENCHMARK(BM_EngineProcessScalar);
 
 void BM_EngineProcessBatch(benchmark::State& state) {
   const auto records = workload(1 << 18, 1 << 20);
-  runtime::QueryEngine engine(engine_bench_program(), engine_bench_config());
+  const auto engine = runtime::EngineBuilder(engine_bench_program())
+                          .geometry(engine_bench_geometry())
+                          .build();
   std::int64_t processed = 0;
   for (auto _ : state) {
-    engine.process_batch(records);
+    engine->process_batch(records);
     processed += static_cast<std::int64_t>(records.size());
   }
   state.SetItemsProcessed(processed);
@@ -205,12 +209,12 @@ void BM_EngineProcessBatchHugePages(benchmark::State& state) {
   // batched path's bucket prefetches are DTLB-capped at 4 KiB pages (the
   // ROADMAP open item); huge pages recover the difference.
   const auto records = workload(1 << 18, 1 << 20);
-  runtime::EngineConfig config = engine_bench_config();
-  config.geometry = config.geometry.with_huge_pages();
-  runtime::QueryEngine engine(engine_bench_program(), config);
+  const auto engine = runtime::EngineBuilder(engine_bench_program())
+                          .geometry(engine_bench_geometry().with_huge_pages())
+                          .build();
   std::int64_t processed = 0;
   for (auto _ : state) {
-    engine.process_batch(records);
+    engine->process_batch(records);
     processed += static_cast<std::int64_t>(records.size());
   }
   state.SetItemsProcessed(processed);
@@ -227,14 +231,14 @@ BENCHMARK(BM_EngineProcessBatchHugePages);
 
 void BM_ShardedEngine(benchmark::State& state) {
   const auto records = workload(1 << 18, 1 << 20);
-  runtime::ShardedEngineConfig config;
-  config.engine = engine_bench_config();
-  config.engine.geometry = config.engine.geometry.with_huge_pages();
-  config.num_shards = static_cast<std::size_t>(state.range(0));
-  runtime::ShardedEngine engine(engine_bench_program(), config);
+  const auto engine =
+      runtime::EngineBuilder(engine_bench_program())
+          .geometry(engine_bench_geometry().with_huge_pages())
+          .sharded(static_cast<std::size_t>(state.range(0)))
+          .build();
   std::int64_t processed = 0;
   for (auto _ : state) {
-    const auto stats = trace::replay_into(engine, records, /*batch=*/4096);
+    const auto stats = trace::replay_into(*engine, records, /*batch=*/4096);
     processed += static_cast<std::int64_t>(stats.records);
   }
   state.SetItemsProcessed(processed);
@@ -252,15 +256,15 @@ void BM_ShardedEngineParallelDispatch(benchmark::State& state) {
   // machine the D axis is the lever that lifts the serial-dispatch Amdahl
   // ceiling BM_ShardedEngine runs into.
   const auto records = workload(1 << 18, 1 << 20);
-  runtime::ShardedEngineConfig config;
-  config.engine = engine_bench_config();
-  config.engine.geometry = config.engine.geometry.with_huge_pages();
-  config.num_dispatchers = static_cast<std::size_t>(state.range(0));
-  config.num_shards = static_cast<std::size_t>(state.range(1));
-  runtime::ShardedEngine engine(engine_bench_program(), config);
+  const auto engine =
+      runtime::EngineBuilder(engine_bench_program())
+          .geometry(engine_bench_geometry().with_huge_pages())
+          .sharded(static_cast<std::size_t>(state.range(1)))
+          .dispatchers(static_cast<std::size_t>(state.range(0)))
+          .build();
   std::int64_t processed = 0;
   for (auto _ : state) {
-    const auto stats = trace::replay_into(engine, records, /*batch=*/4096);
+    const auto stats = trace::replay_into(*engine, records, /*batch=*/4096);
     processed += static_cast<std::int64_t>(stats.records);
   }
   state.SetItemsProcessed(processed);

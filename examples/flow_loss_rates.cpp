@@ -1,13 +1,17 @@
 // Per-flow loss rates over a congested dumbbell — Fig. 2's "Per-flow loss
 // rate" query (two GROUPBYs joined on the 5-tuple) against simulator ground
-// truth.
+// truth. The engine here is the SHARDED runtime: note that only the
+// .sharded(2) builder knob differs from the serial examples — the driver
+// code targets the same runtime::Engine interface, and the results are
+// bit-identical (so the exact drop-count cross-check below still holds).
 //
 // Build & run:  ./build/examples/flow_loss_rates
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "netsim/network.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 
 int main() {
   using namespace perfq;
@@ -39,9 +43,12 @@ R1 = SELECT COUNT GROUPBY 5tuple
 R2 = SELECT COUNT GROUPBY 5tuple WHERE tout == infinity
 R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple
 )";
-  runtime::QueryEngine engine(compiler::compile_source(source));
+  std::unique_ptr<runtime::Engine> engine =
+      runtime::EngineBuilder(compiler::compile_source(source))
+          .sharded(2)
+          .build();
   network.set_telemetry_sink(
-      [&engine](const PacketRecord& rec) { engine.process(rec); });
+      [&engine](const PacketRecord& rec) { engine->process(rec); });
 
   // Heterogeneous offered loads: flow i sends at (i+1) x 180 Mb/s, so later
   // flows overdrive the bottleneck harder and should lose more.
@@ -50,14 +57,14 @@ R3 = SELECT R2.COUNT / R1.COUNT FROM R1 JOIN R2 ON 5tuple
     network.add_udp_flow(flows[i], 0_ns, 40000, 1500, rate_pps);
   }
   network.run_until(500_ms);
-  engine.finish(network.now());
+  engine->finish(network.now());
 
-  runtime::ResultTable r3 = engine.table("R3");
+  runtime::ResultTable r3 = engine->table("R3");
   r3.sort_desc("R2.COUNT / R1.COUNT");
   std::printf("%s", r3.to_text("per-flow loss rate (R2.COUNT / R1.COUNT)").c_str());
 
-  const runtime::ResultTable& r1 = engine.table("R1");
-  const runtime::ResultTable& r2 = engine.table("R2");
+  const runtime::ResultTable& r1 = engine->table("R1");
+  const runtime::ResultTable& r2 = engine->table("R2");
   std::printf(
       "\nflows observed: %zu, flows with drops: %zu\n"
       "expected shape: loss rate increases with the flow's offered load "

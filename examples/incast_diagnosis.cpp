@@ -11,9 +11,10 @@
 //
 // Build & run:  ./build/examples/incast_diagnosis
 #include <cstdio>
+#include <memory>
 
 #include "netsim/network.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 
 int main() {
   using namespace perfq;
@@ -40,12 +41,12 @@ Q2 = SELECT * FROM P1 WHERE perc.high / perc.tot > 0.01
 # Q3: per-flow packet counts per queue (who is hitting which queue)
 Q3 = SELECT COUNT GROUPBY srcip, dstip, qid
 )";
-  runtime::EngineConfig config;
-  config.geometry = kv::CacheGeometry::set_associative(4096, 8);
-  runtime::QueryEngine engine(compiler::compile_source(source, {{"K", 32.0}}),
-                              config);
+  std::unique_ptr<runtime::Engine> engine =
+      runtime::EngineBuilder(compiler::compile_source(source, {{"K", 32.0}}))
+          .geometry(kv::CacheGeometry::set_associative(4096, 8))
+          .build();
   network.set_telemetry_sink(
-      [&engine](const PacketRecord& rec) { engine.process(rec); });
+      [&engine](const PacketRecord& rec) { engine->process(rec); });
 
   // ---- traffic ---------------------------------------------------------
   // Background: every host sends a modest long-lived flow to a random peer.
@@ -72,7 +73,7 @@ Q3 = SELECT COUNT GROUPBY srcip, dstip, qid
     }
   }
   network.run_until(200_ms);
-  engine.finish(network.now());
+  engine->finish(network.now());
 
   // ---- diagnosis -------------------------------------------------------
   const std::uint32_t hot_q = network.queue_id(topo.leaves[0], topo.hosts[0]);
@@ -81,7 +82,7 @@ Q3 = SELECT COUNT GROUPBY srcip, dstip, qid
               static_cast<unsigned long long>(
                   network.queue_stats(hot_q).dropped));
 
-  runtime::ResultTable q1 = engine.table("Q1");
+  runtime::ResultTable q1 = engine->table("Q1");
   q1.sort_desc("COUNT");
   std::printf("%s", q1.to_text("Q1: drops per queue", 5).c_str());
   if (q1.row_count() > 0 &&
@@ -90,9 +91,9 @@ Q3 = SELECT COUNT GROUPBY srcip, dstip, qid
   }
 
   std::printf("%s",
-              engine.table("Q2").to_text("Q2: persistently deep queues").c_str());
+              engine->table("Q2").to_text("Q2: persistently deep queues").c_str());
 
-  runtime::ResultTable q3 = engine.table("Q3");
+  runtime::ResultTable q3 = engine->table("Q3");
   q3.sort_desc("COUNT");
   std::printf("\nQ3: top contributors at the hot queue:\n");
   const std::size_t qid_col = q3.column("qid");

@@ -4,10 +4,11 @@
 //
 // Build & run:  ./build/examples/latency_heatmap
 #include <cstdio>
+#include <memory>
 
 #include "common/stats.hpp"
 #include "netsim/network.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 
 int main() {
   using namespace perfq;
@@ -32,13 +33,13 @@ def sum_lat (lat, (tin, tout)): lat = lat + tout - tin
 R1 = SELECT pkt_uniq, sum_lat GROUPBY pkt_uniq
 R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L
 )";
-  runtime::EngineConfig config;
-  config.geometry = kv::CacheGeometry::set_associative(1u << 14, 8);
-  runtime::QueryEngine engine(
-      compiler::compile_source(source, {{"alpha", 0.25}, {"L", 400'000.0}}),
-      config);
+  std::unique_ptr<runtime::Engine> engine =
+      runtime::EngineBuilder(compiler::compile_source(
+                                 source, {{"alpha", 0.25}, {"L", 400'000.0}}))
+          .geometry(kv::CacheGeometry::set_associative(1u << 14, 8))
+          .build();
   network.set_telemetry_sink(
-      [&engine](const PacketRecord& rec) { engine.process(rec); });
+      [&engine](const PacketRecord& rec) { engine->process(rec); });
 
   // All-to-all light traffic, plus a heavy pair that overloads one edge link
   // (leaf2 -> its first host), inflating latency for flows into that host.
@@ -60,10 +61,10 @@ R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L
     network.add_udp_flow(hog, 0_ns, 100000, 1400, 250000.0);  // ~2.8 Gb/s each
   }
   network.run_until(150_ms);
-  engine.finish(network.now());
+  engine->finish(network.now());
 
   // Heatmap: EWMA latency per (queue, flow) — print queue-level means.
-  const runtime::ResultTable& lat = engine.table("LAT");
+  const runtime::ResultTable& lat = engine->table("LAT");
   std::map<std::uint32_t, RunningStats> per_queue;
   const std::size_t qid_col = lat.column("qid");
   const std::size_t ewma_col = lat.column("lat_est");
@@ -89,7 +90,7 @@ R2 = SELECT 5tuple FROM R1 GROUPBY 5tuple WHERE lat > L
               network.queue_name(hot_q).c_str(),
               ranked.empty() || ranked[0].second != hot_q ? "  [MISMATCH]" : "");
 
-  runtime::ResultTable r2 = engine.table("R2");
+  runtime::ResultTable r2 = engine->table("R2");
   r2.sort_desc("COUNT");
   std::printf("%s", r2.to_text("flows with packets above L total latency", 8).c_str());
   std::printf(

@@ -11,10 +11,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "common/error.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 #include "switchsim/match_compiler.hpp"
 #include "trace/flow_session.hpp"
 #include "trace/trace_io.hpp"
@@ -89,9 +90,12 @@ int main(int argc, char** argv) {
     compiler::CompiledProgram program = compiler::compile_source(source, params);
     print_compilation_report(program);
 
-    runtime::EngineConfig config;
-    config.geometry = kv::CacheGeometry::set_associative(1u << 13, 8);
-    runtime::QueryEngine engine(std::move(program), config);
+    // One builder line is the whole runtime setup; an operator console
+    // wanting the multi-core engine would only append .sharded(N) here.
+    std::unique_ptr<runtime::Engine> engine =
+        runtime::EngineBuilder(std::move(program))
+            .geometry(kv::CacheGeometry::set_associative(1u << 13, 8))
+            .build();
 
     Nanos end;
     if (argc >= 3) {
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
                   argv[2]);
       end = Nanos{0};
       while (auto rec = reader.next()) {
-        engine.process(*rec);
+        engine->process(*rec);
         end = std::max(end, rec->tin);
       }
     } else {
@@ -109,16 +113,16 @@ int main(int argc, char** argv) {
           trace::TraceConfig::caida_like().scaled(0.002);
       workload.duration = 30_s;
       trace::FlowSessionGenerator gen(workload);
-      while (auto rec = gen.next()) engine.process(*rec);
+      while (auto rec = gen.next()) engine->process(*rec);
       end = workload.duration;
       std::printf("processed %llu synthetic records\n",
-                  static_cast<unsigned long long>(engine.records_processed()));
+                  static_cast<unsigned long long>(engine->records_processed()));
     }
-    engine.finish(end);
+    engine->finish(end);
 
-    const runtime::ResultTable& result = engine.result();
+    const runtime::ResultTable& result = engine->result();
     std::printf("%s", result.to_text("result", 20).c_str());
-    for (const auto& stats : engine.store_stats()) {
+    for (const auto& stats : engine->store_stats()) {
       std::printf("store '%s': eviction rate %.2f%%, accuracy %.1f%%\n",
                   stats.name.c_str(), stats.cache.eviction_fraction() * 100.0,
                   stats.accuracy.accuracy() * 100.0);

@@ -2,13 +2,23 @@
 //
 //   1. Write a performance query (the paper's per-flow counter example).
 //   2. Compile it — the compiler reports how it maps onto the switch.
-//   3. Feed packet observations (here: a small synthetic trace).
-//   4. Read the result table from the backing store.
+//   3. Build an engine with EngineBuilder. The builder is the single entry
+//      point of the runtime: geometry, refresh, stream sinks and the
+//      serial-vs-sharded choice are all knobs on it, and it hands back a
+//      std::unique_ptr<runtime::Engine> — the one interface every driver
+//      (trace replay, netsim telemetry, REPL, benches) programs against.
+//   4. Feed packet observations (here: a small synthetic trace), in batches
+//      or one at a time.
+//   5. Pull results MID-RUN with snapshot() — the paper's §3.2 operating
+//      model ("keys can be periodically evicted to ensure the backing store
+//      is fresh, and monitoring applications can pull results") — then
+//      finish() and read the final tables.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
+#include <vector>
 
-#include "runtime/engine.hpp"
+#include "runtime/engine_builder.hpp"
 #include "trace/flow_session.hpp"
 
 int main() {
@@ -19,7 +29,7 @@ int main() {
 def ewma (lat_est, (tin, tout)):
     lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
 
-SELECT 5tuple, COUNT, SUM(pkt_len), ewma GROUPBY 5tuple WHERE proto == TCP and tout != infinity
+FLOWS = SELECT 5tuple, COUNT, SUM(pkt_len), ewma GROUPBY 5tuple WHERE proto == TCP and tout != infinity
 )";
   // (tout != infinity excludes dropped packets: a drop has infinite latency
   // and would saturate the EWMA — the paper measures drops with a separate
@@ -33,25 +43,52 @@ SELECT 5tuple, COUNT, SUM(pkt_len), ewma GROUPBY 5tuple WHERE proto == TCP and t
               plan.key_bytes(), plan.kernel->state_dims(),
               kv::to_cstring(plan.linearity));
 
-  // 3. Run over a synthetic 10-second Internet-mix trace with a small cache
-  //    (1024 pairs, 8-way) so evictions and merges actually happen.
-  runtime::EngineConfig config;
-  config.geometry = kv::CacheGeometry::set_associative(1024, 8);
-  runtime::QueryEngine engine(std::move(program), config);
+  // 3. Build the engine: a small cache (1024 pairs, 8-way) so evictions and
+  //    merges actually happen, plus the paper's periodic refresh so the
+  //    backing store stays fresh between pulls. Appending .sharded(N) here —
+  //    nothing else — would run the same program across N cores instead.
+  std::unique_ptr<runtime::Engine> engine =
+      runtime::EngineBuilder(std::move(program))
+          .geometry(kv::CacheGeometry::set_associative(1024, 8))
+          .refresh(1_s)
+          .build();
 
+  // 4. Run over a synthetic 10-second Internet-mix trace, batched the way a
+  //    dataplane would deliver bursts.
   trace::TraceConfig workload = trace::TraceConfig::caida_like().scaled(0.001);
   workload.duration = 10_s;
   workload.seed = 42;
   trace::FlowSessionGenerator gen(workload);
-  while (auto rec = gen.next()) engine.process(*rec);
-  engine.finish(workload.duration);
+  std::vector<PacketRecord> batch;
+  bool pulled = false;
+  while (auto rec = gen.next()) {
+    batch.push_back(*rec);
+    if (batch.size() == 512) {
+      engine->process_batch(batch);
+      batch.clear();
+      // 5a. The application pull, mid-run: merge the live cache over the
+      //     backing store — exact for linear kernels, no pipeline stall.
+      if (!pulled && engine->records_processed() > 20'000) {
+        pulled = true;
+        const runtime::EngineSnapshot snap = engine->snapshot("FLOWS", 5_s);
+        std::printf(
+            "mid-run snapshot at record boundary %llu: %zu flows visible "
+            "(refreshes so far: %llu)\n",
+            static_cast<unsigned long long>(snap.records),
+            snap.table.row_count(),
+            static_cast<unsigned long long>(engine->refresh_count()));
+      }
+    }
+  }
+  engine->process_batch(batch);
+  engine->finish(workload.duration);
 
-  // 4. Results: top flows by byte count, plus what the hardware did.
-  runtime::ResultTable result = engine.result();
+  // 5b. Final results: top flows by byte count, plus what the hardware did.
+  runtime::ResultTable result = engine->result();
   result.sort_desc("SUM(pkt_len)");
   std::printf("%s", result.to_text("top TCP flows", 10).c_str());
 
-  for (const auto& stats : engine.store_stats()) {
+  for (const auto& stats : engine->store_stats()) {
     std::printf(
         "switch store '%s': %llu pkts, %llu evictions (%.2f%%), "
         "%zu keys in backing store\n",

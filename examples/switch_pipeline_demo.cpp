@@ -3,7 +3,9 @@
 // parser walk the headers (§3.1), the TCAM stage apply the WHERE predicate,
 // and the stateful stage update the key-value store. Shows that the same
 // query produces byte-identical state whether it runs on parsed records
-// (runtime::QueryEngine) or on wire bytes (sw::SwitchPipeline).
+// (a runtime::Engine built via runtime::EngineBuilder, as in the other
+// examples) or on wire bytes (sw::SwitchPipeline) — the pipeline is the
+// hardware-shaped counterpart of the engines' record-level hot path.
 //
 // Build & run:  ./build/examples/switch_pipeline_demo
 #include <cstdio>

@@ -241,9 +241,9 @@ void Cache::push_mru(Bucket& bucket, std::uint32_t slot_idx) {
   if (bucket.lru == kInvalid) bucket.lru = slot_idx;
 }
 
-EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
-                                 bool final_flush) {
-  Slot& slot = slots_[slot_idx];
+EvictedValue Cache::evicted_fields(std::uint32_t slot_idx, Nanos now,
+                                   bool final_flush) const {
+  const Slot& slot = slots_[slot_idx];
   EvictedValue ev;
   ev.key = slot.key;
   ev.state = slot.state;
@@ -252,13 +252,9 @@ EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
   ev.evict_time = now;
   ev.final_flush = final_flush;
   if (!aux_.empty()) {
-    LinearAux& aux = aux_[slot_idx];
+    const LinearAux& aux = aux_[slot_idx];
     ev.product = aux.product;
     ev.state_after_h = aux.state_after_h;
-    // Move the boundary log out (evictions own their records); the next
-    // epoch starts from a cleared vector either way.
-    ev.boundary = std::move(aux.boundary);
-    aux.boundary.clear();
   } else {
     ev.product = SmallMatrix::identity(kernel_->state_dims());
     ev.state_after_h = kernel_->initial_state();  // h = 0: S_h is S_0
@@ -267,6 +263,33 @@ EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
     ev.state_after_h = kernel_->initial_state();
   }
   return ev;
+}
+
+EvictedValue Cache::make_evicted(std::uint32_t slot_idx, Nanos now,
+                                 bool final_flush) {
+  EvictedValue ev = evicted_fields(slot_idx, now, final_flush);
+  if (!aux_.empty()) {
+    // Move the boundary log out (evictions own their records); the next
+    // epoch starts from a cleared vector either way.
+    LinearAux& aux = aux_[slot_idx];
+    ev.boundary = std::move(aux.boundary);
+    aux.boundary.clear();
+  }
+  return ev;
+}
+
+void Cache::snapshot_into(Nanos now, const EvictionSink& fn) const {
+  // Same EvictedValue a flush(now) would emit (evicted_fields is shared with
+  // the real eviction path), but the boundary log is COPIED rather than
+  // moved: the slot keeps folding afterwards, so the next real eviction
+  // still owns its records. Cold path by design (a monitoring read), so the
+  // copy is fine.
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    if (!slot_occupied(idx)) continue;
+    EvictedValue ev = evicted_fields(idx, now, /*final_flush=*/true);
+    if (!aux_.empty()) ev.boundary = aux_[idx].boundary;
+    fn(std::move(ev));
+  }
 }
 
 void Cache::evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush) {

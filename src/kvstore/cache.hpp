@@ -124,6 +124,16 @@ class Cache {
   /// paper's "keys can be periodically evicted to keep the store fresh").
   void flush(Nanos now);
 
+  /// Non-destructive read of every resident entry: hand `fn` an EvictedValue
+  /// *copy* of each occupied slot (exactly what flush(now) would emit), while
+  /// the entries stay resident and untouched — no stats, no LRU movement, no
+  /// epoch reset. This is the engines' mid-run snapshot path: merging these
+  /// copies over a copy of the backing store with the ordinary exact-merge
+  /// machinery yields the table a flush-at-`now` would have produced.
+  /// Single-threaded like every other Cache method: the sharded runtime runs
+  /// it on the owning shard worker.
+  void snapshot_into(Nanos now, const EvictionSink& fn) const;
+
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const CacheGeometry& geometry() const { return geometry_; }
   [[nodiscard]] EvictionPolicy policy() const { return policy_; }
@@ -196,6 +206,12 @@ class Cache {
   void unlink(Bucket& bucket, std::uint32_t slot_idx);
   void push_mru(Bucket& bucket, std::uint32_t slot_idx);
   void evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush);
+  /// Everything of a slot's EvictedValue EXCEPT the boundary log — the one
+  /// field whose ownership differs between the destructive eviction path
+  /// (moves it out) and the non-destructive snapshot path (copies it). Both
+  /// build on this so they can never drift apart field- or special-case-wise.
+  [[nodiscard]] EvictedValue evicted_fields(std::uint32_t slot_idx, Nanos now,
+                                            bool final_flush) const;
   [[nodiscard]] EvictedValue make_evicted(std::uint32_t slot_idx, Nanos now,
                                           bool final_flush);
 

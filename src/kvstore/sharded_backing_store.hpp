@@ -37,6 +37,15 @@ class ShardedBackingStore {
   /// Thread-safe merged-value read (copies under the sub-store lock).
   [[nodiscard]] std::optional<StateVector> read(const Key& key) const;
 
+  /// Deep copy of the whole store (each sub-store copied under its own lock;
+  /// sub-stores are snapshotted one at a time, so the copy is per-key — not
+  /// cross-key — consistent; the runtime quiesces the eviction path first
+  /// when it needs a record-boundary-exact clone). The clone keeps the same
+  /// key→sub routing, so further absorb() calls land on the right sub. This
+  /// is the sharded engines' mid-run snapshot substrate: overlay the live
+  /// cache contents on the clone without disturbing the concurrent store.
+  [[nodiscard]] std::unique_ptr<ShardedBackingStore> clone() const;
+
   /// Thread-safe copy of a key's non-linear value segments.
   [[nodiscard]] std::vector<ValueSegment> segments(const Key& key) const;
 

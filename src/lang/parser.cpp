@@ -8,6 +8,20 @@ namespace {
 
 class Parser {
  public:
+  /// Recursive-descent depth cap. Nesting (parenthesized subexpressions,
+  /// call arguments, nested if-suites) recurses on the C++ stack, so without
+  /// a bound pathologically nested input — fuzzers find it immediately —
+  /// overflows the stack well before any semantic check can reject it
+  /// (ASan's instrumented frames hit it first; that was the PR 3 finding).
+  /// 256 levels is far beyond any legitimate query and keeps the worst-case
+  /// parser stack in the tens of KB. Every unbounded recursion is funneled
+  /// through parse_expr()/parse_stmt(), whose guards count exactly one level
+  /// per syntactic nesting level (`not`/unary-minus chains iterate instead).
+  /// The outermost expression itself consumes one level, so the deepest
+  /// legal paren nesting is kMaxNestingDepth - 1 (255) and one more is a
+  /// clean QueryError — pinned by lang_parser_test's ExactDepthBoundary.
+  static constexpr int kMaxNestingDepth = 256;
+
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Program parse() {
@@ -61,6 +75,26 @@ class Parser {
     while (match(TokenKind::kNewline)) {
     }
   }
+
+  /// RAII nesting-depth accounting for the self-recursive entry points.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxNestingDepth) {
+        // fail() throws, but the guard is already constructed — keep the
+        // counter balanced for the exception path.
+        --parser_.depth_;
+        parser_.fail("nesting deeper than " +
+                     std::to_string(kMaxNestingDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
 
   // --------------------------------------------------------------- folds --
   FoldDef parse_fold() {
@@ -121,6 +155,7 @@ class Parser {
   }
 
   Stmt parse_stmt() {
+    const DepthGuard guard(*this);
     Stmt stmt;
     stmt.line = peek().line;
     if (match(TokenKind::kIf)) {
@@ -203,7 +238,10 @@ class Parser {
   }
 
   // --------------------------------------------------------- expressions --
-  ExprPtr parse_expr() { return parse_or(); }
+  ExprPtr parse_expr() {
+    const DepthGuard guard(*this);
+    return parse_or();
+  }
 
   ExprPtr parse_or() {
     ExprPtr lhs = parse_and();
@@ -224,14 +262,19 @@ class Parser {
   }
 
   ExprPtr parse_not() {
-    if (match(TokenKind::kNot)) {
-      auto e = std::make_unique<Expr>();
-      e->kind = ExprKind::kUnary;
-      e->is_not = true;
-      e->lhs = parse_not();
-      return e;
+    // Iterative (a `not` chain is linear, not nested): the depth guard in
+    // parse_expr() then bounds every remaining recursion path.
+    std::size_t nots = 0;
+    while (match(TokenKind::kNot)) ++nots;
+    ExprPtr e = parse_comparison();
+    for (; nots > 0; --nots) {
+      auto wrapped = std::make_unique<Expr>();
+      wrapped->kind = ExprKind::kUnary;
+      wrapped->is_not = true;
+      wrapped->lhs = std::move(e);
+      e = std::move(wrapped);
     }
-    return parse_comparison();
+    return e;
   }
 
   ExprPtr parse_comparison() {
@@ -285,14 +328,18 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
-    if (match(TokenKind::kMinus)) {
-      auto e = std::make_unique<Expr>();
-      e->kind = ExprKind::kUnary;
-      e->is_not = false;
-      e->lhs = parse_unary();
-      return e;
+    // Iterative, like parse_not(): `----x` is a chain, not nesting.
+    std::size_t minuses = 0;
+    while (match(TokenKind::kMinus)) ++minuses;
+    ExprPtr e = parse_primary();
+    for (; minuses > 0; --minuses) {
+      auto wrapped = std::make_unique<Expr>();
+      wrapped->kind = ExprKind::kUnary;
+      wrapped->is_not = false;
+      wrapped->lhs = std::move(e);
+      e = std::move(wrapped);
     }
-    return parse_primary();
+    return e;
   }
 
   ExprPtr parse_primary() {
@@ -343,6 +390,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< live parse_expr/parse_stmt nesting (see DepthGuard)
 };
 
 }  // namespace

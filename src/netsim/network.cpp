@@ -195,23 +195,32 @@ void Network::add_udp_flow(const FiveTuple& flow, Nanos start, std::uint64_t pkt
   check(flow.proto == static_cast<std::uint8_t>(IpProto::kUdp),
         "add_udp_flow: tuple must be UDP");
   finalize_routes();
-  const NodeId src = node_of_ip(flow.src_ip);
-  auto state = std::make_shared<std::uint64_t>(pkts);
-  auto send_one = std::make_shared<std::function<void()>>();
-  *send_one = [this, flow, pkt_len, rate_pps, poisson, state, send_one, src] {
-    if (*state == 0) return;
-    --*state;
-    Packet pkt;
-    pkt.flow = flow;
-    pkt.pkt_len = pkt_len;
-    pkt.payload_len = pkt_len > 42 ? pkt_len - 42 : 0;
-    pkt.pkt_uniq = next_uniq();
-    forward(src, pkt);
-    const double gap_ns =
-        poisson ? rng_.exponential(rate_pps) * 1e9 : 1e9 / rate_pps;
-    events_.schedule_in(Nanos{static_cast<std::int64_t>(gap_ns) + 1}, *send_one);
-  };
-  events_.schedule(start, *send_one);
+  // Sender state lives in udp_flows_ and the timer chain captures only
+  // {this, index}: the previous shared_ptr<std::function> self-capture was a
+  // reference cycle that leaked every flow's closure (the PR 3 ASan
+  // finding).
+  udp_flows_.push_back(UdpFlow{flow, pkt_len, rate_pps, poisson, pkts,
+                               node_of_ip(flow.src_ip)});
+  const std::size_t index = udp_flows_.size() - 1;
+  events_.schedule(start, [this, index] { udp_send_one(index); });
+}
+
+void Network::udp_send_one(std::size_t flow_index) {
+  // Copy the sender state first: forward() runs the telemetry sink, which
+  // may add flows and reallocate udp_flows_ under a reference.
+  UdpFlow uf = udp_flows_[flow_index];
+  if (uf.remaining == 0) return;
+  udp_flows_[flow_index].remaining = uf.remaining - 1;
+  Packet pkt;
+  pkt.flow = uf.flow;
+  pkt.pkt_len = uf.pkt_len;
+  pkt.payload_len = uf.pkt_len > 42 ? uf.pkt_len - 42 : 0;
+  pkt.pkt_uniq = next_uniq();
+  forward(uf.src, pkt);
+  const double gap_ns =
+      uf.poisson ? rng_.exponential(uf.rate_pps) * 1e9 : 1e9 / uf.rate_pps;
+  events_.schedule_in(Nanos{static_cast<std::int64_t>(gap_ns) + 1},
+                      [this, flow_index] { udp_send_one(flow_index); });
 }
 
 void Network::add_window_flow(const FiveTuple& flow, Nanos start,

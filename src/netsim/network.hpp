@@ -120,6 +120,15 @@ class Network {
     std::vector<std::vector<std::uint32_t>> next_hops;
   };
 
+  struct UdpFlow {  ///< open-loop sender state, owned by the Network
+    FiveTuple flow;
+    std::uint32_t pkt_len;
+    double rate_pps;
+    bool poisson;
+    std::uint64_t remaining;
+    NodeId src;
+  };
+
   struct WindowFlow {
     FiveTuple flow;
     std::uint64_t total_pkts;
@@ -135,6 +144,7 @@ class Network {
 
   void enqueue(std::uint32_t port_id, Packet pkt);
   void start_transmission(std::uint32_t port_id);
+  void udp_send_one(std::size_t flow_index);
   void deliver(NodeId node, Packet pkt);
   void forward(NodeId node, Packet pkt);
   void host_receive(NodeId host, const Packet& pkt);
@@ -152,6 +162,7 @@ class Network {
   std::uint64_t ecmp_seed_ = 0xEC3F;
   std::vector<Node> nodes_;
   std::vector<Port> ports_;
+  std::vector<UdpFlow> udp_flows_;
   std::vector<WindowFlow> window_flows_;
   TelemetrySink sink_;
   std::uint64_t uniq_ = 0;

@@ -1,7 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "runtime/collection.hpp"
@@ -9,7 +9,9 @@
 namespace perfq::runtime {
 
 QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
-    : program_(std::move(program)), config_(std::move(config)) {
+    : program_(std::move(program)),
+      config_(std::move(config)),
+      stream_(program_, config_) {
   // Key-value store per on-switch GROUPBY.
   for (const auto& plan : program_.switch_plans) {
     kv::CacheGeometry geometry = config_.geometry;
@@ -23,28 +25,11 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
     switches_.push_back(
         SwitchInstance{&plan, std::move(store), SwitchFoldCore(plan, cache)});
   }
-
-  // Stream SELECT sinks: stream selects no other query consumes.
-  std::set<int> consumed;
-  for (const auto& q : program_.analysis.queries) {
-    consumed.insert(q.input);
-    consumed.insert(q.left);
-    consumed.insert(q.right);
-  }
-  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
-    const auto& q = program_.analysis.queries[i];
-    if (q.def.kind == lang::QueryDef::Kind::kSelect &&
-        q.output.stream_over_base && consumed.count(static_cast<int>(i)) == 0) {
-      StreamSink sink{compiler::compile_stream_select(program_.analysis,
-                                                      static_cast<int>(i)),
-                      ResultTable(q.output), false};
-      sinks_.push_back(std::move(sink));
-    }
-  }
 }
 
 void QueryEngine::process_batch(std::span<const PacketRecord> records) {
   check(!finished_, "QueryEngine: process after finish");
+  const bool streams = !stream_.empty();
   for (std::size_t base = 0; base < records.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, records.size() - base);
     const std::span<const PacketRecord> chunk = records.subspan(base, n);
@@ -75,25 +60,12 @@ void QueryEngine::process_batch(std::span<const PacketRecord> records) {
         }
       }
       for (auto& sw : switches_) sw.core.fold(i, rec);
-      const compiler::RecordSource source({&rec, 1});
-      for (auto& sink : sinks_) {
-        if (sink.compiled.filter.has_value() &&
-            !sink.compiled.filter->eval_bool(source)) {
-          continue;
-        }
-        if (sink.table.row_count() >= config_.max_stream_rows) {
-          sink.overflowed = true;
-          continue;
-        }
-        std::vector<double> row;
-        row.reserve(sink.compiled.projections.size());
-        for (const auto& [name, expr] : sink.compiled.projections) {
-          row.push_back(expr.eval(source));
-        }
-        sink.table.add_row(std::move(row));
-      }
+      if (streams) stream_.observe(rec);
     }
   }
+  // Stream rows buffered above leave the engine here: one delivery per
+  // process_batch call (the sink batch-boundary contract).
+  if (streams) stream_.deliver();
 }
 
 void QueryEngine::finish(Nanos now) {
@@ -101,14 +73,29 @@ void QueryEngine::finish(Nanos now) {
   finished_ = true;
   for (auto& sw : switches_) sw.store->flush(now);
   materialize_switch_tables();
-  for (auto& sink : sinks_) {
-    tables_.emplace(sink.compiled.query_index, std::move(sink.table));
-  }
-  sinks_.clear();
+  stream_.finish(tables_);
   for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
     if (tables_.count(static_cast<int>(i)) > 0) continue;
     run_collection_query(program_, static_cast<int>(i), tables_);
   }
+}
+
+EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
+  check(!finished_, "QueryEngine: snapshot after finish");
+  for (const auto& sw : switches_) {
+    if (sw.plan->name != query_name) continue;
+    // The application pull (§3.2): overlay the live cache on a copy of the
+    // backing store through the ordinary exact-merge absorb — bit-for-bit
+    // what finish(now) would materialize for this query, without disturbing
+    // either structure.
+    kv::BackingStore merged = sw.store->backing();
+    sw.store->cache().snapshot_into(
+        now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
+    return EngineSnapshot{materialize_switch_table(program_, *sw.plan, merged),
+                          records_, now};
+  }
+  throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
+                                 std::string{query_name} + "'"};
 }
 
 void QueryEngine::materialize_switch_tables() {

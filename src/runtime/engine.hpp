@@ -1,66 +1,36 @@
-// The end-to-end query engine.
+// The serial query engine — the single-threaded implementation of the
+// unified Engine interface (runtime/engine_api.hpp).
 //
 // One QueryEngine hosts a compiled program: every on-switch GROUPBY gets a
 // programmable key-value store instance (src/kvstore) configured with the
-// chosen cache geometry; stream SELECT sinks collect matching records during
-// processing; finish() flushes all caches to the backing stores and runs the
-// collection-layer DAG (soft SELECTs, soft GROUPBYs over aggregates, JOINs),
-// producing the result tables the paper's applications would pull.
+// chosen cache geometry; stream SELECT rows are delivered through the
+// pluggable StreamSink stage; finish() flushes all caches to the backing
+// stores and runs the collection-layer DAG (soft SELECTs, soft GROUPBYs over
+// aggregates, JOINs), producing the result tables the paper's applications
+// would pull — and snapshot() produces the same table for one query mid-run,
+// by merging the live cache contents over a copy of its backing store.
+//
+// Construct through runtime::EngineBuilder unless you specifically need the
+// concrete type (engine-internals tests, the switch-pipeline comparison).
 #pragma once
 
-#include <array>
 #include <map>
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "compiler/program.hpp"
-#include "kvstore/kvstore.hpp"
+#include "runtime/engine_api.hpp"
 #include "runtime/fold_core.hpp"
+#include "runtime/stream_stage.hpp"
 #include "runtime/table.hpp"
 
 namespace perfq::runtime {
 
-struct EngineConfig {
-  /// Cache geometry for every on-switch GROUPBY (overridable per query).
-  kv::CacheGeometry geometry = kv::CacheGeometry::set_associative(1u << 16, 8);
-  std::map<std::string, kv::CacheGeometry> per_query_geometry;
-  std::uint64_t hash_seed = 0x5eedcafe;
-  /// In-bucket replacement policy (the paper uses LRU).
-  kv::EvictionPolicy eviction_policy = kv::EvictionPolicy::kLru;
-  /// Cap on rows collected per streaming SELECT sink.
-  std::size_t max_stream_rows = 1'000'000;
-  /// Periodically flush caches to the backing store while processing (§3.2:
-  /// "keys can be periodically evicted to ensure the backing store is
-  /// fresh, and monitoring applications can pull results"). Zero disables.
-  /// Thanks to the exact merge this is free of correctness cost for linear
-  /// queries; refresh_count() reports how many refreshes happened.
-  Nanos refresh_interval{0};
-};
-
-/// Per-switch-query statistics surfaced to the evaluation harnesses.
-struct StoreStats {
-  std::string name;
-  kv::Linearity linearity = kv::Linearity::kNotLinear;
-  kv::CacheStats cache;
-  kv::AccuracyStats accuracy;
-  std::uint64_t backing_writes = 0;
-  std::uint64_t backing_capacity_writes = 0;
-  std::size_t keys = 0;
-};
-
-class QueryEngine {
+class QueryEngine final : public Engine {
  public:
   explicit QueryEngine(compiler::CompiledProgram program, EngineConfig config = {});
-
-  QueryEngine(const QueryEngine&) = delete;
-  QueryEngine& operator=(const QueryEngine&) = delete;
-
-  /// Feed one packet observation (call once per record, in time order).
-  /// Thin wrapper over process_batch for a single record.
-  void process(const PacketRecord& rec) { process_batch({&rec, 1}); }
 
   /// Feed a batch of packet observations (time-ordered). The hot path:
   /// per chunk, every switch query's keys (with their cached hashes) are
@@ -68,23 +38,35 @@ class QueryEngine {
   /// records fold — the bucket fetch of record i+k overlaps the fold of
   /// record i, mirroring dataplane burst processing. Results are identical
   /// to calling process() per record.
-  void process_batch(std::span<const PacketRecord> records);
+  void process_batch(std::span<const PacketRecord> records) override;
 
   /// End the query window: flush caches, run the collection layer. Must be
   /// called exactly once before reading results.
-  void finish(Nanos now);
+  void finish(Nanos now) override;
 
   /// The program's primary result (its last query).
-  [[nodiscard]] const ResultTable& result() const;
+  [[nodiscard]] const ResultTable& result() const override;
 
   /// A named intermediate/final table ("R1"). Throws if unknown or stream-
   /// only intermediate.
-  [[nodiscard]] const ResultTable& table(std::string_view name) const;
+  [[nodiscard]] const ResultTable& table(std::string_view name) const override;
 
-  [[nodiscard]] std::vector<StoreStats> store_stats() const;
-  [[nodiscard]] const compiler::CompiledProgram& program() const { return program_; }
-  [[nodiscard]] std::uint64_t records_processed() const { return records_; }
-  [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
+  /// Mid-run pull: live cache merged over a copy of the query's backing
+  /// store (exact for linear kernels; see the contract in engine_api.hpp).
+  using Engine::snapshot;
+  [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
+                                        Nanos now) override;
+
+  [[nodiscard]] std::vector<StoreStats> store_stats() const override;
+  [[nodiscard]] const compiler::CompiledProgram& program() const override {
+    return program_;
+  }
+  [[nodiscard]] std::uint64_t records_processed() const override {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t refresh_count() const override {
+    return refreshes_;
+  }
 
   /// Direct access to a switch query's key-value store (tests, benches).
   [[nodiscard]] const kv::KeyValueStore& store(std::string_view query_name) const;
@@ -100,11 +82,6 @@ class QueryEngine {
     /// store's cache; shard workers run the same core (runtime/fold_core).
     SwitchFoldCore core;
   };
-  struct StreamSink {
-    compiler::CompiledStreamSelect compiled;
-    ResultTable table;
-    bool overflowed = false;
-  };
 
   void materialize_switch_tables();
   [[nodiscard]] const ResultTable* find_table(int index) const;
@@ -112,7 +89,7 @@ class QueryEngine {
   compiler::CompiledProgram program_;
   EngineConfig config_;
   std::vector<SwitchInstance> switches_;
-  std::vector<StreamSink> sinks_;
+  StreamStage stream_;
   std::map<int, ResultTable> tables_;  ///< by query index
   std::uint64_t records_ = 0;
   std::uint64_t refreshes_ = 0;

@@ -1,0 +1,145 @@
+// The one engine surface.
+//
+// Everything that runs a compiled program over packet records — the serial
+// QueryEngine and the sharded multi-core ShardedEngine — implements this
+// interface, and every driver (trace replay, the network simulator's
+// telemetry sink, the REPL, the benches) targets it. The serial/sharded
+// choice is a construction-time config knob (EngineBuilder::sharded), not a
+// type decision: callers hold a std::unique_ptr<Engine> and never name the
+// concrete engine.
+//
+// Lifecycle:  build (EngineBuilder) → process_batch()* → finish(now) →
+// result()/table(). Two reads work MID-RUN, before finish():
+//   - snapshot(query[, now]): the paper's §3.2 application pull (below);
+//   - a RingStreamSink (stream_sink.hpp) drained from another thread.
+//
+// ---- snapshot() consistency contract ---------------------------------------
+//
+// snapshot(query, now) returns the result table of one on-switch GROUPBY as
+// of the current *record boundary* — the point after every record already
+// passed to process_batch() and before any record of a later call. It is the
+// paper's "monitoring applications can pull results" made exact:
+//
+//   - The snapshot reflects ALL records processed so far and NOTHING else:
+//     live cache contents are merged over the backing store with the same
+//     exact-merge machinery finish() uses, so for linear-in-state kernels the
+//     returned table is bit-for-bit the table a fresh engine fed the same
+//     record prefix would produce from finish(now). This holds for the serial
+//     AND the sharded engine (which reaches the boundary by draining its
+//     in-flight rings and eviction queues for the snapshot — no thread is
+//     stopped, folding resumes immediately after).
+//   - Kernels that are NOT linear in state have no merge function (§3.2):
+//     a key resident in the cache at snapshot time contributes one extra
+//     value segment covering [its epoch start, now), exactly as a flush at
+//     `now` would. Per-segment values are correct over their own intervals;
+//     whole-window validity is the same Fig. 6 semantics finish() reports.
+//   - The engine is not perturbed: caches, stats, refresh schedule and final
+//     results are identical whether or not snapshots were taken.
+//   - Cost: proportional to cache occupancy plus the backing store size of
+//     the one query (it is copied). A monitoring-rate read, not a hot path.
+//   - snapshot() must be called from the processing (caller) thread, between
+//     process_batch() calls; only stream-SELECT queries are excluded (their
+//     rows stream through StreamSinks instead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/program.hpp"
+#include "kvstore/kvstore.hpp"
+#include "runtime/stream_sink.hpp"
+#include "runtime/table.hpp"
+
+namespace perfq::runtime {
+
+/// Construction-time settings shared by both engines (EngineBuilder fills
+/// one; the sharded engine wraps it with its topology knobs).
+struct EngineConfig {
+  /// Cache geometry for every on-switch GROUPBY (overridable per query).
+  kv::CacheGeometry geometry = kv::CacheGeometry::set_associative(1u << 16, 8);
+  std::map<std::string, kv::CacheGeometry> per_query_geometry;
+  std::uint64_t hash_seed = 0x5eedcafe;
+  /// In-bucket replacement policy (the paper uses LRU).
+  kv::EvictionPolicy eviction_policy = kv::EvictionPolicy::kLru;
+  /// Cap on rows buffered by a *default* (table) stream sink. User-provided
+  /// sinks implement their own bounds.
+  std::size_t max_stream_rows = 1'000'000;
+  /// Periodically flush caches to the backing store while processing (§3.2:
+  /// "keys can be periodically evicted to ensure the backing store is
+  /// fresh, and monitoring applications can pull results"). Zero disables.
+  /// Thanks to the exact merge this is free of correctness cost for linear
+  /// queries; refresh_count() reports how many refreshes happened.
+  Nanos refresh_interval{0};
+  /// User stream sinks by query result name; stream SELECTs not named here
+  /// get a default TableStreamSink(max_stream_rows). Unknown names (or names
+  /// of non-stream queries) are a ConfigError at engine construction.
+  std::map<std::string, std::shared_ptr<StreamSink>> stream_sinks;
+};
+
+/// Per-switch-query statistics surfaced to the evaluation harnesses.
+struct StoreStats {
+  std::string name;
+  kv::Linearity linearity = kv::Linearity::kNotLinear;
+  kv::CacheStats cache;
+  kv::AccuracyStats accuracy;
+  std::uint64_t backing_writes = 0;
+  std::uint64_t backing_capacity_writes = 0;
+  std::size_t keys = 0;
+};
+
+/// A mid-run result pull, stamped with the record boundary it is exact at.
+struct EngineSnapshot {
+  ResultTable table;
+  std::uint64_t records = 0;  ///< records processed when the snapshot ran
+  Nanos time;                 ///< caller-supplied timestamp (epoch end stamp)
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  virtual ~Engine() = default;
+
+  /// Feed one packet observation (call once per record, in time order).
+  /// Thin wrapper over process_batch for a single record.
+  void process(const PacketRecord& rec) { process_batch({&rec, 1}); }
+
+  /// Feed a batch of packet observations (time-ordered). Results are
+  /// identical to calling process() per record; batches only enable the
+  /// engines' prefetch/dispatch pipelining. Stream sinks receive matching
+  /// rows in one delivery per call (stream_sink.hpp).
+  virtual void process_batch(std::span<const PacketRecord> records) = 0;
+
+  /// End the query window: flush caches, close stream sinks, run the
+  /// collection layer. Must be called exactly once before result()/table().
+  virtual void finish(Nanos now) = 0;
+
+  /// The program's primary result (its last query). Only after finish().
+  [[nodiscard]] virtual const ResultTable& result() const = 0;
+
+  /// A named intermediate/final table ("R1"). Throws if unknown or a stream
+  /// intermediate that was not materialized. Only after finish().
+  [[nodiscard]] virtual const ResultTable& table(std::string_view name) const = 0;
+
+  /// Mid-run result pull for one on-switch GROUPBY (see the consistency
+  /// contract in the file comment). `now` stamps the open epoch's end (it
+  /// only affects non-linear kernels' segment intervals).
+  [[nodiscard]] virtual EngineSnapshot snapshot(std::string_view query_name,
+                                                Nanos now) = 0;
+  [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name) {
+    return snapshot(query_name, Nanos{0});
+  }
+
+  [[nodiscard]] virtual std::vector<StoreStats> store_stats() const = 0;
+  [[nodiscard]] virtual std::uint64_t records_processed() const = 0;
+  [[nodiscard]] virtual std::uint64_t refresh_count() const = 0;
+  [[nodiscard]] virtual const compiler::CompiledProgram& program() const = 0;
+};
+
+}  // namespace perfq::runtime

@@ -21,7 +21,9 @@ constexpr std::uint64_t kStopSeq = std::numeric_limits<std::uint64_t>::max();
 
 ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
                              ShardedEngineConfig config)
-    : program_(std::move(program)), config_(std::move(config)) {
+    : program_(std::move(program)),
+      config_(std::move(config)),
+      stream_(program_, config_.engine) {
   const std::size_t n_shards = config_.num_shards;
   const std::size_t n_dispatchers = config_.num_dispatchers;
   if (n_shards == 0) {
@@ -67,23 +69,8 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
         plan.kernel, backing_shards));
   }
 
-  // Stream SELECT sinks (dispatcher-side, identical to QueryEngine's).
-  std::set<int> consumed;
-  for (const auto& q : program_.analysis.queries) {
-    consumed.insert(q.input);
-    consumed.insert(q.left);
-    consumed.insert(q.right);
-  }
-  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
-    const auto& q = program_.analysis.queries[i];
-    if (q.def.kind == lang::QueryDef::Kind::kSelect &&
-        q.output.stream_over_base && consumed.count(static_cast<int>(i)) == 0) {
-      sinks_.push_back(StreamSink{
-          compiler::compile_stream_select(program_.analysis,
-                                          static_cast<int>(i)),
-          ResultTable(q.output), false});
-    }
-  }
+  // (Stream SELECT sinks live in stream_ — caller-side, identical to
+  // QueryEngine's, constructed in the member initializer list.)
 
   // Shards: per query a cache slice whose evictions feed the shard's MPSC
   // queue (batched) instead of a synchronous backing-store absorb; one input
@@ -105,7 +92,7 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
             sh.evict_buf.push_back(
                 TaggedEviction{static_cast<std::uint16_t>(q), std::move(ev)});
             if (sh.evict_buf.size() >= config_.eviction_batch) {
-              sh.evictions.push_batch(sh.evict_buf);
+              push_evictions(sh);
             }
           });
     }
@@ -233,27 +220,18 @@ void ShardedEngine::dispatch_slice(std::size_t d,
 }
 
 void ShardedEngine::run_stream_sinks(std::span<const PacketRecord> records) {
-  // Stream sinks stay on the caller: their tables are order-sensitive row
-  // appends and must match the single-threaded engine exactly.
-  for (const PacketRecord& rec : records) {
-    const compiler::RecordSource source({&rec, 1});
-    for (auto& sink : sinks_) {
-      if (sink.compiled.filter.has_value() &&
-          !sink.compiled.filter->eval_bool(source)) {
-        continue;
-      }
-      if (sink.table.row_count() >= config_.engine.max_stream_rows) {
-        sink.overflowed = true;
-        continue;
-      }
-      std::vector<double> row;
-      row.reserve(sink.compiled.projections.size());
-      for (const auto& [name, expr] : sink.compiled.projections) {
-        row.push_back(expr.eval(source));
-      }
-      sink.table.add_row(std::move(row));
-    }
-  }
+  // Stream sinks stay on the caller: their row streams are order-sensitive
+  // and must match the single-threaded engine exactly. One delivery per
+  // process_batch call, same as QueryEngine (the sink batch contract).
+  for (const PacketRecord& rec : records) stream_.observe(rec);
+  stream_.deliver();
+}
+
+void ShardedEngine::push_evictions(Shard& sh) {
+  const std::uint64_t n = sh.evict_buf.size();
+  if (n == 0) return;
+  sh.evictions.push_batch(sh.evict_buf);
+  sh.evictions_pushed.fetch_add(n, std::memory_order_release);
 }
 
 void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
@@ -286,7 +264,7 @@ void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
   const std::uint64_t watermark = 2 * (base + n);
   if (n_dispatchers == 1) {
     dispatch_slice(0, records, base, flush_events_, watermark);
-    if (!sinks_.empty()) run_stream_sinks(records);
+    if (!stream_.empty()) run_stream_sinks(records);
     return;
   }
 
@@ -329,7 +307,7 @@ void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
   const auto [lo0, hi0] = slice_of(0);
   dispatch_slice(0, records.subspan(lo0, hi0 - lo0), base,
                  flushes_in(lo0, hi0), watermark);
-  if (!sinks_.empty()) run_stream_sinks(records);
+  if (!stream_.empty()) run_stream_sinks(records);
   // The records span is borrowed from the caller: do not return until every
   // helper has finished reading (and staging) its slice.
   for (std::size_t d = 1; d < n_dispatchers; ++d) {
@@ -397,7 +375,22 @@ void ShardedEngine::worker_process(Shard& sh, std::size_t i, ShardMsg& msg) {
       for (auto& cache : sh.caches) cache->flush(msg.rec.tin);
       // Refresh wants the backing store fresh soon: hand the flush's
       // evictions to the merge thread immediately.
-      sh.evictions.push_batch(sh.evict_buf);
+      push_evictions(sh);
+      break;
+    case ShardMsg::Kind::kSnapshot:
+      // Mid-run snapshot rendezvous, executed at exactly the requested
+      // record boundary (the merge delivered every earlier record first):
+      // flush pending evictions to the merge thread, copy the one requested
+      // query's live cache slice (msg.query) non-destructively, and publish
+      // the generation — the caller is spinning on it. Folding resumes with
+      // the next message.
+      push_evictions(sh);
+      sh.snapshot_out.clear();
+      sh.caches[msg.query]->snapshot_into(
+          msg.rec.tin, [&sh, &msg](kv::EvictedValue&& ev) {
+            sh.snapshot_out.push_back(TaggedEviction{msg.query, std::move(ev)});
+          });
+      sh.snapshot_ready.store(msg.raw_hash, std::memory_order_release);
       break;
     case ShardMsg::Kind::kWatermark:
     case ShardMsg::Kind::kStop:
@@ -440,7 +433,7 @@ void ShardedEngine::worker_loop_single_lane(Shard& sh) {
       worker_process(sh, i, buf[i]);
     }
   }
-  sh.evictions.push_batch(sh.evict_buf);
+  push_evictions(sh);
 }
 
 void ShardedEngine::worker_loop(Shard& sh) {
@@ -579,7 +572,7 @@ void ShardedEngine::worker_loop(Shard& sh) {
       worker_process(sh, i, chunk[i]);
     }
   }
-  sh.evictions.push_batch(sh.evict_buf);
+  push_evictions(sh);
 }
 
 void ShardedEngine::merge_loop() {
@@ -591,6 +584,10 @@ void ShardedEngine::merge_loop() {
       if (shard->evictions.drain(drained)) {
         any = true;
         for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+        // Count only after the absorbs landed: the snapshot drain barrier
+        // reads this to prove the backing store caught up.
+        shard->evictions_absorbed.fetch_add(drained.size(),
+                                            std::memory_order_release);
       }
     }
     if (any) {
@@ -604,6 +601,8 @@ void ShardedEngine::merge_loop() {
       for (auto& shard : shards_) {
         if (shard->evictions.drain(drained)) {
           for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+          shard->evictions_absorbed.fetch_add(drained.size(),
+                                              std::memory_order_release);
         }
       }
       return;
@@ -658,14 +657,82 @@ void ShardedEngine::finish(Nanos now) {
         plans_[q]->query_index,
         materialize_switch_table(program_, *plans_[q], *backings_[q]));
   }
-  for (auto& sink : sinks_) {
-    tables_.emplace(sink.compiled.query_index, std::move(sink.table));
-  }
-  sinks_.clear();
+  stream_.finish(tables_);
   for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
     if (tables_.count(static_cast<int>(i)) > 0) continue;
     run_collection_query(program_, static_cast<int>(i), tables_);
   }
+}
+
+EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
+  check(!finished_, "ShardedEngine: snapshot after finish");
+  std::size_t query = plans_.size();
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    if (plans_[q]->name == query_name) query = q;
+  }
+  if (query == plans_.size()) {
+    throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
+                                   std::string{query_name} + "'"};
+  }
+
+  // 1. Broadcast the snapshot marker through the caller's rings at the
+  // current record boundary. Its seq (2·records_) orders after every
+  // dispatched record; the co-dispatcher watermarks of the last batch carry
+  // the same bound, so every worker's merge can prove it safe without any
+  // new traffic.
+  const std::uint64_t gen = ++snapshot_gen_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kSnapshot;
+    msg.query = static_cast<std::uint16_t>(query);
+    msg.seq = 2 * records_;
+    msg.raw_hash = gen;
+    msg.rec.tin = now;
+    stage(0, s, std::move(msg));
+    publish(0, s);
+  }
+
+  // 2. Wait for every worker to reach the boundary and publish its copy
+  // (acquire pairs with the worker's release store).
+  const auto wait = [](auto&& ready) {
+    std::uint32_t idle_polls = 0;
+    while (!ready()) {
+      if (++idle_polls < kIdlePollsBeforeSleep) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(kIdleSleep);
+      }
+    }
+  };
+  for (auto& shard : shards_) {
+    wait([&] {
+      return shard->snapshot_ready.load(std::memory_order_acquire) == gen;
+    });
+  }
+
+  // 3. Drain barrier: every eviction produced before the boundary is now in
+  // the MPSC queues (workers push before acking); wait until the merge
+  // thread has absorbed them all, so the backing store is boundary-exact.
+  for (auto& shard : shards_) {
+    const std::uint64_t target =
+        shard->evictions_pushed.load(std::memory_order_acquire);
+    wait([&] {
+      return shard->evictions_absorbed.load(std::memory_order_acquire) >=
+             target;
+    });
+  }
+
+  // 4. Overlay the cache copies (all for `query` — the marker carried it)
+  // on a clone of the concurrent store with the ordinary exact-merge absorb.
+  // Keys are disjoint across shards (each key folds on exactly one worker),
+  // so shard order cannot matter.
+  std::unique_ptr<kv::ShardedBackingStore> merged = backings_[query]->clone();
+  for (auto& shard : shards_) {
+    for (TaggedEviction& t : shard->snapshot_out) merged->absorb(t.ev);
+  }
+  return EngineSnapshot{
+      materialize_switch_table(program_, *plans_[query], *merged), records_,
+      now};
 }
 
 const ResultTable* ShardedEngine::find_table(int index) const {

@@ -62,8 +62,9 @@
 #include "compiler/key_router.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/sharded_backing_store.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/engine_api.hpp"
 #include "runtime/fold_core.hpp"
+#include "runtime/stream_stage.hpp"
 #include "runtime/table.hpp"
 
 namespace perfq::runtime {
@@ -93,47 +94,62 @@ struct ShardedEngineConfig {
   std::size_t eviction_batch = 128;
 };
 
-/// Drop-in multi-core counterpart of QueryEngine (same process/finish/result
-/// surface; see the file comment for the equivalence guarantee).
-class ShardedEngine {
+/// Drop-in multi-core implementation of the Engine interface (see the file
+/// comment for the equivalence guarantee). Construct through
+/// runtime::EngineBuilder::sharded(N) unless you need the concrete type.
+class ShardedEngine final : public Engine {
  public:
   explicit ShardedEngine(compiler::CompiledProgram program,
                          ShardedEngineConfig config = {});
-  ~ShardedEngine();
-
-  ShardedEngine(const ShardedEngine&) = delete;
-  ShardedEngine& operator=(const ShardedEngine&) = delete;
-
-  void process(const PacketRecord& rec) { process_batch({&rec, 1}); }
+  ~ShardedEngine() override;
 
   /// Dispatch a batch of time-ordered records to the shard pipeline. Returns
   /// once every record is staged or published; folding proceeds async.
-  void process_batch(std::span<const PacketRecord> records);
+  void process_batch(std::span<const PacketRecord> records) override;
 
   /// Drain rings and eviction queues, join all threads, then materialize
   /// results (cross-shard union is exact; see file comment). Call once.
-  void finish(Nanos now);
+  void finish(Nanos now) override;
 
-  [[nodiscard]] const ResultTable& result() const;
-  [[nodiscard]] const ResultTable& table(std::string_view name) const;
+  [[nodiscard]] const ResultTable& result() const override;
+  [[nodiscard]] const ResultTable& table(std::string_view name) const override;
+
+  /// Mid-run pull without stopping the pipeline: an in-band snapshot marker
+  /// is broadcast at the current record boundary (seq 2·records); each shard
+  /// worker, on merging past it, hands its pending evictions to the merge
+  /// thread and writes a non-destructive epoch-stamped copy of its live
+  /// cache slices; the caller waits for those copies and for the merge
+  /// thread to drain every pre-boundary eviction, then overlays them on a
+  /// clone of the concurrent backing store with the exact-merge machinery.
+  /// No thread is joined or stopped — folding resumes the moment the worker
+  /// has written its copy. Bit-for-bit equal to QueryEngine::snapshot at the
+  /// same boundary for linear kernels (see engine_api.hpp).
+  using Engine::snapshot;
+  [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
+                                        Nanos now) override;
 
   /// Aggregated per-query stats (cache counters summed across shards).
   /// Only valid after finish().
-  [[nodiscard]] std::vector<StoreStats> store_stats() const;
+  [[nodiscard]] std::vector<StoreStats> store_stats() const override;
 
   /// The concurrent backing store of a switch query. Safe to read mid-run
   /// (locked per sub-store) — the paper's "monitoring applications can pull
-  /// results" while folding continues.
+  /// results" while folding continues. Unlike snapshot(), this view lags by
+  /// whatever is cache-resident or still in flight to the merge thread.
   [[nodiscard]] const kv::ShardedBackingStore& backing(
       std::string_view query_name) const;
 
-  [[nodiscard]] std::uint64_t records_processed() const { return records_; }
-  [[nodiscard]] std::uint64_t refresh_count() const { return refreshes_; }
+  [[nodiscard]] std::uint64_t records_processed() const override {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t refresh_count() const override {
+    return refreshes_;
+  }
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::size_t num_dispatchers() const {
     return dispatchers_.size();
   }
-  [[nodiscard]] const compiler::CompiledProgram& program() const {
+  [[nodiscard]] const compiler::CompiledProgram& program() const override {
     return program_;
   }
 
@@ -148,17 +164,27 @@ class ShardedEngine {
 
   // Sequence numbering (the merge order): the record at global stream index
   // g carries seq 2g+1; a refresh flush firing *before* record g carries
-  // seq 2g; a watermark bounding a batch that ends at index g carries 2g.
-  // Every processable message seq is unique across a worker's D rings (one
-  // dispatcher owns each record and each flush), so a candidate is safe as
-  // soon as every other ring's next-possible seq is >= it.
+  // seq 2g; a watermark bounding a batch that ends at index g carries 2g; a
+  // snapshot marker at the record boundary after g records carries 2g too
+  // (it can never collide with a flush: flushes always precede a record, so
+  // their seq stays below the boundary's). Every processable message seq is
+  // unique across a worker's D rings (one dispatcher owns each record and
+  // each flush; snapshots come only from the caller's ring), so a candidate
+  // is safe as soon as every other ring's next-possible seq is >= it.
   struct ShardMsg {
-    enum class Kind : std::uint8_t { kRecord, kFlush, kWatermark, kStop };
+    enum class Kind : std::uint8_t {
+      kRecord,
+      kFlush,
+      kSnapshot,
+      kWatermark,
+      kStop
+    };
     Kind kind = Kind::kRecord;
-    std::uint16_t query = 0;     ///< switch-instance index (kRecord)
+    std::uint16_t query = 0;     ///< switch-instance index (kRecord/kSnapshot)
     std::uint64_t seq = 0;       ///< global merge order (see above)
-    std::uint64_t raw_hash = 0;  ///< key's seed-0 byte hash (kRecord)
-    PacketRecord rec;            ///< the record; rec.tin carries flush time
+    std::uint64_t raw_hash = 0;  ///< key's seed-0 byte hash (kRecord); the
+                                 ///< snapshot generation (kSnapshot)
+    PacketRecord rec;  ///< the record; rec.tin carries flush/snapshot time
   };
 
   struct TaggedEviction {
@@ -174,6 +200,19 @@ class ShardedEngine {
     std::vector<std::unique_ptr<kv::Cache>> caches;  ///< per switch query
     std::vector<SwitchFoldCore> cores;               ///< parallel to caches
     std::vector<TaggedEviction> evict_buf;  ///< worker-local staging
+    /// Snapshot rendezvous: the worker writes a non-destructive copy of the
+    /// requested query's resident entries here, then publishes the
+    /// generation through
+    /// `snapshot_ready` (release); the caller spins on it (acquire). Only
+    /// ever touched between those two fences, so no lock is needed.
+    std::vector<TaggedEviction> snapshot_out;
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> snapshot_ready{0};
+    /// Eviction flow accounting for the snapshot's drain barrier: the worker
+    /// counts evictions handed to the MPSC queue, the merge thread counts
+    /// absorptions; pushed == absorbed means the backing store has caught
+    /// up with everything this worker produced.
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> evictions_pushed{0};
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> evictions_absorbed{0};
     std::thread thread;
   };
 
@@ -198,12 +237,6 @@ class ShardedEngine {
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> completed{0};
     std::atomic<bool> exit{false};
     std::thread thread;  ///< helpers only; dispatcher 0 is the caller
-  };
-
-  struct StreamSink {
-    compiler::CompiledStreamSelect compiled;
-    ResultTable table;
-    bool overflowed = false;
   };
 
   /// One worker-side view of one input ring: messages drained FIFO into an
@@ -235,6 +268,9 @@ class ShardedEngine {
                       std::uint64_t base, std::span<const FlushEvent> flushes,
                       std::uint64_t watermark_seq);
   void run_stream_sinks(std::span<const PacketRecord> records);
+  /// Hand the worker's staged evictions to the merge thread, maintaining
+  /// the pushed counter the snapshot drain barrier reads.
+  static void push_evictions(Shard& sh);
   void stage(std::size_t d, std::size_t shard, ShardMsg&& msg);
   void publish(std::size_t d, std::size_t shard);
   /// Push one message to a ring, yielding while it is full.
@@ -256,13 +292,14 @@ class ShardedEngine {
   std::vector<std::unique_ptr<kv::ShardedBackingStore>> backings_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
-  std::vector<StreamSink> sinks_;
+  StreamStage stream_;
   std::vector<FlushEvent> flush_events_;  ///< per-batch scratch (caller only)
   std::thread merge_thread_;
   std::atomic<bool> merge_stop_{false};
   std::map<int, ResultTable> tables_;
   std::uint64_t records_ = 0;
   std::uint64_t refreshes_ = 0;
+  std::uint64_t snapshot_gen_ = 0;  ///< caller-side snapshot generation
   Nanos next_refresh_{0};
   bool finished_ = false;
   bool threads_stopped_ = false;

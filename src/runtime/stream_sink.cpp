@@ -1,0 +1,51 @@
+#include "runtime/stream_sink.hpp"
+
+#include "common/error.hpp"
+
+namespace perfq::runtime {
+
+void TableStreamSink::open(std::string_view /*query*/,
+                           const lang::Schema& schema) {
+  table_ = ResultTable(schema);
+}
+
+void TableStreamSink::on_batch(const StreamBatch& batch) {
+  for (const auto& row : batch.rows) {
+    if (table_.row_count() >= max_rows_) {
+      overflowed_ = true;
+      return;  // rows arrive in order; everything further also overflows
+    }
+    table_.add_row(row);
+  }
+}
+
+RingStreamSink::RingStreamSink(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw ConfigError{"RingStreamSink: zero capacity"};
+}
+
+void RingStreamSink::on_batch(const StreamBatch& batch) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& row : batch.rows) {
+    if (rows_.size() == capacity_) {
+      rows_.pop_front();
+      ++dropped_;
+    }
+    rows_.push_back(row);
+  }
+}
+
+std::size_t RingStreamSink::drain(std::vector<std::vector<double>>& out) {
+  out.clear();
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.assign(std::make_move_iterator(rows_.begin()),
+             std::make_move_iterator(rows_.end()));
+  rows_.clear();
+  return out.size();
+}
+
+std::uint64_t RingStreamSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace perfq::runtime

@@ -1,0 +1,99 @@
+#include "runtime/stream_stage.hpp"
+
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace perfq::runtime {
+
+StreamStage::StreamStage(const compiler::CompiledProgram& program,
+                         const EngineConfig& config) {
+  // Stream SELECT sinks: stream selects no other query consumes.
+  std::set<int> consumed;
+  for (const auto& q : program.analysis.queries) {
+    consumed.insert(q.input);
+    consumed.insert(q.left);
+    consumed.insert(q.right);
+  }
+  std::set<std::string> matched;
+  for (std::size_t i = 0; i < program.analysis.queries.size(); ++i) {
+    const auto& q = program.analysis.queries[i];
+    if (q.def.kind != lang::QueryDef::Kind::kSelect ||
+        !q.output.stream_over_base || consumed.count(static_cast<int>(i)) > 0) {
+      continue;
+    }
+    Entry entry;
+    entry.compiled =
+        compiler::compile_stream_select(program.analysis, static_cast<int>(i));
+    entry.name = q.def.result_name;
+    entry.schema = q.output;
+    if (const auto it = config.stream_sinks.find(entry.name);
+        !entry.name.empty() && it != config.stream_sinks.end()) {
+      if (it->second == nullptr) {
+        throw ConfigError{"stream sink for '" + entry.name + "' is null"};
+      }
+      entry.sink = it->second;
+      matched.insert(entry.name);
+    } else {
+      auto table_sink =
+          std::make_shared<TableStreamSink>(config.max_stream_rows);
+      entry.default_sink = table_sink.get();
+      entry.sink = std::move(table_sink);
+    }
+    entry.sink->open(entry.name, entry.schema);
+    entries_.push_back(std::move(entry));
+  }
+  for (const auto& [name, sink] : config.stream_sinks) {
+    if (matched.count(name) == 0) {
+      throw ConfigError{"stream sink '" + name +
+                        "' does not name an unconsumed stream SELECT query"};
+    }
+  }
+}
+
+void StreamStage::observe(const PacketRecord& rec) {
+  const compiler::RecordSource source({&rec, 1});
+  for (Entry& entry : entries_) {
+    // A saturated sink (e.g. an overflowed table sink) drops every further
+    // row anyway: skip the filter/projection work per record.
+    if (entry.sink->saturated()) continue;
+    if (entry.compiled.filter.has_value() &&
+        !entry.compiled.filter->eval_bool(source)) {
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(entry.compiled.projections.size());
+    for (const auto& [name, expr] : entry.compiled.projections) {
+      row.push_back(expr.eval(source));
+    }
+    entry.batch.push_back(std::move(row));
+  }
+}
+
+void StreamStage::deliver() {
+  for (Entry& entry : entries_) {
+    if (entry.batch.empty()) continue;
+    StreamBatch batch;
+    batch.query = entry.name;
+    batch.schema = &entry.schema;
+    batch.rows = entry.batch;
+    entry.sink->on_batch(batch);
+    entry.batch.clear();
+  }
+}
+
+void StreamStage::finish(std::map<int, ResultTable>& tables) {
+  deliver();
+  for (Entry& entry : entries_) {
+    entry.sink->on_finish();
+    if (entry.default_sink != nullptr) {
+      tables.emplace(entry.compiled.query_index,
+                     entry.default_sink->take_table());
+    } else if (const ResultTable* t = entry.sink->finished_table()) {
+      tables.emplace(entry.compiled.query_index, *t);
+    }
+  }
+}
+
+}  // namespace perfq::runtime

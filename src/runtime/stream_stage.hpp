@@ -1,0 +1,57 @@
+// The engine-internal driver of stream SELECT sinks, shared by QueryEngine
+// and ShardedEngine: finds the program's unconsumed stream SELECTs, wires
+// each to its StreamSink (user-provided via EngineConfig::stream_sinks, or a
+// default TableStreamSink), evaluates filters/projections per record on the
+// caller thread (row appends are order-sensitive and must match the serial
+// engine exactly), and delivers the buffered rows once per engine-level
+// process_batch() call.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/program.hpp"
+#include "runtime/engine_api.hpp"
+#include "runtime/table.hpp"
+
+namespace perfq::runtime {
+
+class StreamStage {
+ public:
+  /// Compiles the program's stream sinks and validates
+  /// `config.stream_sinks` (unknown or non-stream names throw ConfigError).
+  /// `program` must outlive the stage.
+  StreamStage(const compiler::CompiledProgram& program,
+              const EngineConfig& config);
+
+  /// No stream sinks in the program: observe() calls can be skipped.
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Evaluate every sink's filter/projections on one record (record order).
+  void observe(const PacketRecord& rec);
+
+  /// Flush the rows buffered since the last deliver() to the sinks — one
+  /// on_batch() per sink per process_batch() call with matching rows.
+  void deliver();
+
+  /// deliver() any tail rows, signal on_finish(), and materialize the table
+  /// of every sink that exposes one (default table sinks are moved,
+  /// user-provided ones copied) into `tables` by query index.
+  void finish(std::map<int, ResultTable>& tables);
+
+ private:
+  struct Entry {
+    compiler::CompiledStreamSelect compiled;
+    std::string name;          ///< result name ("" if unnamed)
+    lang::Schema schema;
+    std::shared_ptr<StreamSink> sink;
+    TableStreamSink* default_sink = nullptr;  ///< set iff engine-owned
+    std::vector<std::vector<double>> batch;   ///< rows since last deliver()
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace perfq::runtime

@@ -1,9 +1,13 @@
 // Trace replay driver: stream a record trace into any engine.
 //
-// Works with both QueryEngine and ShardedEngine (anything exposing
-// process_batch/finish) and is the harness the scaling bench and the shard
-// equivalence tests use: time-ordered batched delivery, optional trace
-// repetition for longer steady-state runs, and a throughput readout.
+// Drives any runtime::Engine — pass the engine by reference (dereference the
+// unique_ptr EngineBuilder::build() returns): the serial and sharded engines
+// are interchangeable here, which is exactly how the scaling bench and the
+// shard equivalence tests use it. Statically polymorphic (a template, not
+// Engine&) so the trace layer keeps zero dependency on the runtime and
+// anything else exposing process_batch() — e.g. a test double — works too.
+// Time-ordered batched delivery, optional trace repetition for longer
+// steady-state runs, and a throughput readout.
 #pragma once
 
 #include <algorithm>

@@ -201,5 +201,77 @@ TEST(Parser, UnaryMinusAndNot) {
   EXPECT_TRUE(e->is_not);
 }
 
+// ---- recursion depth limit --------------------------------------------------
+
+std::string nested_parens(std::size_t depth) {
+  std::string source;
+  source.reserve(2 * depth + 1);
+  source.append(depth, '(');
+  source += "1";
+  source.append(depth, ')');
+  return source;
+}
+
+TEST(Parser, DeepButLegalNestingParses) {
+  // 200 levels sits under the 256-level cap (the outermost expression itself
+  // consumes one level); the value must round-trip through the nesting.
+  const ExprPtr e = parse_expression(nested_parens(200));
+  EXPECT_EQ(e->kind, ExprKind::kNumber);
+  EXPECT_DOUBLE_EQ(e->number, 1.0);
+}
+
+TEST(Parser, NestingBeyondTheLimitFailsCleanly) {
+  // Must surface as a QueryError (the fuzz contract: never UB, never a raw
+  // stack overflow — the pre-limit parser crashed ASan builds here).
+  try {
+    (void)parse_expression(nested_parens(257));
+    FAIL() << "expected QueryError for 257-deep nesting";
+  } catch (const QueryError& e) {
+    EXPECT_EQ(e.stage(), "parse");
+    EXPECT_NE(std::string{e.what()}.find("nesting"), std::string::npos);
+  }
+  // Grossly past the limit (the fuzz regime) must behave identically.
+  EXPECT_THROW((void)parse_expression(nested_parens(20'000)), QueryError);
+}
+
+TEST(Parser, ExactDepthBoundary) {
+  // The guard counts the outer expression plus one level per paren: with the
+  // cap at 256, 255 parens are the deepest legal nesting and 256 the
+  // shallowest illegal one.
+  EXPECT_NO_THROW((void)parse_expression(nested_parens(255)));
+  EXPECT_THROW((void)parse_expression(nested_parens(256)), QueryError);
+}
+
+TEST(Parser, NotAndMinusChainsAreIterative) {
+  // `not not ...` / `----x` chains are linear, not nested: no depth limit
+  // applies however long they get, and the AST still nests correctly.
+  std::string nots;
+  for (int i = 0; i < 2000; ++i) nots += "not ";
+  nots += "x";
+  const ExprPtr e = parse_expression(nots);
+  EXPECT_EQ(e->kind, ExprKind::kUnary);
+  EXPECT_TRUE(e->is_not);
+
+  const std::string minuses = std::string(2000, '-') + "x";
+  const ExprPtr m = parse_expression(minuses);
+  EXPECT_EQ(m->kind, ExprKind::kUnary);
+  EXPECT_FALSE(m->is_not);
+}
+
+TEST(Parser, NestedIfStatementsHitTheLimitCleanly) {
+  // Deep if-nesting inside a fold body recurses through parse_stmt; it must
+  // hit the same clean error, not the C++ stack.
+  std::string body;
+  std::string indent = "    ";
+  for (int i = 0; i < 400; ++i) {
+    body += indent + "if x > 0:\n";
+    indent += "    ";
+  }
+  body += indent + "x = x + 1\n";
+  const std::string source =
+      "def f (x, (pkt_len)):\n" + body + "\nSELECT 5tuple, f GROUPBY 5tuple";
+  EXPECT_THROW((void)parse_program(source), QueryError);
+}
+
 }  // namespace
 }  // namespace perfq::lang

@@ -19,20 +19,14 @@
 
 #include "runtime/engine.hpp"
 #include "runtime/sharded/sharded_engine.hpp"
+#include "runtime_test_util.hpp"
 #include "trace/flow_session.hpp"
 #include "trace/replay.hpp"
 
 namespace perfq::runtime {
 namespace {
 
-std::vector<PacketRecord> workload() {
-  trace::TraceConfig c;
-  c.seed = 77;
-  c.duration = 10_s;
-  c.num_flows = 400;
-  c.mean_flow_pkts = 25.0;
-  return trace::generate_all(c);
-}
+std::vector<PacketRecord> workload() { return test_workload(); }
 
 /// The Fig. 2 query corpus (same fold definitions the VM property test
 /// uses), spanning const-A, varying-A, h=1 linear, and non-linear kernels.
@@ -127,23 +121,6 @@ ShardedEngineConfig sharded_config(std::size_t shards, Nanos refresh,
   config.ring_capacity = 512;
   config.dispatch_batch = 64;
   return config;
-}
-
-void expect_tables_bit_identical(const ResultTable& want,
-                                 const ResultTable& got,
-                                 const std::string& context) {
-  ASSERT_EQ(got.row_count(), want.row_count()) << context;
-  for (std::size_t r = 0; r < want.row_count(); ++r) {
-    const auto& wrow = want.rows()[r];
-    const auto& grow = got.rows()[r];
-    ASSERT_EQ(grow.size(), wrow.size()) << context << " row " << r;
-    for (std::size_t c = 0; c < wrow.size(); ++c) {
-      // Exact double equality: the shard pipeline must not change a single
-      // IEEE operation.
-      EXPECT_EQ(grow[c], wrow[c])
-          << context << " row " << r << " col " << c;
-    }
-  }
 }
 
 void run_equivalence(const CorpusEntry& entry, std::size_t shards,

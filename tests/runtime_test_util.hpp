@@ -1,0 +1,46 @@
+// Shared helpers for the runtime test suites (engine equivalence, sinks,
+// snapshots): one definition of the bit-for-bit table comparison and the
+// standard synthetic workload, so the suites cannot drift apart.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/table.hpp"
+#include "trace/flow_session.hpp"
+
+namespace perfq::runtime {
+
+/// The equivalence workload: enough flows and packets that a small cache
+/// thrashes (evictions + merges on every prefix), deterministic by seed.
+inline std::vector<PacketRecord> test_workload(std::uint64_t seed = 77,
+                                               std::uint32_t num_flows = 400,
+                                               double mean_flow_pkts = 25.0,
+                                               Nanos duration = 10_s) {
+  trace::TraceConfig c;
+  c.seed = seed;
+  c.duration = duration;
+  c.num_flows = num_flows;
+  c.mean_flow_pkts = mean_flow_pkts;
+  return trace::generate_all(c);
+}
+
+/// Exact double equality, cell by cell: the engines under comparison must
+/// not differ in a single IEEE operation.
+inline void expect_tables_bit_identical(const ResultTable& want,
+                                        const ResultTable& got,
+                                        const std::string& context) {
+  ASSERT_EQ(got.row_count(), want.row_count()) << context;
+  for (std::size_t r = 0; r < want.row_count(); ++r) {
+    const auto& wrow = want.rows()[r];
+    const auto& grow = got.rows()[r];
+    ASSERT_EQ(grow.size(), wrow.size()) << context << " row " << r;
+    for (std::size_t c = 0; c < wrow.size(); ++c) {
+      EXPECT_EQ(grow[c], wrow[c]) << context << " row " << r << " col " << c;
+    }
+  }
+}
+
+}  // namespace perfq::runtime
