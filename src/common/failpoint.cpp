@@ -1,0 +1,175 @@
+#include "common/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+namespace perfq::failpoint {
+namespace {
+
+struct Site {
+  Spec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;   ///< evaluations while armed
+  std::uint64_t fires = 0;  ///< actions taken (past skip, within count)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Fast-path gate: evaluate() returns immediately while zero sites are
+/// armed, so instrumented-but-idle builds pay one relaxed load per site.
+std::atomic<std::uint64_t> g_armed{0};
+
+/// One-shot PERFQ_FAILPOINTS env parsing. Grammar documented in the header.
+std::once_flag g_env_once;
+
+void arm_from_env() {
+  const char* env = std::getenv("PERFQ_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string_view rest{env};
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;  // malformed entry
+    const std::string name{entry.substr(0, eq)};
+    std::string_view opts = entry.substr(eq + 1);
+    Spec spec;
+    bool first = true;
+    bool ok = true;
+    while (!opts.empty()) {
+      const std::size_t colon = opts.find(':');
+      std::string_view tok = opts.substr(0, colon);
+      opts = colon == std::string_view::npos ? std::string_view{}
+                                             : opts.substr(colon + 1);
+      const auto parse_u64 = [&ok](std::string_view s) -> std::uint64_t {
+        if (s.empty()) ok = false;
+        std::uint64_t v = 0;
+        for (const char c : s) {
+          if (c < '0' || c > '9') {
+            ok = false;
+            break;
+          }
+          v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        return v;
+      };
+      if (first) {
+        first = false;
+        if (tok == "throw") {
+          spec.action = Action::kThrow;
+        } else if (tok.substr(0, 5) == "sleep") {
+          spec.action = Action::kSleep;
+          spec.sleep_ms = static_cast<std::uint32_t>(parse_u64(tok.substr(5)));
+        } else {
+          ok = false;
+        }
+      } else if (tok.substr(0, 5) == "skip=") {
+        spec.skip = parse_u64(tok.substr(5));
+      } else if (tok.substr(0, 6) == "count=") {
+        spec.count = parse_u64(tok.substr(6));
+      } else {
+        ok = false;
+      }
+    }
+    if (ok && !first) arm(name, spec);
+  }
+}
+
+}  // namespace
+
+bool compiled_in() {
+#if defined(PERFQ_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void arm(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  Site& site = r.sites[name];
+  if (!site.armed) g_armed.fetch_add(1, std::memory_order_relaxed);
+  site.spec = spec;
+  site.armed = true;
+  site.hits = 0;
+  site.fires = 0;
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(name);
+  if (it == r.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, site] : r.sites) {
+    if (site.armed) {
+      site.armed = false;
+      g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fire_count(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+void evaluate(const char* name) {
+  std::call_once(g_env_once, arm_from_env);
+  if (g_armed.load(std::memory_order_relaxed) == 0) return;
+  Spec spec;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(name);
+    if (it == r.sites.end() || !it->second.armed) return;
+    Site& site = it->second;
+    ++site.hits;
+    if (site.hits <= site.spec.skip) return;
+    if (site.spec.count != 0 && site.fires >= site.spec.count) return;
+    ++site.fires;
+    spec = site.spec;
+  }
+  // Act outside the lock: a sleeping or throwing site must not hold the
+  // registry hostage (other threads keep evaluating their own sites).
+  switch (spec.action) {
+    case Action::kThrow:
+      throw FaultInjected{std::string{"failpoint "} + name};
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds{spec.sleep_ms});
+      break;
+  }
+}
+
+}  // namespace perfq::failpoint

@@ -96,6 +96,13 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Approximate occupancy, readable from any thread (exact only when both
+  /// sides are quiescent). Used by the drain watchdog's diagnostic dump.
+  [[nodiscard]] std::size_t size_approx() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
  private:
   std::size_t mask_ = 0;
   std::vector<T> slots_;

@@ -96,18 +96,23 @@ std::vector<std::byte> serialize(const Packet& pkt) {
   return out;
 }
 
-ParseResult parse(std::span<const std::byte> bytes) {
+std::optional<ParseResult> try_parse(std::span<const std::byte> bytes,
+                                     ParseError* error) {
+  const auto fail = [&](ParseError err) -> std::optional<ParseResult> {
+    if (error != nullptr) *error = err;
+    return std::nullopt;
+  };
   if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen) {
-    throw ConfigError{"wire::parse: truncated packet"};
+    return fail(ParseError::kTruncated);
   }
   const std::byte* p = bytes.data();
   if (get_u16(p + 12) != kEtherTypeIpv4) {
-    throw ConfigError{"wire::parse: unsupported EtherType"};
+    return fail(ParseError::kUnsupportedEtherType);
   }
   p += kEthHeaderLen;
 
   if ((std::to_integer<std::uint8_t>(p[0]) & 0xF0) != 0x40) {
-    throw ConfigError{"wire::parse: not IPv4"};
+    return fail(ParseError::kNotIpv4);
   }
   Packet pkt;
   const std::uint16_t ip_total = get_u16(p + 2);
@@ -121,7 +126,7 @@ ParseResult parse(std::span<const std::byte> bytes) {
   std::size_t l4_len = 0;
   if (pkt.flow.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
     if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen + kTcpHeaderLen) {
-      throw ConfigError{"wire::parse: truncated TCP header"};
+      return fail(ParseError::kTruncated);
     }
     pkt.flow.src_port = get_u16(p + 0);
     pkt.flow.dst_port = get_u16(p + 2);
@@ -130,22 +135,29 @@ ParseResult parse(std::span<const std::byte> bytes) {
     l4_len = kTcpHeaderLen;
   } else if (pkt.flow.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
     if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen + kUdpHeaderLen) {
-      throw ConfigError{"wire::parse: truncated UDP header"};
+      return fail(ParseError::kTruncated);
     }
     pkt.flow.src_port = get_u16(p + 0);
     pkt.flow.dst_port = get_u16(p + 2);
     l4_len = kUdpHeaderLen;
   } else {
-    throw ConfigError{"wire::parse: unsupported IP protocol " +
-                      std::to_string(pkt.flow.proto)};
+    return fail(ParseError::kUnsupportedProtocol);
   }
 
   if (ip_total < kIpv4HeaderLen + l4_len) {
-    throw ConfigError{"wire::parse: bad IPv4 total length"};
+    return fail(ParseError::kBadLength);
   }
   pkt.payload_len = static_cast<std::uint32_t>(ip_total - kIpv4HeaderLen - l4_len);
   pkt.pkt_len = static_cast<std::uint32_t>(kEthHeaderLen + ip_total);
   return ParseResult{pkt, kEthHeaderLen + kIpv4HeaderLen + l4_len};
+}
+
+ParseResult parse(std::span<const std::byte> bytes) {
+  ParseError err{};
+  if (std::optional<ParseResult> result = try_parse(bytes, &err)) {
+    return *std::move(result);
+  }
+  throw ConfigError{std::string{"wire::parse: "} + to_string(err)};
 }
 
 }  // namespace perfq::wire

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -33,8 +34,40 @@ struct ParseResult {
   std::size_t header_bytes = 0;
 };
 
-/// Parse wire bytes into a Packet. Throws QueryError-free ConfigError on
-/// malformed input (truncated headers, unknown EtherType/protocol).
+/// Why a frame failed to parse. Live capture feeds deliver truncated and
+/// foreign frames as a matter of course, so these are data conditions, not
+/// programming errors — try_parse reports them without throwing and replay
+/// counts them per run (trace/ingest_stats.hpp).
+enum class ParseError : std::uint8_t {
+  kTruncated,             ///< fewer bytes than the headers require
+  kUnsupportedEtherType,  ///< not 0x0800 (IPv4)
+  kNotIpv4,               ///< EtherType said IPv4 but the version nibble isn't 4
+  kUnsupportedProtocol,   ///< IP protocol other than TCP/UDP
+  kBadLength,             ///< IPv4 total length smaller than its headers
+};
+
+[[nodiscard]] constexpr const char* to_string(ParseError err) {
+  switch (err) {
+    case ParseError::kTruncated: return "truncated packet";
+    case ParseError::kUnsupportedEtherType: return "unsupported EtherType";
+    case ParseError::kNotIpv4: return "not IPv4";
+    case ParseError::kUnsupportedProtocol: return "unsupported IP protocol";
+    case ParseError::kBadLength: return "bad IPv4 total length";
+  }
+  return "?";
+}
+
+/// Parse wire bytes into a Packet without throwing: nullopt on malformed
+/// input, with the reason written to `error` when non-null. The truncation
+/// contract is exact: any prefix shorter than the frame's header bytes is
+/// kTruncated; any prefix covering them parses identically to the full frame
+/// (payload bytes are never read — lengths come from the IPv4 header).
+[[nodiscard]] std::optional<ParseResult> try_parse(
+    std::span<const std::byte> bytes, ParseError* error = nullptr);
+
+/// Throwing wrapper over try_parse: ConfigError carrying to_string(error)
+/// on malformed input. For callers where a bad frame is a hard error
+/// (tests, hand-built frames); feeds should prefer try_parse + skip-count.
 [[nodiscard]] ParseResult parse(std::span<const std::byte> bytes);
 
 /// IPv4 header checksum (RFC 1071 ones'-complement sum) over a 20-byte

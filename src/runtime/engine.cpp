@@ -27,8 +27,20 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
   }
 }
 
+void QueryEngine::throw_if_faulted() const {
+  if (fault_.faulted()) fault_.raise();
+}
+
 void QueryEngine::process_batch(std::span<const PacketRecord> records) {
+  throw_if_faulted();
   check(!finished_, "QueryEngine: process after finish");
+  // An exception escaping mid-batch (stream-sink callback, injected
+  // failpoint, allocation) leaves some records folded and others not:
+  // guarded() poisons the engine so the partial state can never be read.
+  guarded([&] { process_batch_impl(records); });
+}
+
+void QueryEngine::process_batch_impl(std::span<const PacketRecord> records) {
   const bool streams = !stream_.empty();
   for (std::size_t base = 0; base < records.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, records.size() - base);
@@ -69,30 +81,38 @@ void QueryEngine::process_batch(std::span<const PacketRecord> records) {
 }
 
 void QueryEngine::finish(Nanos now) {
+  throw_if_faulted();
   check(!finished_, "QueryEngine: finish called twice");
   finished_ = true;
-  for (auto& sw : switches_) sw.store->flush(now);
-  materialize_switch_tables();
-  stream_.finish(tables_);
-  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
-    if (tables_.count(static_cast<int>(i)) > 0) continue;
-    run_collection_query(program_, static_cast<int>(i), tables_);
-  }
+  guarded([&] {
+    for (auto& sw : switches_) sw.store->flush(now);
+    materialize_switch_tables();
+    stream_.finish(tables_);
+    for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
+      if (tables_.count(static_cast<int>(i)) > 0) continue;
+      run_collection_query(program_, static_cast<int>(i), tables_);
+    }
+  });
 }
 
 EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
+  throw_if_faulted();
   check(!finished_, "QueryEngine: snapshot after finish");
-  for (const auto& sw : switches_) {
+  // Name resolution stays outside the fault machinery: an unknown query is a
+  // usage error, not an engine fault, and must not poison the engine.
+  for (auto& sw : switches_) {
     if (sw.plan->name != query_name) continue;
     // The application pull (§3.2): overlay the live cache on a copy of the
     // backing store through the ordinary exact-merge absorb — bit-for-bit
     // what finish(now) would materialize for this query, without disturbing
     // either structure.
-    kv::BackingStore merged = sw.store->backing();
-    sw.store->cache().snapshot_into(
-        now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
-    return EngineSnapshot{materialize_switch_table(program_, *sw.plan, merged),
-                          records_, now};
+    return guarded([&] {
+      kv::BackingStore merged = sw.store->backing();
+      sw.store->cache().snapshot_into(
+          now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
+      return EngineSnapshot{
+          materialize_switch_table(program_, *sw.plan, merged), records_, now};
+    });
   }
   throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
                                  std::string{query_name} + "'"};
@@ -111,6 +131,7 @@ const ResultTable* QueryEngine::find_table(int index) const {
 }
 
 const ResultTable& QueryEngine::result() const {
+  throw_if_faulted();
   check(finished_, "QueryEngine: result before finish");
   const int last = static_cast<int>(program_.analysis.queries.size()) - 1;
   const ResultTable* t = find_table(last);
@@ -119,6 +140,7 @@ const ResultTable& QueryEngine::result() const {
 }
 
 const ResultTable& QueryEngine::table(std::string_view name) const {
+  throw_if_faulted();
   check(finished_, "QueryEngine: table before finish");
   const int idx = program_.analysis.query_index(name);
   if (idx < 0) {
@@ -134,6 +156,7 @@ const ResultTable& QueryEngine::table(std::string_view name) const {
 }
 
 std::vector<StoreStats> QueryEngine::store_stats() const {
+  throw_if_faulted();
   std::vector<StoreStats> out;
   for (const auto& sw : switches_) {
     StoreStats s;

@@ -12,6 +12,13 @@
 //
 // Construct through runtime::EngineBuilder unless you specifically need the
 // concrete type (engine-internals tests, the switch-pipeline comparison).
+//
+// Failure domains: an exception escaping the fold/stream machinery mid-batch
+// (a stream-sink callback throw, an injected failpoint, allocation failure)
+// leaves the stores partially updated, so the engine poisons itself — the
+// fault is recorded in a FaultSlot and every subsequent call throws a
+// structured EngineFaultError instead of serving corrupt results. Same
+// contract as ShardedEngine (see engine_fault.hpp and engine_api.hpp).
 #pragma once
 
 #include <map>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "runtime/engine_api.hpp"
+#include "runtime/engine_fault.hpp"
 #include "runtime/fold_core.hpp"
 #include "runtime/stream_stage.hpp"
 #include "runtime/table.hpp"
@@ -84,7 +92,27 @@ class QueryEngine final : public Engine {
   };
 
   void materialize_switch_tables();
+  void process_batch_impl(std::span<const PacketRecord> records);
   [[nodiscard]] const ResultTable* find_table(int index) const;
+  /// Poisoned-state gate (see the file comment's failure-domain notes).
+  void throw_if_faulted() const;
+  /// Run `body` under the poisoned-state machinery: any escaping exception
+  /// other than an EngineFaultError is recorded as a kCaller fault and
+  /// rethrown structured.
+  template <typename Fn>
+  decltype(auto) guarded(Fn&& body) {
+    try {
+      return body();
+    } catch (const EngineFaultError&) {
+      throw;
+    } catch (const std::exception& e) {
+      fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+      fault_.raise();
+    } catch (...) {
+      fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+      fault_.raise();
+    }
+  }
 
   compiler::CompiledProgram program_;
   EngineConfig config_;
@@ -95,6 +123,9 @@ class QueryEngine final : public Engine {
   std::uint64_t refreshes_ = 0;
   Nanos next_refresh_{0};
   bool finished_ = false;
+  /// First-exception-wins poisoned state (single-threaded here, but the
+  /// same slot type the sharded engine shares across its threads).
+  FaultSlot fault_;
 };
 
 }  // namespace perfq::runtime

@@ -40,6 +40,36 @@
 //   - snapshot() must be called from the processing (caller) thread, between
 //     process_batch() calls; only stream-SELECT queries are excluded (their
 //     rows stream through StreamSinks instead).
+//
+// ---- Failure semantics -----------------------------------------------------
+//
+// An exception escaping the engine's own machinery mid-run — a throwing user
+// StreamSink, a fault injected through common/failpoint.hpp, a crashed shard
+// worker or merge thread — leaves the state at an arbitrary point inside a
+// batch. There is no way to resume without silently corrupting results, so
+// both engines implement the same poisoned-state protocol (engine_fault.hpp):
+//
+//   - The FIRST failure wins: its description is captured in a FaultSlot
+//     (role + shard + cause); later failures during the unwind are dropped.
+//     On the sharded engine the recording thread also raises the pipeline
+//     stop flag, so dispatchers, workers and the merge thread unwind promptly
+//     instead of spinning on rings that will never drain.
+//   - The call that observes the fault throws EngineFaultError (an Error
+//     subclass) carrying the faulting role ("worker", "merge", ...), the
+//     shard index if any, and the original cause. Watchdog faults append a
+//     pipeline diagnostic (ring occupancy, per-thread state) to what().
+//   - The engine is then POISONED: every subsequent process_batch(),
+//     finish(), snapshot(), result(), table() and store_stats() call throws
+//     the SAME EngineFaultError. No call ever hangs, returns partial
+//     results, or std::terminate()s. Destruction is always safe.
+//   - Argument errors thrown BEFORE any state changes (unknown snapshot
+//     name, double finish, process after finish) stay ordinary
+//     QueryError/ConfigError and do NOT poison the engine.
+//   - The sharded engine bounds every internal wait by the builder's
+//     drain_timeout (default 10 s, sharded-only knob): if the pipeline
+//     cannot make progress within the deadline — a wedged ring, a stuck
+//     snapshot rendezvous — a watchdog records a fault with a diagnostic
+//     dump instead of blocking the caller forever.
 #pragma once
 
 #include <cstdint>

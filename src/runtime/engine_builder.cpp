@@ -26,6 +26,7 @@ std::unique_ptr<Engine> EngineBuilder::build() {
     reject(dispatch_batch_.has_value(), "dispatch_batch()");
     reject(backing_shards_.has_value(), "backing_shards()");
     reject(eviction_batch_.has_value(), "eviction_batch()");
+    reject(drain_timeout_.has_value(), "drain_timeout()");
     return std::make_unique<QueryEngine>(std::move(program_),
                                          std::move(config_));
   }
@@ -37,6 +38,7 @@ std::unique_ptr<Engine> EngineBuilder::build() {
   if (dispatch_batch_) config.dispatch_batch = *dispatch_batch_;
   if (backing_shards_) config.backing_shards = *backing_shards_;
   if (eviction_batch_) config.eviction_batch = *eviction_batch_;
+  if (drain_timeout_) config.drain_timeout = *drain_timeout_;
   return std::make_unique<ShardedEngine>(std::move(program_),
                                          std::move(config));
 }

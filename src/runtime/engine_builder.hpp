@@ -10,10 +10,12 @@
 // the multi-core ShardedEngine — same results either way (the sharded
 // runtime is bit-identical for linear kernels), so the choice is purely a
 // deployment knob. Sharded-only tuning knobs (dispatchers, ring_capacity,
-// dispatch_batch, backing_shards, eviction_batch) are rejected at build()
-// when no sharding was requested, so a config can't silently misapply.
+// dispatch_batch, backing_shards, eviction_batch, drain_timeout) are
+// rejected at build() when no sharding was requested, so a config can't
+// silently misapply.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -97,6 +99,14 @@ class EngineBuilder {
     eviction_batch_ = evictions;
     return *this;
   }
+  /// Drain watchdog deadline for every caller-side wait on the sharded
+  /// pipeline (full-ring pushes, batch completion, snapshot barriers, the
+  /// finish() joins). On expiry the blocked call throws EngineFaultError
+  /// with a pipeline diagnostic instead of hanging. Zero disables.
+  EngineBuilder& drain_timeout(std::chrono::milliseconds deadline) {
+    drain_timeout_ = deadline;
+    return *this;
+  }
 
   /// Construct the engine. Consumes the builder's program: call once.
   [[nodiscard]] std::unique_ptr<Engine> build();
@@ -110,6 +120,7 @@ class EngineBuilder {
   std::optional<std::size_t> dispatch_batch_;
   std::optional<std::size_t> backing_shards_;
   std::optional<std::size_t> eviction_batch_;
+  std::optional<std::chrono::milliseconds> drain_timeout_;
   bool built_ = false;
 };
 

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 
+#include "common/failpoint.hpp"
 #include "compiler/program.hpp"
 #include "kvstore/cache.hpp"
 
@@ -53,6 +54,7 @@ class SwitchFoldCore {
 
   /// Pass 2 for chunk slot `i`: fold the record if it passed pass 1.
   void fold(std::size_t i, const PacketRecord& rec) {
+    PERFQ_FAILPOINT("fold_core.fold");
     if (pass_[i]) cache_->process(keys_[i], rec);
   }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/hash.hpp"
 #include "runtime/collection.hpp"
 
@@ -79,6 +80,7 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
   for (std::size_t s = 0; s < n_shards; ++s) {
     auto shard = std::make_unique<Shard>();
     Shard& sh = *shard;
+    sh.index = s;
     for (std::size_t d = 0; d < n_dispatchers; ++d) {
       sh.rings.push_back(
           std::make_unique<SpscRing<ShardMsg>>(config_.ring_capacity));
@@ -111,20 +113,176 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
     dispatchers_.push_back(std::move(dispatcher));
   }
 
-  merge_thread_ = std::thread([this] { merge_loop(); });
+  merge_thread_ = std::thread([this] { merge_main(); });
   for (auto& shard : shards_) {
     Shard& sh = *shard;
-    sh.thread = std::thread([this, &sh] { worker_loop(sh); });
+    sh.thread = std::thread([this, &sh] { worker_main(sh); });
   }
   for (std::size_t d = 1; d < n_dispatchers; ++d) {
-    dispatchers_[d]->thread = std::thread([this, d] { co_dispatcher_loop(d); });
+    dispatchers_[d]->thread = std::thread([this, d] { co_dispatcher_main(d); });
   }
 }
 
 ShardedEngine::~ShardedEngine() {
-  // Bench/abort path: tear the pipeline down without the final flush.
-  if (!threads_stopped_) stop_pipeline(/*flush=*/false, Nanos{0});
+  // Bench/abort/poisoned path: tear the pipeline down without the final
+  // flush. Joins are unbounded here — threads are stop-aware, so they exit
+  // as soon as their current blocking operation returns.
+  if (!threads_stopped_) stop_pipeline(/*flush=*/false, Nanos{0},
+                                       /*watchdog=*/false);
 }
+
+// ---- failure-domain machinery ----------------------------------------------
+
+void ShardedEngine::begin_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
+    dispatchers_[d]->exit.store(true, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::on_thread_fault(ThreadRole role, std::size_t shard,
+                                    std::string cause) noexcept {
+  fault_.record(role, shard, std::move(cause));
+  begin_stop();
+}
+
+void ShardedEngine::throw_if_faulted() {
+  if (fault_.faulted()) {
+    begin_stop();
+    fault_.raise();
+  }
+}
+
+std::string ShardedEngine::pipeline_diagnostic(const char* what) const {
+  std::string out = "pipeline state at watchdog expiry (waiting for ";
+  out += what;
+  out += ", drain_timeout " + std::to_string(config_.drain_timeout.count()) +
+         " ms):";
+  out += "\n  merge thread: ";
+  out += merge_exited_.load(std::memory_order_acquire) ? "exited" : "running";
+  for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
+    const Dispatcher& dp = *dispatchers_[d];
+    out += "\n  dispatcher " + std::to_string(d) + ": ";
+    out += dp.exited.load(std::memory_order_acquire) ? "exited" : "running";
+    out += " (jobs posted=" +
+           std::to_string(dp.posted.load(std::memory_order_acquire)) +
+           " completed=" +
+           std::to_string(dp.completed.load(std::memory_order_acquire)) + ")";
+  }
+  for (const auto& shard : shards_) {
+    out += "\n  shard " + std::to_string(shard->index) + ": worker ";
+    out += shard->exited.load(std::memory_order_acquire) ? "exited" : "running";
+    out += ", evictions pushed=" +
+           std::to_string(
+               shard->evictions_pushed.load(std::memory_order_acquire)) +
+           " absorbed=" +
+           std::to_string(
+               shard->evictions_absorbed.load(std::memory_order_acquire));
+    out += ", ring occupancy";
+    for (std::size_t d = 0; d < shard->rings.size(); ++d) {
+      out += " [" + std::to_string(d) + "]=" +
+             std::to_string(shard->rings[d]->size_approx()) + "/" +
+             std::to_string(shard->rings[d]->capacity());
+    }
+  }
+  return out;
+}
+
+void ShardedEngine::spin_backoff(SpinState& spin, const char* what) {
+  if (what != nullptr && config_.drain_timeout.count() > 0 &&
+      !fault_.faulted()) {
+    if (!spin.armed) {
+      spin.deadline = std::chrono::steady_clock::now() + config_.drain_timeout;
+      spin.armed = true;
+    } else if (std::chrono::steady_clock::now() > spin.deadline) {
+      fault_.record(ThreadRole::kWatchdog, kNoShard,
+                    std::string{"drain deadline exceeded waiting for "} + what,
+                    pipeline_diagnostic(what));
+      begin_stop();
+      return;  // the caller's next stop_/fault check unwinds the wait
+    }
+  }
+  if (++spin.idle_polls < kIdlePollsBeforeSleep) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(kIdleSleep);
+  }
+}
+
+bool ShardedEngine::wait_exited(const std::atomic<bool>& exited, bool watchdog,
+                                const char* what) {
+  SpinState spin;
+  bool grace = false;
+  for (;;) {
+    if (exited.load(std::memory_order_acquire)) return true;
+    if (watchdog && config_.drain_timeout.count() > 0) {
+      if (!spin.armed) {
+        spin.deadline =
+            std::chrono::steady_clock::now() + config_.drain_timeout;
+        spin.armed = true;
+      } else if (std::chrono::steady_clock::now() > spin.deadline) {
+        if (!grace) {
+          // Deadline expired: record the wedge (with the dump), release
+          // every stop-aware loop, and grant one more deadline of grace for
+          // the thread to unwind before deferring its join to the
+          // destructor.
+          fault_.record(ThreadRole::kWatchdog, kNoShard,
+                        std::string{"drain deadline exceeded waiting for "} +
+                            what,
+                        pipeline_diagnostic(what));
+          begin_stop();
+          spin.deadline =
+              std::chrono::steady_clock::now() + config_.drain_timeout;
+          grace = true;
+        } else {
+          return false;
+        }
+      }
+    }
+    if (++spin.idle_polls < kIdlePollsBeforeSleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(kIdleSleep);
+    }
+  }
+}
+
+void ShardedEngine::worker_main(Shard& sh) {
+  try {
+    worker_loop(sh);
+  } catch (const std::exception& e) {
+    on_thread_fault(ThreadRole::kWorker, sh.index, e.what());
+  } catch (...) {
+    on_thread_fault(ThreadRole::kWorker, sh.index, "unknown exception");
+  }
+  sh.exited.store(true, std::memory_order_release);
+}
+
+void ShardedEngine::merge_main() {
+  try {
+    merge_loop();
+  } catch (const std::exception& e) {
+    on_thread_fault(ThreadRole::kMerge, kNoShard, e.what());
+  } catch (...) {
+    on_thread_fault(ThreadRole::kMerge, kNoShard, "unknown exception");
+  }
+  merge_exited_.store(true, std::memory_order_release);
+}
+
+void ShardedEngine::co_dispatcher_main(std::size_t d) {
+  try {
+    co_dispatcher_loop(d);
+  } catch (const std::exception& e) {
+    on_thread_fault(ThreadRole::kDispatcher, kNoShard,
+                    "dispatcher " + std::to_string(d) + ": " + e.what());
+  } catch (...) {
+    on_thread_fault(ThreadRole::kDispatcher, kNoShard,
+                    "dispatcher " + std::to_string(d) + ": unknown exception");
+  }
+  dispatchers_[d]->exited.store(true, std::memory_order_release);
+}
+
+// ---- dispatch ---------------------------------------------------------------
 
 std::uint64_t ShardedEngine::placement_of_raw(std::uint64_t raw) const {
   return config_.engine.hash_seed == 0 ? raw : mix64(raw ^ seed_mix_);
@@ -138,21 +296,36 @@ void ShardedEngine::stage(std::size_t d, std::size_t shard, ShardMsg&& msg) {
 
 void ShardedEngine::publish(std::size_t d, std::size_t shard) {
   std::vector<ShardMsg>& staging = dispatchers_[d]->staging[shard];
+  if (staging.empty()) return;
+  PERFQ_FAILPOINT("sharded.ring_push");
   SpscRing<ShardMsg>& ring = *shards_[shard]->rings[d];
   std::span<ShardMsg> pending(staging);
+  SpinState spin;
   while (!pending.empty()) {
     const std::size_t pushed = ring.push_bulk(pending);
     pending = pending.subspan(pushed);
-    // Ring full: the worker is behind; let it run (essential on machines
-    // with fewer cores than threads). Workers drain their rings even while
-    // their merge is blocked, so this always makes progress.
-    if (pushed == 0) std::this_thread::yield();
+    if (pushed == 0) {
+      // Ring full: the worker is behind; let it run (essential on machines
+      // with fewer cores than threads). Workers drain their rings even while
+      // their merge is blocked, so this makes progress — unless the worker
+      // is dead or wedged: the stop flag unwinds the former, the caller-side
+      // watchdog converts the latter into a recorded fault. Once the engine
+      // is poisoned the rest of the batch is abandoned (results are
+      // forfeit; the caller throws at the batch boundary).
+      if (stop_.load(std::memory_order_acquire)) break;
+      spin_backoff(spin, d == 0 ? "a full shard ring (push)" : nullptr);
+    }
   }
   staging.clear();
 }
 
-void ShardedEngine::push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg) {
-  while (!ring.try_push(std::move(msg))) std::this_thread::yield();
+void ShardedEngine::push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg,
+                                 const char* what) {
+  SpinState spin;
+  while (!ring.try_push(std::move(msg))) {
+    if (stop_.load(std::memory_order_acquire)) return;  // poisoned: drop
+    spin_backoff(spin, what);
+  }
 }
 
 void ShardedEngine::dispatch_slice(std::size_t d,
@@ -164,6 +337,10 @@ void ShardedEngine::dispatch_slice(std::size_t d,
   const FlushEvent* flush = flushes.data();
   const FlushEvent* flush_end = flushes.data() + flushes.size();
   for (std::size_t i = 0; i < slice.size(); ++i) {
+    // Poisoned mid-slice: stop routing (publishes are being abandoned
+    // anyway). Checked every 64 records to keep the dispatch hot path free
+    // of per-record synchronization.
+    if ((i & 63u) == 0 && stop_.load(std::memory_order_relaxed)) break;
     const PacketRecord& rec = slice[i];
     const std::uint64_t g = base + i;
 
@@ -214,7 +391,8 @@ void ShardedEngine::dispatch_slice(std::size_t d,
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kWatermark;
       msg.seq = watermark_seq;
-      push_message(*shards_[s]->rings[d], std::move(msg));
+      push_message(*shards_[s]->rings[d], std::move(msg),
+                   d == 0 ? "a full shard ring (watermark)" : nullptr);
     }
   }
 }
@@ -230,12 +408,37 @@ void ShardedEngine::run_stream_sinks(std::span<const PacketRecord> records) {
 void ShardedEngine::push_evictions(Shard& sh) {
   const std::uint64_t n = sh.evict_buf.size();
   if (n == 0) return;
+  PERFQ_FAILPOINT("sharded.evict_push");
   sh.evictions.push_batch(sh.evict_buf);
   sh.evictions_pushed.fetch_add(n, std::memory_order_release);
 }
 
 void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
+  throw_if_faulted();
   check(!finished_, "ShardedEngine: process after finish");
+  try {
+    process_batch_impl(records);
+  } catch (const EngineFaultError&) {
+    begin_stop();
+    throw;
+  } catch (const std::exception& e) {
+    // Caller-side failure (stream sink callback, routing, allocation):
+    // poison the engine and throw the structured error.
+    fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+    begin_stop();
+    fault_.raise();
+  } catch (...) {
+    fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+    begin_stop();
+    fault_.raise();
+  }
+  // A fault on another thread during this batch (worker/merge/dispatcher
+  // death, watchdog expiry): dispatch may have been silently abandoned —
+  // surface it at the batch boundary rather than on the next call.
+  throw_if_faulted();
+}
+
+void ShardedEngine::process_batch_impl(std::span<const PacketRecord> records) {
   const std::size_t n = records.size();
   if (n == 0) return;
   const std::uint64_t base = records_;
@@ -309,12 +512,18 @@ void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
                  flushes_in(lo0, hi0), watermark);
   if (!stream_.empty()) run_stream_sinks(records);
   // The records span is borrowed from the caller: do not return until every
-  // helper has finished reading (and staging) its slice.
+  // helper has finished reading (and staging) its slice — or has exited (a
+  // dead helper reads nothing more). This wait must never bail early on a
+  // fault: a live helper could still be touching the span. The watchdog
+  // inside spin_backoff records the wedge and raises stop, which releases
+  // the helper's own spins, so the wait then terminates.
   for (std::size_t d = 1; d < n_dispatchers; ++d) {
     Dispatcher& dp = *dispatchers_[d];
     const std::uint64_t target = dp.posted.load(std::memory_order_relaxed);
-    while (dp.completed.load(std::memory_order_acquire) != target) {
-      std::this_thread::yield();
+    SpinState spin;
+    while (dp.completed.load(std::memory_order_acquire) != target &&
+           !dp.exited.load(std::memory_order_acquire)) {
+      spin_backoff(spin, "co-dispatcher batch completion");
     }
   }
 }
@@ -324,6 +533,7 @@ void ShardedEngine::co_dispatcher_loop(std::size_t d) {
   std::uint64_t done = 0;
   std::uint32_t idle_polls = 0;
   for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;  // poisoned: unwind
     const std::uint64_t posted = dp.posted.load(std::memory_order_acquire);
     if (posted == done) {
       if (dp.exit.load(std::memory_order_acquire)) {
@@ -333,7 +543,7 @@ void ShardedEngine::co_dispatcher_loop(std::size_t d) {
           ShardMsg stop;
           stop.kind = ShardMsg::Kind::kStop;
           stop.seq = kStopSeq;
-          push_message(*shard->rings[d], std::move(stop));
+          push_message(*shard->rings[d], std::move(stop), nullptr);
         }
         return;
       }
@@ -351,6 +561,8 @@ void ShardedEngine::co_dispatcher_loop(std::size_t d) {
     dp.completed.store(done, std::memory_order_release);
   }
 }
+
+// ---- workers ----------------------------------------------------------------
 
 void ShardedEngine::worker_prepare(Shard& sh, std::size_t i,
                                    const ShardMsg& msg) {
@@ -384,6 +596,7 @@ void ShardedEngine::worker_process(Shard& sh, std::size_t i, ShardMsg& msg) {
       // query's live cache slice (msg.query) non-destructively, and publish
       // the generation — the caller is spinning on it. Folding resumes with
       // the next message.
+      PERFQ_FAILPOINT("sharded.snapshot_worker");
       push_evictions(sh);
       sh.snapshot_out.clear();
       sh.caches[msg.query]->snapshot_into(
@@ -407,6 +620,10 @@ void ShardedEngine::worker_loop_single_lane(Shard& sh) {
   bool running = true;
   std::uint32_t idle_polls = 0;
   while (running) {
+    // A poisoned engine stops feeding this ring (and may never send kStop):
+    // unwind instead of spinning on a dead dispatcher.
+    if (stop_.load(std::memory_order_acquire)) break;
+    PERFQ_FAILPOINT("sharded.ring_pop");
     const std::size_t n = ring.pop_bulk({buf.data(), buf.size()});
     if (n == 0) {
       // Bounded backoff: yield while traffic is merely bursty, park briefly
@@ -492,6 +709,10 @@ void ShardedEngine::worker_loop(Shard& sh) {
   };
 
   for (;;) {
+    // A dead dispatcher never sends its watermark/kStop, which would gate
+    // this merge forever: the stop flag is the way out.
+    if (stop_.load(std::memory_order_acquire)) break;
+    PERFQ_FAILPOINT("sharded.ring_pop");
     bool progressed = false;
     for (std::size_t d = 0; d < n_lanes; ++d) {
       progressed |= poll_lane(d);
@@ -583,6 +804,7 @@ void ShardedEngine::merge_loop() {
     for (auto& shard : shards_) {
       if (shard->evictions.drain(drained)) {
         any = true;
+        PERFQ_FAILPOINT("sharded.merge_absorb");
         for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
         // Count only after the absorbs landed: the snapshot drain barrier
         // reads this to prove the backing store caught up.
@@ -590,6 +812,9 @@ void ShardedEngine::merge_loop() {
                                             std::memory_order_release);
       }
     }
+    // Poisoned: exit without the final sweep — results are forfeit, and a
+    // dead worker may never stop producing counters we'd wait on.
+    if (stop_.load(std::memory_order_acquire)) return;
     if (any) {
       idle_polls = 0;
       continue;
@@ -615,18 +840,29 @@ void ShardedEngine::merge_loop() {
   }
 }
 
-void ShardedEngine::stop_pipeline(bool flush, Nanos now) {
+// ---- teardown / results -----------------------------------------------------
+
+void ShardedEngine::stop_pipeline(bool flush, Nanos now, bool watchdog) {
   // Helper dispatchers first: each pushes its own kStop down its rings on
   // exit (rings are single-producer; only thread d may write rings[d]).
+  bool all_joined = true;
   for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
     dispatchers_[d]->exit.store(true, std::memory_order_release);
   }
   for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
-    if (dispatchers_[d]->thread.joinable()) dispatchers_[d]->thread.join();
+    Dispatcher& dp = *dispatchers_[d];
+    if (!dp.thread.joinable()) continue;
+    if (!watchdog || wait_exited(dp.exited, watchdog, "co-dispatcher exit")) {
+      dp.thread.join();
+    } else {
+      all_joined = false;
+    }
   }
   // Caller-owned rings: final flush (ordered after every record) + kStop.
+  // On the poisoned path the flush is pointless (results are forfeit) and
+  // the pushes are best-effort — workers exit on the stop flag regardless.
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (flush) {
+    if (flush && !stop_.load(std::memory_order_acquire)) {
       ShardMsg msg;
       msg.kind = ShardMsg::Kind::kFlush;
       msg.seq = 2 * records_;
@@ -640,32 +876,65 @@ void ShardedEngine::stop_pipeline(bool flush, Nanos now) {
     publish(0, s);
   }
   for (auto& shard : shards_) {
-    if (shard->thread.joinable()) shard->thread.join();
+    if (!shard->thread.joinable()) continue;
+    if (!watchdog || wait_exited(shard->exited, watchdog, "worker exit")) {
+      shard->thread.join();
+    } else {
+      all_joined = false;
+    }
   }
   merge_stop_.store(true, std::memory_order_release);
-  if (merge_thread_.joinable()) merge_thread_.join();
-  threads_stopped_ = true;
+  if (merge_thread_.joinable()) {
+    if (!watchdog || wait_exited(merge_exited_, watchdog, "merge exit")) {
+      merge_thread_.join();
+    } else {
+      all_joined = false;
+    }
+  }
+  // A thread the watchdog gave up on is joined by the destructor (its flag
+  // wait is unbounded there); until then the engine stays poisoned.
+  threads_stopped_ = all_joined;
 }
 
 void ShardedEngine::finish(Nanos now) {
+  throw_if_faulted();
   check(!finished_, "ShardedEngine: finish called twice");
   finished_ = true;
-  stop_pipeline(/*flush=*/true, now);
-
-  for (std::size_t q = 0; q < plans_.size(); ++q) {
-    tables_.emplace(
-        plans_[q]->query_index,
-        materialize_switch_table(program_, *plans_[q], *backings_[q]));
-  }
-  stream_.finish(tables_);
-  for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
-    if (tables_.count(static_cast<int>(i)) > 0) continue;
-    run_collection_query(program_, static_cast<int>(i), tables_);
+  try {
+    stop_pipeline(/*flush=*/true, now, /*watchdog=*/true);
+    // A fault recorded during the drain (thread death discovered on join,
+    // watchdog expiry) forfeits the results: surface it instead of
+    // materializing partial tables.
+    throw_if_faulted();
+    for (std::size_t q = 0; q < plans_.size(); ++q) {
+      tables_.emplace(
+          plans_[q]->query_index,
+          materialize_switch_table(program_, *plans_[q], *backings_[q]));
+    }
+    stream_.finish(tables_);
+    for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
+      if (tables_.count(static_cast<int>(i)) > 0) continue;
+      run_collection_query(program_, static_cast<int>(i), tables_);
+    }
+  } catch (const EngineFaultError&) {
+    begin_stop();
+    throw;
+  } catch (const std::exception& e) {
+    fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+    begin_stop();
+    fault_.raise();
+  } catch (...) {
+    fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+    begin_stop();
+    fault_.raise();
   }
 }
 
 EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
+  throw_if_faulted();
   check(!finished_, "ShardedEngine: snapshot after finish");
+  // Name resolution happens before the fault machinery: an unknown query is
+  // a usage error, not an engine fault, and must not poison the pipeline.
   std::size_t query = plans_.size();
   for (std::size_t q = 0; q < plans_.size(); ++q) {
     if (plans_[q]->name == query_name) query = q;
@@ -674,7 +943,23 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
     throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
                                    std::string{query_name} + "'"};
   }
+  try {
+    return snapshot_impl(query, now);
+  } catch (const EngineFaultError&) {
+    begin_stop();
+    throw;
+  } catch (const std::exception& e) {
+    fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+    begin_stop();
+    fault_.raise();
+  } catch (...) {
+    fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+    begin_stop();
+    fault_.raise();
+  }
+}
 
+EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
   // 1. Broadcast the snapshot marker through the caller's rings at the
   // current record boundary. Its seq (2·records_) orders after every
   // dispatched record; the co-dispatcher watermarks of the last batch carry
@@ -693,21 +978,15 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
   }
 
   // 2. Wait for every worker to reach the boundary and publish its copy
-  // (acquire pairs with the worker's release store).
-  const auto wait = [](auto&& ready) {
-    std::uint32_t idle_polls = 0;
-    while (!ready()) {
-      if (++idle_polls < kIdlePollsBeforeSleep) {
-        std::this_thread::yield();
-      } else {
-        std::this_thread::sleep_for(kIdleSleep);
-      }
-    }
-  };
+  // (acquire pairs with the worker's release store). Stop-aware: a worker
+  // that died before the boundary can never publish, and the watchdog
+  // converts a wedged one into a recorded fault.
   for (auto& shard : shards_) {
-    wait([&] {
-      return shard->snapshot_ready.load(std::memory_order_acquire) == gen;
-    });
+    SpinState spin;
+    while (shard->snapshot_ready.load(std::memory_order_acquire) != gen) {
+      if (fault_.faulted()) fault_.raise();
+      spin_backoff(spin, "the snapshot rendezvous");
+    }
   }
 
   // 3. Drain barrier: every eviction produced before the boundary is now in
@@ -716,10 +995,12 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
   for (auto& shard : shards_) {
     const std::uint64_t target =
         shard->evictions_pushed.load(std::memory_order_acquire);
-    wait([&] {
-      return shard->evictions_absorbed.load(std::memory_order_acquire) >=
-             target;
-    });
+    SpinState spin;
+    while (shard->evictions_absorbed.load(std::memory_order_acquire) <
+           target) {
+      if (fault_.faulted()) fault_.raise();
+      spin_backoff(spin, "the snapshot eviction drain barrier");
+    }
   }
 
   // 4. Overlay the cache copies (all for `query` — the marker carried it)
@@ -740,6 +1021,7 @@ const ResultTable* ShardedEngine::find_table(int index) const {
 }
 
 const ResultTable& ShardedEngine::result() const {
+  if (fault_.faulted()) fault_.raise();
   check(finished_, "ShardedEngine: result before finish");
   const int last = static_cast<int>(program_.analysis.queries.size()) - 1;
   const ResultTable* t = find_table(last);
@@ -748,6 +1030,7 @@ const ResultTable& ShardedEngine::result() const {
 }
 
 const ResultTable& ShardedEngine::table(std::string_view name) const {
+  if (fault_.faulted()) fault_.raise();
   check(finished_, "ShardedEngine: table before finish");
   const int idx = program_.analysis.query_index(name);
   if (idx < 0) {
@@ -763,6 +1046,7 @@ const ResultTable& ShardedEngine::table(std::string_view name) const {
 }
 
 std::vector<StoreStats> ShardedEngine::store_stats() const {
+  if (fault_.faulted()) fault_.raise();
   check(finished_, "ShardedEngine: store_stats before finish");
   std::vector<StoreStats> out;
   for (std::size_t q = 0; q < plans_.size(); ++q) {

@@ -43,6 +43,17 @@
 // record they precede. Requires num_buckets % num_shards == 0 per query
 // geometry (and LRU/FIFO eviction; kRandom draws per-shard RNG streams and
 // is only statistically equivalent).
+//
+// Failure domains: every worker/dispatcher/merge thread body is wrapped so
+// the first escaping exception is captured into a shared FaultSlot, a stop
+// flag converts every inter-thread spin (ring push/pop, lane merge, job
+// completion, snapshot rendezvous) into a stop-aware bounded wait, sibling
+// threads unwind cleanly, and the engine enters a permanent poisoned state:
+// process_batch/finish/snapshot throw a structured EngineFaultError (role,
+// shard, cause) — never a hang, never std::terminate. Caller-side drains are
+// additionally guarded by a configurable watchdog (drain_timeout) that
+// converts a wedged pipeline into an EngineFaultError carrying a diagnostic
+// dump. See engine_fault.hpp and engine_api.hpp ("Failure semantics").
 #pragma once
 
 #include <atomic>
@@ -63,6 +74,7 @@
 #include "compiler/program.hpp"
 #include "kvstore/sharded_backing_store.hpp"
 #include "runtime/engine_api.hpp"
+#include "runtime/engine_fault.hpp"
 #include "runtime/fold_core.hpp"
 #include "runtime/stream_stage.hpp"
 #include "runtime/table.hpp"
@@ -92,6 +104,14 @@ struct ShardedEngineConfig {
   std::size_t backing_shards = 0;
   /// Evictions a worker buffers before pushing to its MPSC eviction queue.
   std::size_t eviction_batch = 128;
+  /// Drain watchdog deadline for every caller-side wait on the pipeline's
+  /// threads (full-ring pushes, the co-dispatcher batch completion, the
+  /// snapshot rendezvous + eviction drain barrier, and the finish() thread
+  /// exits). On expiry the engine records a watchdog fault with a pipeline
+  /// diagnostic dump (ring occupancy, eviction counters, thread states) and
+  /// the blocked call throws EngineFaultError instead of waiting forever.
+  /// Zero disables the watchdog (waits become unbounded but stay stop-aware).
+  std::chrono::milliseconds drain_timeout{10'000};
 };
 
 /// Drop-in multi-core implementation of the Engine interface (see the file
@@ -213,6 +233,11 @@ class ShardedEngine final : public Engine {
     /// up with everything this worker produced.
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> evictions_pushed{0};
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> evictions_absorbed{0};
+    std::size_t index = 0;  ///< shard id, for fault attribution
+    /// Set by the worker thread on its way out (normal exit, fault unwind,
+    /// or stop-flag abandon). The watchdog-guarded joins wait on this so a
+    /// wedged thread can be reported instead of hanging finish().
+    std::atomic<bool> exited{false};
     std::thread thread;
   };
 
@@ -236,6 +261,7 @@ class ShardedEngine final : public Engine {
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> posted{0};
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> completed{0};
     std::atomic<bool> exit{false};
+    std::atomic<bool> exited{false};  ///< thread body finished (see Shard)
     std::thread thread;  ///< helpers only; dispatcher 0 is the caller
   };
 
@@ -250,6 +276,15 @@ class ShardedEngine final : public Engine {
     bool stopped = false;
   };
 
+  /// Caller-side spin bookkeeping: bounded backoff plus the lazily armed
+  /// drain-watchdog deadline (armed on the first blocked poll, so unblocked
+  /// paths never read the clock).
+  struct SpinState {
+    std::uint32_t idle_polls = 0;
+    std::chrono::steady_clock::time_point deadline{};
+    bool armed = false;
+  };
+
   void worker_loop(Shard& shard);
   /// D = 1 fast path: one ring, already in global sequence order — pop
   /// straight into the fold chunk with no lane buffering or merge.
@@ -261,6 +296,37 @@ class ShardedEngine final : public Engine {
   void worker_process(Shard& shard, std::size_t i, ShardMsg& msg);
   void merge_loop();
   void co_dispatcher_loop(std::size_t d);
+  /// Thread entry wrappers: run the loop, convert any escaping exception
+  /// into the shared fault slot (first exception wins) + engine-wide stop,
+  /// and flag exit — an engine thread can never reach std::terminate or die
+  /// silently while its peers spin on it.
+  void worker_main(Shard& shard);
+  void merge_main();
+  void co_dispatcher_main(std::size_t d);
+  void on_thread_fault(ThreadRole role, std::size_t shard,
+                       std::string cause) noexcept;
+  /// Raise the stop flag: every ring push/pop loop, lane merge, idle poll
+  /// and caller-side wait observes it and unwinds instead of spinning on a
+  /// dead peer. Set on first fault (and never cleared — the engine is
+  /// poisoned). Idempotent.
+  void begin_stop() noexcept;
+  /// Poisoned-state gate at every mutating entry point.
+  void throw_if_faulted();
+  /// One backoff step of a caller-side drain spin. When `what` is non-null
+  /// the spin is watchdog-guarded: past the drain deadline it records a
+  /// kWatchdog fault carrying pipeline_diagnostic() and raises stop (it does
+  /// NOT throw — callers that must keep waiting for span safety check the
+  /// fault themselves).
+  void spin_backoff(SpinState& spin, const char* what);
+  /// The watchdog's dump: per-ring occupancy, per-shard eviction
+  /// pushed/absorbed counters, and thread exit states.
+  [[nodiscard]] std::string pipeline_diagnostic(const char* what) const;
+  /// Watchdog-guarded wait for a thread's exit flag (finish() path). Returns
+  /// true when the thread exited (safe to join instantly); false when the
+  /// deadline plus one grace period expired with the thread still wedged —
+  /// the join is then deferred to the destructor.
+  bool wait_exited(const std::atomic<bool>& exited, bool watchdog,
+                   const char* what);
   /// Dispatch one contiguous slice as dispatcher d: route records, emit
   /// in-slice flushes, publish staging, and (for D > 1) end with a
   /// watermark carrying `watermark_seq`.
@@ -273,11 +339,20 @@ class ShardedEngine final : public Engine {
   static void push_evictions(Shard& sh);
   void stage(std::size_t d, std::size_t shard, ShardMsg&& msg);
   void publish(std::size_t d, std::size_t shard);
-  /// Push one message to a ring, yielding while it is full.
-  static void push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg);
+  /// Push one message to a ring, backing off while it is full. Stop-aware
+  /// (the message is dropped once the engine is poisoned); `what` non-null
+  /// adds the caller-side watchdog guard.
+  void push_message(SpscRing<ShardMsg>& ring, ShardMsg&& msg,
+                    const char* what);
+  /// The batch-dispatch body of process_batch (which wraps it in the
+  /// poisoned-state machinery).
+  void process_batch_impl(std::span<const PacketRecord> records);
+  [[nodiscard]] EngineSnapshot snapshot_impl(std::size_t query, Nanos now);
   /// Send final kFlush (optionally) + kStop through every ring (helpers
-  /// push their own on exit) and join all threads.
-  void stop_pipeline(bool flush, Nanos now);
+  /// push their own on exit) and join all threads. `watchdog` guards the
+  /// joins with the drain deadline (finish() path); the destructor passes
+  /// false and joins unboundedly.
+  void stop_pipeline(bool flush, Nanos now, bool watchdog);
   /// The cache-placement hash from a key's raw (seed-0) hash; identical to
   /// kv::placement_hash(key, hash_seed) without needing the key.
   [[nodiscard]] std::uint64_t placement_of_raw(std::uint64_t raw) const;
@@ -296,6 +371,13 @@ class ShardedEngine final : public Engine {
   std::vector<FlushEvent> flush_events_;  ///< per-batch scratch (caller only)
   std::thread merge_thread_;
   std::atomic<bool> merge_stop_{false};
+  std::atomic<bool> merge_exited_{false};
+  /// Failure-domain state: the first exception from any engine thread (or a
+  /// watchdog expiry) wins fault_, raises stop_, and poisons the engine —
+  /// see engine_fault.hpp and the "Failure semantics" notes in
+  /// engine_api.hpp.
+  FaultSlot fault_;
+  std::atomic<bool> stop_{false};
   std::map<int, ResultTable> tables_;
   std::uint64_t records_ = 0;
   std::uint64_t refreshes_ = 0;

@@ -1,0 +1,45 @@
+// Per-run ingest accounting for resilient feeds.
+//
+// Live capture and on-disk traces both deliver damaged input as a matter of
+// course — snap-length truncation, foreign EtherTypes, files cut off by a
+// crashed writer. The ingest layer (wire::try_parse, TraceReader,
+// replay_frames) skips such input instead of aborting the run, and counts
+// what it skipped here so the caller can tell "clean trace" from "mostly
+// garbage" — a run that silently dropped half its frames is not a result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace perfq::trace {
+
+struct IngestStats {
+  std::uint64_t parsed = 0;       ///< records/frames delivered to the engine
+  std::uint64_t truncated = 0;    ///< fewer bytes than the headers require
+  std::uint64_t unsupported = 0;  ///< non-IPv4 / non-TCP/UDP frames
+  std::uint64_t bad_length = 0;   ///< self-inconsistent headers
+
+  /// Frames skipped for any reason.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return truncated + unsupported + bad_length;
+  }
+  /// Frames seen (delivered + skipped).
+  [[nodiscard]] std::uint64_t total() const { return parsed + dropped(); }
+
+  [[nodiscard]] std::string to_string() const {
+    return "ingest: parsed=" + std::to_string(parsed) +
+           " truncated=" + std::to_string(truncated) +
+           " unsupported=" + std::to_string(unsupported) +
+           " bad_length=" + std::to_string(bad_length);
+  }
+
+  IngestStats& operator+=(const IngestStats& other) {
+    parsed += other.parsed;
+    truncated += other.truncated;
+    unsupported += other.unsupported;
+    bad_length += other.bad_length;
+    return *this;
+  }
+};
+
+}  // namespace perfq::trace

@@ -126,11 +126,19 @@ TraceReader::TraceReader(const std::filesystem::path& path)
 }
 
 std::optional<PacketRecord> TraceReader::next() {
-  if (read_ >= total_) return std::nullopt;
+  if (exhausted_ || read_ >= total_) return std::nullopt;
   DiskRecord d{};
   in_.read(reinterpret_cast<char*>(&d), sizeof(d));
-  if (!in_) throw ConfigError{"TraceReader: truncated trace file"};
+  if (!in_) {
+    // The file ran out before the header's count: a crashed writer or a
+    // partial copy. Skip-and-count — end the stream and record how many
+    // records the header promised but the bytes couldn't deliver.
+    stats_.truncated += total_ - read_;
+    exhausted_ = true;
+    return std::nullopt;
+  }
   ++read_;
+  ++stats_.parsed;
   return from_disk(d);
 }
 

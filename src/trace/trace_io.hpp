@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "packet/record.hpp"
+#include "trace/ingest_stats.hpp"
 
 namespace perfq::trace {
 
@@ -38,18 +39,31 @@ class TraceWriter {
   bool closed_ = false;
 };
 
+/// Streaming reader. A file whose header is damaged (wrong magic/version)
+/// is rejected at construction — there is nothing meaningful to salvage.
+/// A file cut short of its header's record count (a crashed writer, a
+/// partial copy) is a data condition: next() ends the stream early instead
+/// of throwing, and stats() reports how many records the header promised
+/// but the bytes couldn't deliver.
 class TraceReader {
  public:
   explicit TraceReader(const std::filesystem::path& path);
 
   [[nodiscard]] std::optional<PacketRecord> next();
+  /// Record count the header promises (the file may deliver fewer).
   [[nodiscard]] std::uint64_t record_count() const { return total_; }
   [[nodiscard]] std::uint64_t records_read() const { return read_; }
+  /// Ingest accounting: parsed == records_read(); truncated == records the
+  /// header promised but the file couldn't deliver. Complete only after
+  /// next() has returned nullopt.
+  [[nodiscard]] const IngestStats& stats() const { return stats_; }
 
  private:
   std::ifstream in_;
   std::uint64_t total_ = 0;
   std::uint64_t read_ = 0;
+  IngestStats stats_;
+  bool exhausted_ = false;
 };
 
 /// Round-trip helpers.

@@ -1,0 +1,80 @@
+// Wire-frame replay: feed raw captured frames into any engine, resiliently.
+//
+// The PQTR format stores fully-decoded PacketRecords; this driver is the
+// other ingest path — byte frames straight off a capture (or a test vector),
+// decoded through wire::try_parse. Damaged frames (snap-length truncation,
+// foreign EtherTypes, self-inconsistent headers) are SKIPPED AND COUNTED,
+// never thrown on: one bad frame in a billion-packet capture must not abort
+// the run, but the caller gets an exact IngestStats accounting of what was
+// dropped. Statically polymorphic over the engine like replay.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "packet/record.hpp"
+#include "packet/wire.hpp"
+#include "trace/ingest_stats.hpp"
+
+namespace perfq::trace {
+
+/// One captured frame: the wire bytes (possibly truncated by the capture's
+/// snap length) plus the telemetry the INT/queue layer observed for it —
+/// the fields a raw frame does not encode.
+struct FrameObservation {
+  std::span<const std::byte> bytes;
+  std::uint32_t qid = 0;
+  Nanos tin{0};
+  Nanos tout{0};
+  std::uint32_t qsize = 0;
+};
+
+/// Decode `frames` through wire::try_parse and feed the survivors into
+/// `engine` in `batch`-sized time-ordered batches (frames must arrive
+/// time-ordered; skipping preserves order). Returns the ingest accounting;
+/// stats.parsed is exactly the number of records the engine received.
+template <typename Engine>
+IngestStats replay_frames(Engine& engine,
+                          std::span<const FrameObservation> frames,
+                          std::size_t batch = 1024) {
+  if (batch == 0) batch = 1;
+  IngestStats stats;
+  std::vector<PacketRecord> pending;
+  pending.reserve(std::min(batch, frames.size()));
+  for (const FrameObservation& frame : frames) {
+    wire::ParseError err{};
+    const auto parsed = wire::try_parse(frame.bytes, &err);
+    if (!parsed) {
+      switch (err) {
+        case wire::ParseError::kTruncated: ++stats.truncated; break;
+        case wire::ParseError::kUnsupportedEtherType:
+        case wire::ParseError::kNotIpv4:
+        case wire::ParseError::kUnsupportedProtocol:
+          ++stats.unsupported;
+          break;
+        case wire::ParseError::kBadLength: ++stats.bad_length; break;
+      }
+      continue;
+    }
+    PacketRecord rec;
+    rec.pkt = parsed->pkt;
+    rec.qid = frame.qid;
+    rec.tin = frame.tin;
+    rec.tout = frame.tout;
+    rec.qsize = frame.qsize;
+    pending.push_back(rec);
+    ++stats.parsed;
+    if (pending.size() >= batch) {
+      engine.process_batch(std::span<const PacketRecord>(pending));
+      pending.clear();
+    }
+  }
+  if (!pending.empty()) {
+    engine.process_batch(std::span<const PacketRecord>(pending));
+  }
+  return stats;
+}
+
+}  // namespace perfq::trace

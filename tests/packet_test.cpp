@@ -139,5 +139,87 @@ TEST(Wire, MalformedInputRejected) {
   EXPECT_THROW((void)wire::parse(wire::serialize(pkt)), ConfigError);
 }
 
+TEST(Wire, TryParseReportsEveryErrorWithoutThrowing) {
+  wire::ParseError err{};
+
+  // Too short for Eth+IPv4.
+  std::vector<std::byte> junk(10, std::byte{0});
+  EXPECT_FALSE(wire::try_parse(junk, &err).has_value());
+  EXPECT_EQ(err, wire::ParseError::kTruncated);
+
+  Packet pkt;
+  pkt.flow = FiveTuple{1, 2, 3, 4, 6};
+  pkt.pkt_len = 54;
+  auto frame = wire::serialize(pkt);
+
+  // Foreign EtherType.
+  auto bad_ethertype = frame;
+  bad_ethertype[12] = std::byte{0x86};
+  bad_ethertype[13] = std::byte{0xDD};  // IPv6
+  EXPECT_FALSE(wire::try_parse(bad_ethertype, &err).has_value());
+  EXPECT_EQ(err, wire::ParseError::kUnsupportedEtherType);
+
+  // EtherType says IPv4 but the version nibble disagrees.
+  auto bad_version = frame;
+  bad_version[14] = std::byte{0x65};
+  EXPECT_FALSE(wire::try_parse(bad_version, &err).has_value());
+  EXPECT_EQ(err, wire::ParseError::kNotIpv4);
+
+  // Unknown L4 protocol.
+  Packet odd;
+  odd.flow.proto = 99;
+  odd.pkt_len = 60;
+  EXPECT_FALSE(wire::try_parse(wire::serialize(odd), &err).has_value());
+  EXPECT_EQ(err, wire::ParseError::kUnsupportedProtocol);
+
+  // IPv4 total length smaller than its own headers.
+  auto bad_length = frame;
+  bad_length[14 + 2] = std::byte{0};
+  bad_length[14 + 3] = std::byte{4};
+  EXPECT_FALSE(wire::try_parse(bad_length, &err).has_value());
+  EXPECT_EQ(err, wire::ParseError::kBadLength);
+
+  // The error pointer is optional.
+  EXPECT_FALSE(wire::try_parse(junk).has_value());
+  // And the throwing wrapper agrees with the code.
+  EXPECT_THROW((void)wire::parse(bad_length), ConfigError);
+}
+
+TEST(Wire, TruncatedAtEveryByteOffset) {
+  // The truncation contract, exhaustively: every prefix shorter than the
+  // header bytes is kTruncated; every prefix covering them parses exactly
+  // like the full frame (payload bytes are never read).
+  for (const std::uint8_t proto : {std::uint8_t{6}, std::uint8_t{17}}) {
+    Packet pkt;
+    pkt.flow = FiveTuple{0xC0A80101, 0x0A000001, 50000, 80, proto};
+    pkt.payload_len = 64;
+    pkt.tcp_seq = 0x12345678;
+    pkt.ip_ttl = 61;
+    const auto frame = wire::serialize(pkt);
+    const auto full = wire::try_parse(frame);
+    ASSERT_TRUE(full.has_value());
+    const std::size_t header_bytes = full->header_bytes;
+    ASSERT_LT(header_bytes, frame.size());
+
+    for (std::size_t len = 0; len <= frame.size(); ++len) {
+      const std::span<const std::byte> prefix(frame.data(), len);
+      wire::ParseError err{};
+      const auto parsed = wire::try_parse(prefix, &err);
+      if (len < header_bytes) {
+        EXPECT_FALSE(parsed.has_value())
+            << "proto " << int(proto) << " len " << len;
+        EXPECT_EQ(err, wire::ParseError::kTruncated)
+            << "proto " << int(proto) << " len " << len;
+      } else {
+        ASSERT_TRUE(parsed.has_value())
+            << "proto " << int(proto) << " len " << len;
+        EXPECT_EQ(parsed->pkt.flow, full->pkt.flow);
+        EXPECT_EQ(parsed->pkt.payload_len, full->pkt.payload_len);
+        EXPECT_EQ(parsed->header_bytes, header_bytes);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace perfq

@@ -10,9 +10,11 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "packet/wire.hpp"
 #include "trace/flow_session.hpp"
 #include "trace/replay.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/wire_replay.hpp"
 
 namespace perfq::trace {
 namespace {
@@ -176,6 +178,57 @@ TEST(TraceIo, RejectsGarbageFiles) {
   EXPECT_THROW(TraceReader{path}, ConfigError);  // missing file
 }
 
+TEST(TraceIo, TruncatedFileEndsStreamAndCountsTheLoss) {
+  // A file cut short of its header's record count (crashed writer, partial
+  // copy) must not abort the run: the reader delivers what the bytes hold,
+  // ends the stream, and accounts for the promised-but-missing records.
+  const auto records = generate_all(small_config(), 100);
+  const auto path =
+      std::filesystem::temp_directory_path() / "perfq_truncated.pqtr";
+  write_trace(path, records);
+  const auto full_size = std::filesystem::file_size(path);
+  // Cut mid-record: 40 whole records plus half of the 41st.
+  const std::uintmax_t header = full_size - 100 * 64;
+  std::filesystem::resize_file(path, header + 40 * 64 + 32);
+
+  TraceReader reader(path);
+  EXPECT_EQ(reader.record_count(), 100u);  // what the header promises
+  std::uint64_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, 40u);
+  EXPECT_EQ(reader.records_read(), 40u);
+  EXPECT_EQ(reader.stats().parsed, 40u);
+  EXPECT_EQ(reader.stats().truncated, 60u);
+  EXPECT_EQ(reader.stats().dropped(), 60u);
+  EXPECT_EQ(reader.stats().total(), 100u);
+  // The stream stays ended — no resurrection on further next() calls.
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.stats().truncated, 60u);
+
+  // The delivered prefix is intact.
+  TraceReader again(path);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const auto rec = again.next();
+    ASSERT_TRUE(rec.has_value()) << i;
+    EXPECT_EQ(rec->pkt.flow, records[i].pkt.flow) << i;
+    EXPECT_EQ(rec->tin, records[i].tin) << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, CleanFileReportsZeroDropped) {
+  const auto records = generate_all(small_config(), 50);
+  const auto path =
+      std::filesystem::temp_directory_path() / "perfq_clean.pqtr";
+  write_trace(path, records);
+  TraceReader reader(path);
+  while (reader.next()) {
+  }
+  EXPECT_EQ(reader.stats().parsed, 50u);
+  EXPECT_EQ(reader.stats().dropped(), 0u);
+  std::filesystem::remove(path);
+}
+
 /// Captures everything replay_into delivers (duck-typed engine surface).
 struct RecordingEngine {
   std::vector<PacketRecord> seen;
@@ -219,6 +272,87 @@ TEST(Replay, RepeatedReplayStaysTimeOrdered) {
       EXPECT_EQ(b.tout, a.tout + offset);
     }
   }
+}
+
+TEST(WireReplay, SkipsAndCountsDamagedFrames) {
+  // A capture feed with damage sprinkled in: good frames reach the engine
+  // in order, every damaged frame is counted under its reason, and nothing
+  // throws — one bad frame must not abort a run.
+  TraceConfig c = small_config();
+  c.num_flows = 40;
+  const auto records = generate_all(c, 200);
+  ASSERT_GE(records.size(), 100u);
+
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<FrameObservation> frames;
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    auto bytes = wire::serialize(records[i].pkt);
+    bool damaged = false;
+    if (i % 10 == 3) {
+      bytes.resize(20);  // snap-length truncation
+      damaged = true;
+    } else if (i % 10 == 6) {
+      bytes[12] = std::byte{0x86};  // IPv6 EtherType
+      bytes[13] = std::byte{0xDD};
+      damaged = true;
+    } else if (i % 10 == 9) {
+      bytes[14 + 2] = std::byte{0};  // IPv4 total length < headers
+      bytes[14 + 3] = std::byte{1};
+      damaged = true;
+    }
+    storage.push_back(std::move(bytes));
+    FrameObservation frame;
+    frame.bytes = storage.back();
+    frame.qid = records[i].qid;
+    frame.tin = records[i].tin;
+    frame.tout = records[i].tout;
+    frame.qsize = records[i].qsize;
+    frames.push_back(frame);
+    if (!damaged) ++good;
+  }
+
+  RecordingEngine engine;
+  const IngestStats stats = replay_frames(engine, frames, /*batch=*/7);
+  EXPECT_EQ(stats.parsed, good);
+  EXPECT_EQ(stats.truncated, 10u);
+  EXPECT_EQ(stats.unsupported, 10u);
+  EXPECT_EQ(stats.bad_length, 10u);
+  EXPECT_EQ(stats.dropped(), 30u);
+  EXPECT_EQ(stats.total(), 100u);
+  ASSERT_EQ(engine.seen.size(), good);
+
+  // Survivors arrive in order with the frame's telemetry attached.
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (i % 10 == 3 || i % 10 == 6 || i % 10 == 9) continue;
+    const PacketRecord& delivered = engine.seen[cursor++];
+    EXPECT_EQ(delivered.pkt.flow, records[i].pkt.flow) << i;
+    EXPECT_EQ(delivered.tin, records[i].tin) << i;
+    EXPECT_EQ(delivered.qsize, records[i].qsize) << i;
+  }
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(WireReplay, AllCleanFeedDropsNothing) {
+  TraceConfig c = small_config();
+  c.num_flows = 10;
+  const auto records = generate_all(c, 40);
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<FrameObservation> frames;
+  for (const PacketRecord& rec : records) {
+    storage.push_back(wire::serialize(rec.pkt));
+    FrameObservation frame;
+    frame.bytes = storage.back();
+    frame.tin = rec.tin;
+    frame.tout = rec.tout;
+    frames.push_back(frame);
+  }
+  RecordingEngine engine;
+  const IngestStats stats = replay_frames(engine, frames);
+  EXPECT_EQ(stats.parsed, records.size());
+  EXPECT_EQ(stats.dropped(), 0u);
+  EXPECT_EQ(engine.seen.size(), records.size());
 }
 
 }  // namespace
