@@ -11,6 +11,7 @@
 // the hot path is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -163,6 +164,39 @@ BENCHMARK(BM_CompiledEwmaUpdateInterpreted);
 // Engine surface (the batch-level call amortizes the dispatch to nothing;
 // this bench is the guard that keeps it that way).
 
+void report_engine_metrics(benchmark::State& state,
+                           const runtime::Engine& engine) {
+  // The engine's own telemetry, attached as bench counters: the same run
+  // yields both the throughput number and the why behind it (hit rate,
+  // eviction pressure, tail latency) without a second instrumented build.
+  const runtime::EngineMetrics m = engine.metrics();
+  double packets = 0, hits = 0, evictions = 0;
+  for (const auto& q : m.queries) {
+    packets += static_cast<double>(static_cast<std::uint64_t>(q.cache.packets));
+    hits += static_cast<double>(static_cast<std::uint64_t>(q.cache.hits));
+    evictions +=
+        static_cast<double>(static_cast<std::uint64_t>(q.cache.evictions));
+  }
+  state.counters["cache_hit_rate"] =
+      benchmark::Counter(packets > 0 ? hits / packets : 0.0);
+  state.counters["evictions"] = benchmark::Counter(evictions);
+  if (m.batch_ns.count > 0) {
+    state.counters["batch_p99_ns"] =
+        benchmark::Counter(m.batch_ns.quantile_ns(0.99));
+  }
+  if (m.engine == "sharded") {
+    double stalls = 0;
+    for (const auto& ring : m.rings) {
+      stalls += static_cast<double>(ring.push_stalls);
+    }
+    state.counters["ring_push_stalls"] = benchmark::Counter(stalls);
+    if (m.absorb_ns.count > 0) {
+      state.counters["absorb_p99_ns"] =
+          benchmark::Counter(m.absorb_ns.quantile_ns(0.99));
+    }
+  }
+}
+
 compiler::CompiledProgram engine_bench_program() {
   // Compiled fresh per engine (CompiledProgram owns its ASTs and is
   // move-only); compile cost is outside the measured loop either way.
@@ -201,6 +235,7 @@ void BM_EngineProcessBatch(benchmark::State& state) {
     processed += static_cast<std::int64_t>(records.size());
   }
   state.SetItemsProcessed(processed);
+  report_engine_metrics(state, *engine);
 }
 BENCHMARK(BM_EngineProcessBatch);
 
@@ -244,6 +279,7 @@ void BM_ShardedEngine(benchmark::State& state) {
   state.SetItemsProcessed(processed);
   state.counters["shards"] =
       benchmark::Counter(static_cast<double>(state.range(0)));
+  report_engine_metrics(state, *engine);
 }
 // Wall-clock rate: the pipeline spans several threads, so CPU-time-based
 // items/s would overstate throughput on loaded machines.

@@ -8,13 +8,22 @@
 //   ./build/examples/query_repl query.pq             # query from file
 //   ./build/examples/query_repl query.pq trace.pqtr  # ... over a saved trace
 //   echo 'SELECT COUNT GROUPBY srcip' | ./build/examples/query_repl -
+//   ./build/examples/query_repl -i [query.pq]        # interactive console
+//
+// Interactive mode keeps the engine live between commands: .run feeds
+// synthetic traffic, .snapshot pulls a mid-run result, and .stats/.json/.prom
+// read the engine's own telemetry (Engine::metrics()) — the operator-console
+// view of "the monitor monitoring itself".
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics_export.hpp"
 #include "runtime/engine_builder.hpp"
 #include "switchsim/match_compiler.hpp"
 #include "trace/flow_session.hpp"
@@ -31,15 +40,15 @@ def ewma (lat_est, (tin, tout)):
 SELECT 5tuple, COUNT, ewma GROUPBY 5tuple WHERE proto == TCP
 )";
 
-std::string read_source(int argc, char** argv) {
-  if (argc < 2) return kDemoQuery;
-  if (std::string{argv[1]} == "-") {
+std::string read_source(const char* arg) {
+  if (arg == nullptr) return kDemoQuery;
+  if (std::string{arg} == "-") {
     std::ostringstream ss;
     ss << std::cin.rdbuf();
     return ss.str();
   }
-  std::ifstream in(argv[1]);
-  if (!in) throw ConfigError{std::string{"cannot open query file "} + argv[1]};
+  std::ifstream in(arg);
+  if (!in) throw ConfigError{std::string{"cannot open query file "} + arg};
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -77,11 +86,109 @@ void print_compilation_report(const compiler::CompiledProgram& program) {
   std::printf("-------------------------------------------------------------\n");
 }
 
+void print_repl_help() {
+  std::printf(
+      ".run [n]          feed n synthetic records (default 10000)\n"
+      ".snapshot <name>  mid-run result pull of one on-switch GROUPBY\n"
+      ".stats            engine telemetry summary (Engine::metrics())\n"
+      ".json             telemetry as JSON\n"
+      ".prom             telemetry as Prometheus text\n"
+      ".finish           end the window and print the result table\n"
+      ".quit             exit\n");
+}
+
+int run_interactive(std::unique_ptr<runtime::Engine> engine) {
+  // A long synthetic workload the operator draws from with .run.
+  trace::TraceConfig workload = trace::TraceConfig::caida_like().scaled(0.002);
+  workload.duration = 3600_s;
+  trace::FlowSessionGenerator gen(workload);
+  Nanos end{0};
+  bool finished = false;
+  std::printf("interactive console; .help lists commands\n");
+  std::string line;
+  while (std::printf("perfq> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty()) continue;
+    try {
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        print_repl_help();
+      } else if (cmd == ".run") {
+        if (finished) {
+          std::printf("window already finished\n");
+          continue;
+        }
+        std::size_t n = 10'000;
+        ss >> n;
+        std::vector<PacketRecord> batch;
+        std::size_t fed = 0;
+        while (fed < n) {
+          const auto rec = gen.next();
+          if (!rec) break;
+          end = std::max(end, rec->tin);
+          batch.push_back(*rec);
+          if (batch.size() == 512) {
+            engine->process_batch(batch);
+            fed += batch.size();
+            batch.clear();
+          }
+        }
+        if (!batch.empty()) {
+          engine->process_batch(batch);
+          fed += batch.size();
+        }
+        std::printf("fed %zu records (total %llu)\n", fed,
+                    static_cast<unsigned long long>(
+                        engine->records_processed()));
+      } else if (cmd == ".snapshot") {
+        std::string name;
+        ss >> name;
+        const runtime::EngineSnapshot snap = engine->snapshot(name, end);
+        std::printf("%s", snap.table
+                              .to_text("snapshot '" + name + "' @ record " +
+                                           std::to_string(snap.records),
+                                       10)
+                              .c_str());
+      } else if (cmd == ".stats") {
+        std::printf("%s", obs::format_metrics(engine->metrics()).c_str());
+      } else if (cmd == ".json") {
+        std::printf("%s\n", obs::metrics_to_json(engine->metrics()).c_str());
+      } else if (cmd == ".prom") {
+        std::printf("%s", obs::metrics_to_prometheus(engine->metrics()).c_str());
+      } else if (cmd == ".finish") {
+        if (finished) {
+          std::printf("window already finished\n");
+          continue;
+        }
+        engine->finish(end);
+        finished = true;
+        std::printf("%s", engine->result().to_text("result", 20).c_str());
+      } else {
+        std::printf("unknown command '%s'; .help lists commands\n",
+                    cmd.c_str());
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const std::string source = read_source(argc, argv);
+    bool interactive = false;
+    int argi = 1;
+    if (argc > 1 && (std::string{argv[1]} == "-i" ||
+                     std::string{argv[1]} == "--interactive")) {
+      interactive = true;
+      argi = 2;
+    }
+    const std::string source = read_source(argc > argi ? argv[argi] : nullptr);
     std::printf("query:\n%s\n", source.c_str());
 
     // Common thresholds available as constants; extend as needed.
@@ -97,12 +204,15 @@ int main(int argc, char** argv) {
             .geometry(kv::CacheGeometry::set_associative(1u << 13, 8))
             .build();
 
+    if (interactive) return run_interactive(std::move(engine));
+
     Nanos end;
-    if (argc >= 3) {
-      trace::TraceReader reader(argv[2]);
+    if (argc >= argi + 2) {
+      const char* trace_path = argv[argi + 1];
+      trace::TraceReader reader(trace_path);
       std::printf("replaying %llu records from %s\n",
                   static_cast<unsigned long long>(reader.record_count()),
-                  argv[2]);
+                  trace_path);
       end = Nanos{0};
       while (auto rec = reader.next()) {
         engine->process(*rec);

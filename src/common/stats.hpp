@@ -48,16 +48,22 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets)
       : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
 
-  void add(double x) {
-    ++total_;
+  void add(double x) { add_count(x, 1); }
+
+  /// Add `n` observations at `x` in one step — the bulk-load path for
+  /// rebuilding a histogram from pre-bucketed counts (obs::HistogramSnapshot
+  /// reuses quantile() through this).
+  void add_count(double x, std::uint64_t n) {
+    if (n == 0) return;
+    total_ += n;
     if (x < lo_) {
-      ++counts_.front();
+      counts_.front() += n;
     } else if (x >= hi_) {
-      ++counts_.back();
+      counts_.back() += n;
     } else {
       const auto b = static_cast<std::size_t>(
           (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size() - 2));
-      ++counts_[b + 1];
+      counts_[b + 1] += n;
     }
   }
 

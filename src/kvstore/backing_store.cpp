@@ -23,9 +23,11 @@ void BackingStore::absorb(const EvictedValue& ev) {
 
   auto [it, inserted] = entries_.try_emplace(ev.key);
   Entry& entry = it->second;
+  if (inserted) ++key_count_;
 
   if (!linear_ && associative_) {
     // Extension: exact non-linear merge for semilattice-style folds.
+    if (inserted) ++valid_keys_;  // merged exactly: always one whole-window value
     entry.packets += ev.packets;
     if (inserted) {
       entry.value = ev.state;
@@ -37,13 +39,20 @@ void BackingStore::absorb(const EvictedValue& ev) {
 
   if (!linear_) {
     // §3.2 "Operations that are not linear in state": keep one value per
-    // epoch; >1 segment ⇒ invalid over the full window.
+    // epoch; >1 segment ⇒ invalid over the full window. The valid_keys_
+    // mirror tracks the 1 → 2 segment flip so accuracy() stays O(1).
     entry.segments.push_back(
         ValueSegment{ev.first_tin, ev.evict_time, ev.state, ev.packets});
+    if (entry.segments.size() == 1) {
+      ++valid_keys_;
+    } else if (entry.segments.size() == 2) {
+      valid_keys_.sub(1);
+    }
     entry.value = ev.state;
     entry.packets += ev.packets;
     return;
   }
+  if (inserted) ++valid_keys_;  // linear merge is exact: every key valid
 
   entry.packets += ev.packets;
   if (inserted) {
@@ -90,19 +99,6 @@ bool BackingStore::valid(const Key& key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   return linear_ || it->second.segments.size() <= 1;
-}
-
-AccuracyStats BackingStore::accuracy() const {
-  AccuracyStats stats;
-  stats.total_keys = entries_.size();
-  if (linear_) {
-    stats.valid_keys = stats.total_keys;
-    return stats;
-  }
-  for (const auto& [key, e] : entries_) {
-    if (e.segments.size() <= 1) ++stats.valid_keys;
-  }
-  return stats;
 }
 
 }  // namespace perfq::kv

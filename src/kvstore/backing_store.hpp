@@ -66,9 +66,13 @@ class BackingStore {
   /// A key is valid when a single value covers the whole query window.
   [[nodiscard]] bool valid(const Key& key) const;
 
-  [[nodiscard]] AccuracyStats accuracy() const;
+  /// O(1): served from counters absorb() maintains, not an entry scan, so a
+  /// telemetry reader can poll it mid-run without touching the map.
+  [[nodiscard]] AccuracyStats accuracy() const {
+    return AccuracyStats{key_count_, valid_keys_};
+  }
 
-  [[nodiscard]] std::size_t key_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t key_count() const { return key_count_; }
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
   [[nodiscard]] std::uint64_t capacity_writes() const { return capacity_writes_; }
 
@@ -97,8 +101,14 @@ class BackingStore {
   bool linear_;
   bool associative_ = false;
   std::unordered_map<Key, Entry> entries_;
-  std::uint64_t writes_ = 0;
-  std::uint64_t capacity_writes_ = 0;
+  /// Telemetry slots (single writer: whoever calls absorb() — the engines
+  /// serialize absorbs per store). key_count_/valid_keys_ mirror the map so
+  /// accuracy()/key_count() never scan or touch entries_, which makes them
+  /// safe to read from a metrics thread while absorbs continue.
+  obs::RelaxedU64 writes_;
+  obs::RelaxedU64 capacity_writes_;
+  obs::RelaxedU64 key_count_;
+  obs::RelaxedU64 valid_keys_;
 };
 
 }  // namespace perfq::kv

@@ -41,6 +41,7 @@
 
 #include "common/hugepage.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 #include "kvstore/fold.hpp"
 #include "kvstore/geometry.hpp"
 #include "kvstore/key.hpp"
@@ -71,17 +72,23 @@ struct EvictedValue {
 };
 
 /// Counters reported by the evaluation harnesses (Fig. 5 derives its
-/// eviction-rate series from these).
+/// eviction-rate series from these) and by the live Engine::metrics()
+/// surface. Slots are single-writer relaxed counters (obs::RelaxedU64):
+/// the owning cache's thread increments them at plain-uint64 cost, and any
+/// thread may read a torn-free value mid-run — per-packet misses and hits
+/// are visible while folding continues, the paper's monitoring pull turned
+/// on the engine itself.
 struct CacheStats {
-  std::uint64_t packets = 0;      ///< records processed
-  std::uint64_t hits = 0;         ///< update operations
-  std::uint64_t initializations = 0;  ///< new-key installs (misses)
-  std::uint64_t evictions = 0;    ///< capacity evictions (backing-store writes)
-  std::uint64_t flushes = 0;      ///< entries written back by flush()
+  obs::RelaxedU64 packets;      ///< records processed
+  obs::RelaxedU64 hits;         ///< update operations
+  obs::RelaxedU64 initializations;  ///< new-key installs (misses)
+  obs::RelaxedU64 evictions;    ///< capacity evictions (backing-store writes)
+  obs::RelaxedU64 flushes;      ///< entries written back by flush()
 
   [[nodiscard]] double eviction_fraction() const {
-    return packets == 0 ? 0.0
-                        : static_cast<double>(evictions) / static_cast<double>(packets);
+    const std::uint64_t p = packets;
+    return p == 0 ? 0.0
+                  : static_cast<double>(evictions.load()) / static_cast<double>(p);
   }
 };
 

@@ -1,0 +1,34 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace perfq::obs {
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load();
+    out.count += out.buckets[b];
+  }
+  out.sum_ns = sum_ns_.load();
+  return out;
+}
+
+double HistogramSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0.0;
+  // Rebuild the counts into the shared fixed-bucket histogram in log2 space
+  // (bucket b's durations have bit_width b, i.e. log2(ns) in [b-1, b)), so
+  // its bucket-interpolated quantile() is reused rather than re-derived.
+  Histogram h(0.0, static_cast<double>(buckets.size()),
+              buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    h.add_count(static_cast<double>(b) + 0.5, buckets[b]);
+  }
+  const double log2_ns = h.quantile(q);
+  // Bucket 0 is exactly 0 ns (no sub-nanosecond durations exist).
+  return log2_ns <= 1.0 ? 0.0 : std::exp2(log2_ns - 1.0);
+}
+
+}  // namespace perfq::obs

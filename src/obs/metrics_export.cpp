@@ -1,0 +1,242 @@
+#include "obs/metrics_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace perfq::obs {
+
+namespace {
+
+/// Integers render without a fraction; everything else with %.6g.
+std::string num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void visit_histogram(std::string_view prefix, const HistogramSnapshot& h,
+                     const MetricFn& fn) {
+  const MetricLabels none;
+  const std::string p{prefix};
+  fn(p + "_count", none, static_cast<double>(h.count));
+  fn(p + "_sum_ns", none, static_cast<double>(h.sum_ns));
+  fn(p + "_p50_ns", none, h.quantile_ns(0.50));
+  fn(p + "_p99_ns", none, h.quantile_ns(0.99));
+}
+
+}  // namespace
+
+void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn) {
+  const MetricLabels none;
+  fn("engine_records", none, static_cast<double>(m.records));
+  fn("engine_batches", none, static_cast<double>(m.batches));
+  fn("engine_refreshes", none, static_cast<double>(m.refreshes));
+  fn("engine_snapshots", none, static_cast<double>(m.snapshots));
+  fn("engine_faulted", none, m.faulted ? 1.0 : 0.0);
+
+  for (const runtime::StoreStats& q : m.queries) {
+    const MetricLabels labels{{"query", q.name}};
+    fn("store_packets", labels, static_cast<double>(q.cache.packets));
+    fn("store_hits", labels, static_cast<double>(q.cache.hits));
+    fn("store_initializations", labels,
+       static_cast<double>(q.cache.initializations));
+    fn("store_evictions", labels, static_cast<double>(q.cache.evictions));
+    fn("store_flushes", labels, static_cast<double>(q.cache.flushes));
+    fn("store_backing_writes", labels, static_cast<double>(q.backing_writes));
+    fn("store_backing_capacity_writes", labels,
+       static_cast<double>(q.backing_capacity_writes));
+    fn("store_keys", labels, static_cast<double>(q.keys));
+    fn("store_valid_keys", labels,
+       static_cast<double>(q.accuracy.valid_keys));
+    fn("store_total_keys", labels,
+       static_cast<double>(q.accuracy.total_keys));
+    fn("store_accuracy", labels, q.accuracy.accuracy());
+  }
+
+  for (const runtime::StreamSinkMetrics& s : m.streams) {
+    const MetricLabels labels{{"query", s.query}};
+    fn("stream_rows_delivered", labels,
+       static_cast<double>(s.rows_delivered));
+    fn("stream_rows_dropped", labels, static_cast<double>(s.rows_dropped));
+    fn("stream_saturated", labels, s.saturated ? 1.0 : 0.0);
+  }
+
+  for (const runtime::ShardMetrics& s : m.shards) {
+    const MetricLabels labels{{"shard", std::to_string(s.shard)}};
+    fn("shard_evictions_pushed", labels,
+       static_cast<double>(s.evictions_pushed));
+    fn("shard_evictions_absorbed", labels,
+       static_cast<double>(s.evictions_absorbed));
+    fn("shard_worker_exited", labels, s.worker_exited ? 1.0 : 0.0);
+  }
+  for (const runtime::DispatcherMetrics& d : m.dispatchers) {
+    const MetricLabels labels{{"dispatcher", std::to_string(d.dispatcher)}};
+    fn("dispatcher_batches_posted", labels,
+       static_cast<double>(d.batches_posted));
+    fn("dispatcher_batches_completed", labels,
+       static_cast<double>(d.batches_completed));
+    fn("dispatcher_exited", labels, d.exited ? 1.0 : 0.0);
+  }
+  for (const runtime::RingMetrics& r : m.rings) {
+    const MetricLabels labels{{"dispatcher", std::to_string(r.dispatcher)},
+                              {"shard", std::to_string(r.shard)}};
+    fn("ring_occupancy", labels, static_cast<double>(r.occupancy));
+    fn("ring_occupancy_hwm", labels, static_cast<double>(r.occupancy_hwm));
+    fn("ring_capacity", labels, static_cast<double>(r.capacity));
+    fn("ring_push_stalls", labels, static_cast<double>(r.push_stalls));
+  }
+  if (m.engine == "sharded") {
+    fn("engine_merge_exited", none, m.merge_exited ? 1.0 : 0.0);
+  }
+
+  visit_histogram("batch_ns", m.batch_ns, fn);
+  visit_histogram("snapshot_ns", m.snapshot_ns, fn);
+  if (m.engine == "sharded") visit_histogram("absorb_ns", m.absorb_ns, fn);
+
+  fn("ingest_parsed", none, static_cast<double>(m.ingest.parsed));
+  fn("ingest_truncated", none, static_cast<double>(m.ingest.truncated));
+  fn("ingest_unsupported", none, static_cast<double>(m.ingest.unsupported));
+  fn("ingest_bad_length", none, static_cast<double>(m.ingest.bad_length));
+  fn("replay_records", none, static_cast<double>(m.replay_records));
+  fn("replay_nanos", none, static_cast<double>(m.replay_nanos));
+}
+
+std::string metrics_to_json(const runtime::EngineMetrics& m) {
+  std::string out = "{\"engine\": \"" + escape(m.engine) + "\", \"metrics\": [";
+  bool first = true;
+  visit_metrics(m, [&](std::string_view name, const MetricLabels& labels,
+                       double value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    out += name;
+    out += "\", \"labels\": {";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + escape(labels[i].first) + "\": \"" +
+             escape(labels[i].second) + "\"";
+    }
+    out += "}, \"value\": " + num(value) + "}";
+  });
+  out += "]}";
+  return out;
+}
+
+std::string metrics_to_prometheus(const runtime::EngineMetrics& m) {
+  std::string out;
+  std::map<std::string, bool, std::less<>> typed;
+  visit_metrics(m, [&](std::string_view name, const MetricLabels& labels,
+                       double value) {
+    const std::string full = "perfq_" + std::string{name};
+    if (!typed.count(full)) {
+      // Gauge is the honest universal type here: counters are monotone but
+      // a scraper restarting mid-run must not assume resets.
+      out += "# TYPE " + full + " gauge\n";
+      typed.emplace(full, true);
+    }
+    out += full;
+    if (!labels.empty()) {
+      out += "{";
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += labels[i].first + "=\"" + escape(labels[i].second) + "\"";
+      }
+      out += "}";
+    }
+    out += " " + num(value) + "\n";
+  });
+  return out;
+}
+
+std::string format_metrics(const runtime::EngineMetrics& m) {
+  std::string out = "engine: " + m.engine + "\n";
+  out += "records=" + num(static_cast<double>(m.records)) +
+         " batches=" + num(static_cast<double>(m.batches)) +
+         " refreshes=" + num(static_cast<double>(m.refreshes)) +
+         " snapshots=" + num(static_cast<double>(m.snapshots)) +
+         (m.faulted ? " FAULTED" : "") + "\n";
+  for (const runtime::StoreStats& q : m.queries) {
+    const std::uint64_t packets = q.cache.packets;
+    const std::uint64_t hits = q.cache.hits;
+    const double hit_rate =
+        packets == 0 ? 0.0
+                     : 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(packets);
+    out += "query '" + q.name +
+           "': packets=" + num(static_cast<double>(packets)) +
+           " hits=" + num(static_cast<double>(hits)) + " (" + num(hit_rate) +
+           "%) evictions=" + num(static_cast<double>(q.cache.evictions)) +
+           " keys=" + num(static_cast<double>(q.keys)) +
+           " accuracy=" + num(q.accuracy.accuracy()) + "\n";
+  }
+  for (const runtime::StreamSinkMetrics& s : m.streams) {
+    out += "stream '" + s.query +
+           "': delivered=" + num(static_cast<double>(s.rows_delivered)) +
+           " dropped=" + num(static_cast<double>(s.rows_dropped)) +
+           (s.saturated ? " saturated" : "") + "\n";
+  }
+  const auto hist_line = [&](const char* label,
+                             const obs::HistogramSnapshot& h) {
+    if (h.count == 0) return;
+    out += std::string{label} + ": count=" +
+           num(static_cast<double>(h.count)) +
+           " mean_ns=" + num(h.mean_ns()) +
+           " p50_ns=" + num(h.quantile_ns(0.50)) +
+           " p99_ns=" + num(h.quantile_ns(0.99)) + "\n";
+  };
+  hist_line("batch latency", m.batch_ns);
+  hist_line("snapshot latency", m.snapshot_ns);
+  hist_line("absorb latency", m.absorb_ns);
+  if (!m.shards.empty()) out += "pipeline:" + format_pipeline(m) + "\n";
+  if (m.ingest.total() > 0) out += m.ingest.to_string() + "\n";
+  if (m.replay_records > 0) {
+    const double secs = static_cast<double>(m.replay_nanos) * 1e-9;
+    out += "replay: records=" + num(static_cast<double>(m.replay_records)) +
+           " seconds=" + num(secs) + "\n";
+  }
+  return out;
+}
+
+std::string format_pipeline(const runtime::EngineMetrics& m) {
+  std::string out = "\n  merge thread: ";
+  out += m.merge_exited ? "exited" : "running";
+  for (const runtime::DispatcherMetrics& d : m.dispatchers) {
+    out += "\n  dispatcher " + std::to_string(d.dispatcher) + ": ";
+    out += d.exited ? "exited" : "running";
+    out += " (jobs posted=" + std::to_string(d.batches_posted) +
+           " completed=" + std::to_string(d.batches_completed) + ")";
+  }
+  for (const runtime::ShardMetrics& s : m.shards) {
+    out += "\n  shard " + std::to_string(s.shard) + ": worker ";
+    out += s.worker_exited ? "exited" : "running";
+    out += ", evictions pushed=" + std::to_string(s.evictions_pushed) +
+           " absorbed=" + std::to_string(s.evictions_absorbed);
+    out += ", ring occupancy";
+    for (const runtime::RingMetrics& r : m.rings) {
+      if (r.shard != s.shard) continue;
+      out += " [" + std::to_string(r.dispatcher) + "]=" +
+             std::to_string(r.occupancy) + "/" + std::to_string(r.capacity);
+    }
+  }
+  return out;
+}
+
+}  // namespace perfq::obs

@@ -1,0 +1,49 @@
+// Rendering the live metrics surface (runtime::EngineMetrics) for humans
+// and scrapers.
+//
+// Everything is built on ONE enumeration — visit_metrics() — which walks
+// every scalar the metrics struct carries as (name, labels, value) triples.
+// The JSON and Prometheus exporters are both thin renderers over that walk,
+// so the round-trip property ("every registered metric appears in every
+// exporter") holds by construction: adding a metric to visit_metrics() adds
+// it to both formats; adding it anywhere else is a compile-time dead end.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runtime/engine_api.hpp"
+
+namespace perfq::obs {
+
+/// Label set of one metric sample, e.g. {{"query", "loss"}, {"shard", "3"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Called once per (name, labels, value) sample.
+using MetricFn =
+    std::function<void(std::string_view name, const MetricLabels& labels,
+                       double value)>;
+
+/// THE metric enumeration: every scalar EngineMetrics carries, flattened.
+/// Counter values are exact up to 2^53 (they ride in a double).
+void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn);
+
+/// {"engine": ..., "metrics": [{"name", "labels", "value"}, ...]}
+[[nodiscard]] std::string metrics_to_json(const runtime::EngineMetrics& m);
+
+/// Prometheus text exposition: perfq_<name>{label="value"} value, with one
+/// # TYPE line per metric family.
+[[nodiscard]] std::string metrics_to_prometheus(const runtime::EngineMetrics& m);
+
+/// Human-readable multi-line summary (the REPL's .stats view).
+[[nodiscard]] std::string format_metrics(const runtime::EngineMetrics& m);
+
+/// The per-thread pipeline state dump (merge/dispatcher/worker liveness,
+/// eviction flow, ring occupancy) — the body of the sharded engine's
+/// watchdog diagnostic. Uses only the lock-free pipeline fields.
+[[nodiscard]] std::string format_pipeline(const runtime::EngineMetrics& m);
+
+}  // namespace perfq::obs

@@ -34,13 +34,21 @@ void QueryEngine::throw_if_faulted() const {
 void QueryEngine::process_batch(std::span<const PacketRecord> records) {
   throw_if_faulted();
   check(!finished_, "QueryEngine: process after finish");
+  ++batches_;
+  const bool timed =
+      obs::kTelemetryEnabled &&
+      (records.size() >= obs::kAlwaysTimeBatch ||
+       (batch_tick_++ & obs::kSmallBatchSampleMask) == 0);
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
   // An exception escaping mid-batch (stream-sink callback, injected
   // failpoint, allocation) leaves some records folded and others not:
   // guarded() poisons the engine so the partial state can never be read.
   guarded([&] { process_batch_impl(records); });
+  if (timed) batch_ns_.record(obs::now_ns() - t0);
 }
 
 void QueryEngine::process_batch_impl(std::span<const PacketRecord> records) {
+  records_ += records.size();
   const bool streams = !stream_.empty();
   for (std::size_t base = 0; base < records.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, records.size() - base);
@@ -57,7 +65,6 @@ void QueryEngine::process_batch_impl(std::span<const PacketRecord> records) {
     // prefetches above have no side effects, so ordering is preserved).
     for (std::size_t i = 0; i < n; ++i) {
       const PacketRecord& rec = chunk[i];
-      ++records_;
       if (config_.refresh_interval > Nanos{0}) {
         if (next_refresh_ == Nanos{0}) {
           next_refresh_ = rec.tin + config_.refresh_interval;
@@ -106,12 +113,16 @@ EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
     // backing store through the ordinary exact-merge absorb — bit-for-bit
     // what finish(now) would materialize for this query, without disturbing
     // either structure.
+    ++snapshots_;
+    const std::uint64_t t0 = obs::kTelemetryEnabled ? obs::now_ns() : 0;
     return guarded([&] {
       kv::BackingStore merged = sw.store->backing();
       sw.store->cache().snapshot_into(
           now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
-      return EngineSnapshot{
-          materialize_switch_table(program_, *sw.plan, merged), records_, now};
+      EngineSnapshot snap{materialize_switch_table(program_, *sw.plan, merged),
+                          records_, now};
+      if (obs::kTelemetryEnabled) snapshot_ns_.record(obs::now_ns() - t0);
+      return snap;
     });
   }
   throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
@@ -157,6 +168,10 @@ const ResultTable& QueryEngine::table(std::string_view name) const {
 
 std::vector<StoreStats> QueryEngine::store_stats() const {
   throw_if_faulted();
+  return collect_store_stats();
+}
+
+std::vector<StoreStats> QueryEngine::collect_store_stats() const {
   std::vector<StoreStats> out;
   for (const auto& sw : switches_) {
     StoreStats s;
@@ -170,6 +185,22 @@ std::vector<StoreStats> QueryEngine::store_stats() const {
     out.push_back(std::move(s));
   }
   return out;
+}
+
+EngineMetrics QueryEngine::metrics() const {
+  EngineMetrics m;
+  m.engine = "serial";
+  m.records = records_;
+  m.batches = batches_;
+  m.refreshes = refreshes_;
+  m.snapshots = snapshots_;
+  m.faulted = fault_.faulted();
+  m.queries = collect_store_stats();
+  stream_.collect(m.streams);
+  m.batch_ns = batch_ns_.snapshot();
+  m.snapshot_ns = snapshot_ns_.snapshot();
+  fill_driver_metrics(m);
+  return m;
 }
 
 const kv::KeyValueStore& QueryEngine::store(std::string_view query_name) const {

@@ -66,6 +66,11 @@ class QueryEngine final : public Engine {
                                         Nanos now) override;
 
   [[nodiscard]] std::vector<StoreStats> store_stats() const override;
+
+  /// Self-telemetry; any thread, any time, never throws (engine_api.hpp
+  /// metrics coherence contract).
+  [[nodiscard]] EngineMetrics metrics() const override;
+
   [[nodiscard]] const compiler::CompiledProgram& program() const override {
     return program_;
   }
@@ -93,6 +98,8 @@ class QueryEngine final : public Engine {
 
   void materialize_switch_tables();
   void process_batch_impl(std::span<const PacketRecord> records);
+  /// store_stats() minus the fault gate — metrics() must work when poisoned.
+  [[nodiscard]] std::vector<StoreStats> collect_store_stats() const;
   [[nodiscard]] const ResultTable* find_table(int index) const;
   /// Poisoned-state gate (see the file comment's failure-domain notes).
   void throw_if_faulted() const;
@@ -119,8 +126,14 @@ class QueryEngine final : public Engine {
   std::vector<SwitchInstance> switches_;
   StreamStage stream_;
   std::map<int, ResultTable> tables_;  ///< by query index
-  std::uint64_t records_ = 0;
-  std::uint64_t refreshes_ = 0;
+  /// Telemetry slots (single writer: the caller thread; metrics() reads).
+  obs::RelaxedU64 records_;
+  obs::RelaxedU64 refreshes_;
+  obs::RelaxedU64 batches_;
+  obs::RelaxedU64 snapshots_;
+  std::uint32_t batch_tick_ = 0;  ///< sampling phase for small-batch timing
+  obs::LatencyHistogram batch_ns_;
+  obs::LatencyHistogram snapshot_ns_;
   Nanos next_refresh_{0};
   bool finished_ = false;
   /// First-exception-wins poisoned state (single-threaded here, but the

@@ -70,8 +70,37 @@
 //     cannot make progress within the deadline — a wedged ring, a stuck
 //     snapshot rendezvous — a watchdog records a fault with a diagnostic
 //     dump instead of blocking the caller forever.
+//
+// ---- Metrics coherence contract (obs/) -------------------------------------
+//
+// metrics() returns an EngineMetrics — the engine's own telemetry: what the
+// pipeline is doing, as opposed to what the queries computed. It is always on
+// (the slots cost <= 2% of throughput; CI's telemetry-overhead job enforces
+// that bound) and readable from ANY thread at ANY time, including while
+// process_batch() runs on another thread — it never blocks, perturbs, or
+// synchronizes with the pipeline, and it is TSan-clean. The price of that is
+// a relaxed coherence guarantee, which is the right one for a live monitor:
+//
+//   - Every counter is individually torn-free and monotone (single-writer
+//     relaxed slots, obs/metrics.hpp); gauges (ring occupancy) are
+//     instantaneous approximations.
+//   - CROSS-counter invariants (cache hits + initializations == packets;
+//     shard evictions pushed == absorbed) hold exactly at quiescent points —
+//     between process_batch() calls on the serial engine, and after finish()
+//     (or a snapshot drain barrier) on the sharded one. Mid-run they hold up
+//     to the records currently in flight.
+//   - metrics() on a POISONED engine does NOT throw: a monitor must be able
+//     to observe a wedged or crashed pipeline. `faulted` is set and the
+//     per-thread exit flags show which role died.
+//
+// metrics_to_json() / metrics_to_prometheus() (obs/metrics_export.hpp) render
+// the same enumeration of metrics — anything metrics() carries appears in
+// both, by construction. EngineBuilder::metrics_sampler(interval) wraps the
+// engine so a background thread appends EngineMetrics samples to a bounded
+// ring, readable via metrics_series().
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -82,8 +111,10 @@
 
 #include "compiler/program.hpp"
 #include "kvstore/kvstore.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/stream_sink.hpp"
 #include "runtime/table.hpp"
+#include "trace/ingest_stats.hpp"
 
 namespace perfq::runtime {
 
@@ -129,6 +160,83 @@ struct EngineSnapshot {
   Nanos time;                 ///< caller-supplied timestamp (epoch end stamp)
 };
 
+/// Per-stream-query delivery accounting (one per stream SELECT).
+struct StreamSinkMetrics {
+  std::string query;
+  std::uint64_t rows_delivered = 0;  ///< rows offered to the sink
+  std::uint64_t rows_dropped = 0;    ///< rows the sink discarded (bounded sinks)
+  bool saturated = false;            ///< sink hit its bound at least once
+};
+
+/// Per-shard pipeline accounting (sharded engine only).
+struct ShardMetrics {
+  std::size_t shard = 0;
+  std::uint64_t evictions_pushed = 0;    ///< evictions enqueued by the worker
+  std::uint64_t evictions_absorbed = 0;  ///< evictions merged by the merge thread
+  bool worker_exited = false;
+};
+
+/// Per-dispatcher accounting (sharded engine, dispatchers >= 2 only — with a
+/// single dispatcher the caller thread dispatches inline).
+struct DispatcherMetrics {
+  std::size_t dispatcher = 0;
+  std::uint64_t batches_posted = 0;
+  std::uint64_t batches_completed = 0;
+  bool exited = false;
+};
+
+/// One (dispatcher, shard) SPSC ring of the dispatch matrix.
+struct RingMetrics {
+  std::size_t dispatcher = 0;
+  std::size_t shard = 0;
+  std::uint64_t occupancy = 0;      ///< records queued right now (approximate)
+  std::uint64_t occupancy_hwm = 0;  ///< high-water mark of occupancy
+  std::uint64_t capacity = 0;
+  std::uint64_t push_stalls = 0;  ///< publishes that blocked on a full ring
+};
+
+/// The engine's self-telemetry: everything Engine::metrics() surfaces, as
+/// plain values (safe to ship across threads, serialize, diff). See the
+/// metrics coherence contract in the file comment.
+struct EngineMetrics {
+  std::string engine;  ///< "serial" or "sharded"
+
+  // Driver-level counters.
+  std::uint64_t records = 0;    ///< records accepted by process_batch()
+  std::uint64_t batches = 0;    ///< process_batch() calls
+  std::uint64_t refreshes = 0;  ///< periodic cache refreshes performed
+  std::uint64_t snapshots = 0;  ///< mid-run snapshot() pulls served
+  bool faulted = false;         ///< poisoned-state protocol engaged
+
+  // Per-query store stats (same shape store_stats() returns; valid mid-run).
+  std::vector<StoreStats> queries;
+  std::vector<StreamSinkMetrics> streams;
+
+  // Sharded pipeline state (empty on the serial engine).
+  std::vector<ShardMetrics> shards;
+  std::vector<DispatcherMetrics> dispatchers;
+  std::vector<RingMetrics> rings;
+  bool merge_exited = false;
+
+  // Latency histograms (log2-ns buckets; see obs::HistogramSnapshot).
+  obs::HistogramSnapshot batch_ns;     ///< process_batch() wall time (sampled)
+  obs::HistogramSnapshot snapshot_ns;  ///< snapshot() rendezvous+drain latency
+  obs::HistogramSnapshot absorb_ns;    ///< merge-thread absorb sweep latency
+
+  // Ingest/replay accounting recorded by the trace layer (record_ingest /
+  // record_replay) — zero if no driver reported any.
+  trace::IngestStats ingest;
+  std::uint64_t replay_records = 0;
+  std::uint64_t replay_nanos = 0;
+};
+
+/// One timestamped EngineMetrics from the background sampler
+/// (EngineBuilder::metrics_sampler; read back via Engine::metrics_series()).
+struct MetricsSample {
+  std::uint64_t elapsed_ns = 0;  ///< since the sampler started
+  EngineMetrics metrics;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -166,10 +274,60 @@ class Engine {
     return snapshot(query_name, Nanos{0});
   }
 
+  /// Per-query store stats. Valid mid-run on both engines (mid-run values
+  /// obey the metrics coherence contract); throws EngineFaultError if the
+  /// engine is poisoned.
   [[nodiscard]] virtual std::vector<StoreStats> store_stats() const = 0;
   [[nodiscard]] virtual std::uint64_t records_processed() const = 0;
   [[nodiscard]] virtual std::uint64_t refresh_count() const = 0;
   [[nodiscard]] virtual const compiler::CompiledProgram& program() const = 0;
+
+  /// The engine's self-telemetry. Callable from any thread at any time,
+  /// including on a poisoned engine (see the metrics coherence contract).
+  [[nodiscard]] virtual EngineMetrics metrics() const = 0;
+
+  /// Samples collected by the background metrics sampler; empty unless the
+  /// engine was built with EngineBuilder::metrics_sampler().
+  [[nodiscard]] virtual std::vector<MetricsSample> metrics_series() const {
+    return {};
+  }
+
+  /// Fold one feed's ingest accounting into metrics().ingest. Drivers that
+  /// parse wire-format input (trace::replay_frames, TraceReader loops) call
+  /// this when the feed ends; callable multiple times (stats accumulate).
+  virtual void record_ingest(const trace::IngestStats& stats) {
+    ingest_telemetry_.parsed += stats.parsed;
+    ingest_telemetry_.truncated += stats.truncated;
+    ingest_telemetry_.unsupported += stats.unsupported;
+    ingest_telemetry_.bad_length += stats.bad_length;
+  }
+
+  /// Record one replay pass (trace::replay) for metrics().replay_*.
+  virtual void record_replay(std::uint64_t records, std::uint64_t nanos) {
+    ingest_telemetry_.replay_records += records;
+    ingest_telemetry_.replay_nanos += nanos;
+  }
+
+ protected:
+  /// Ingest/replay slots shared by both engines. Written by the driver
+  /// (caller) thread, read by metrics() — single-writer relaxed, like every
+  /// other slot.
+  struct IngestTelemetry {
+    obs::RelaxedU64 parsed, truncated, unsupported, bad_length;
+    obs::RelaxedU64 replay_records, replay_nanos;
+  };
+  IngestTelemetry ingest_telemetry_;
+
+  /// Copy the driver-side slots into a metrics result (concrete engines call
+  /// this from their metrics()).
+  void fill_driver_metrics(EngineMetrics& m) const {
+    m.ingest.parsed = ingest_telemetry_.parsed;
+    m.ingest.truncated = ingest_telemetry_.truncated;
+    m.ingest.unsupported = ingest_telemetry_.unsupported;
+    m.ingest.bad_length = ingest_telemetry_.bad_length;
+    m.replay_records = ingest_telemetry_.replay_records;
+    m.replay_nanos = ingest_telemetry_.replay_nanos;
+  }
 };
 
 }  // namespace perfq::runtime

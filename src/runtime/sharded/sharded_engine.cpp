@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/hash.hpp"
+#include "obs/metrics_export.hpp"
 #include "runtime/collection.hpp"
 
 namespace perfq::runtime {
@@ -110,6 +111,8 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
   for (std::size_t d = 0; d < n_dispatchers; ++d) {
     auto dispatcher = std::make_unique<Dispatcher>();
     dispatcher->staging.resize(n_shards);
+    dispatcher->ring_stalls.resize(n_shards);
+    dispatcher->ring_hwm.resize(n_shards);
     dispatchers_.push_back(std::move(dispatcher));
   }
 
@@ -154,38 +157,53 @@ void ShardedEngine::throw_if_faulted() {
 }
 
 std::string ShardedEngine::pipeline_diagnostic(const char* what) const {
+  // The dump is the telemetry layer's pipeline view (same enumeration
+  // metrics() exports), rendered by the shared formatter. Lock-free — safe
+  // while threads are wedged, which is exactly when the watchdog needs it.
+  EngineMetrics m;
+  collect_pipeline(m);
   std::string out = "pipeline state at watchdog expiry (waiting for ";
   out += what;
   out += ", drain_timeout " + std::to_string(config_.drain_timeout.count()) +
          " ms):";
-  out += "\n  merge thread: ";
-  out += merge_exited_.load(std::memory_order_acquire) ? "exited" : "running";
+  out += obs::format_pipeline(m);
+  return out;
+}
+
+void ShardedEngine::collect_pipeline(EngineMetrics& m) const {
+  m.merge_exited = merge_exited_.load(std::memory_order_acquire);
+  for (const auto& shard : shards_) {
+    ShardMetrics sm;
+    sm.shard = shard->index;
+    sm.evictions_pushed =
+        shard->evictions_pushed.load(std::memory_order_acquire);
+    sm.evictions_absorbed =
+        shard->evictions_absorbed.load(std::memory_order_acquire);
+    sm.worker_exited = shard->exited.load(std::memory_order_acquire);
+    m.shards.push_back(sm);
+  }
   for (std::size_t d = 1; d < dispatchers_.size(); ++d) {
     const Dispatcher& dp = *dispatchers_[d];
-    out += "\n  dispatcher " + std::to_string(d) + ": ";
-    out += dp.exited.load(std::memory_order_acquire) ? "exited" : "running";
-    out += " (jobs posted=" +
-           std::to_string(dp.posted.load(std::memory_order_acquire)) +
-           " completed=" +
-           std::to_string(dp.completed.load(std::memory_order_acquire)) + ")";
+    DispatcherMetrics dm;
+    dm.dispatcher = d;
+    dm.batches_posted = dp.posted.load(std::memory_order_acquire);
+    dm.batches_completed = dp.completed.load(std::memory_order_acquire);
+    dm.exited = dp.exited.load(std::memory_order_acquire);
+    m.dispatchers.push_back(dm);
   }
-  for (const auto& shard : shards_) {
-    out += "\n  shard " + std::to_string(shard->index) + ": worker ";
-    out += shard->exited.load(std::memory_order_acquire) ? "exited" : "running";
-    out += ", evictions pushed=" +
-           std::to_string(
-               shard->evictions_pushed.load(std::memory_order_acquire)) +
-           " absorbed=" +
-           std::to_string(
-               shard->evictions_absorbed.load(std::memory_order_acquire));
-    out += ", ring occupancy";
-    for (std::size_t d = 0; d < shard->rings.size(); ++d) {
-      out += " [" + std::to_string(d) + "]=" +
-             std::to_string(shard->rings[d]->size_approx()) + "/" +
-             std::to_string(shard->rings[d]->capacity());
+  for (std::size_t d = 0; d < dispatchers_.size(); ++d) {
+    const Dispatcher& dp = *dispatchers_[d];
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      RingMetrics rm;
+      rm.dispatcher = d;
+      rm.shard = s;
+      rm.occupancy = shards_[s]->rings[d]->size_approx();
+      rm.occupancy_hwm = dp.ring_hwm[s];
+      rm.capacity = shards_[s]->rings[d]->capacity();
+      rm.push_stalls = dp.ring_stalls[s];
+      m.rings.push_back(rm);
     }
   }
-  return out;
 }
 
 void ShardedEngine::spin_backoff(SpinState& spin, const char* what) {
@@ -301,10 +319,12 @@ void ShardedEngine::publish(std::size_t d, std::size_t shard) {
   SpscRing<ShardMsg>& ring = *shards_[shard]->rings[d];
   std::span<ShardMsg> pending(staging);
   SpinState spin;
+  bool stalled = false;
   while (!pending.empty()) {
     const std::size_t pushed = ring.push_bulk(pending);
     pending = pending.subspan(pushed);
     if (pushed == 0) {
+      stalled = true;
       // Ring full: the worker is behind; let it run (essential on machines
       // with fewer cores than threads). Workers drain their rings even while
       // their merge is blocked, so this makes progress — unless the worker
@@ -316,6 +336,11 @@ void ShardedEngine::publish(std::size_t d, std::size_t shard) {
       spin_backoff(spin, d == 0 ? "a full shard ring (push)" : nullptr);
     }
   }
+  // Ring telemetry: the occupancy high-water is sampled here, right after
+  // the push (the ring's fullest observable moment from the producer side).
+  Dispatcher& dp = *dispatchers_[d];
+  if (stalled) ++dp.ring_stalls[shard];
+  dp.ring_hwm[shard].set_max(ring.size_approx());
   staging.clear();
 }
 
@@ -416,8 +441,15 @@ void ShardedEngine::push_evictions(Shard& sh) {
 void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
   throw_if_faulted();
   check(!finished_, "ShardedEngine: process after finish");
+  ++batches_;
+  const bool timed =
+      obs::kTelemetryEnabled &&
+      (records.size() >= obs::kAlwaysTimeBatch ||
+       (batch_tick_++ & obs::kSmallBatchSampleMask) == 0);
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
   try {
     process_batch_impl(records);
+    if (timed) batch_ns_.record(obs::now_ns() - t0);
   } catch (const EngineFaultError&) {
     begin_stop();
     throw;
@@ -805,7 +837,11 @@ void ShardedEngine::merge_loop() {
       if (shard->evictions.drain(drained)) {
         any = true;
         PERFQ_FAILPOINT("sharded.merge_absorb");
+        // Absorb-sweep latency tap: on the merge thread, off every caller
+        // path, so it is always-on (no sampling needed).
+        const std::uint64_t t0 = obs::kTelemetryEnabled ? obs::now_ns() : 0;
         for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+        if (obs::kTelemetryEnabled) absorb_ns_.record(obs::now_ns() - t0);
         // Count only after the absorbs landed: the snapshot drain barrier
         // reads this to prove the backing store caught up.
         shard->evictions_absorbed.fetch_add(drained.size(),
@@ -825,7 +861,9 @@ void ShardedEngine::merge_loop() {
       // already passed it. One final sweep picks those up.
       for (auto& shard : shards_) {
         if (shard->evictions.drain(drained)) {
+          const std::uint64_t t0 = obs::kTelemetryEnabled ? obs::now_ns() : 0;
           for (TaggedEviction& t : drained) backings_[t.query]->absorb(t.ev);
+          if (obs::kTelemetryEnabled) absorb_ns_.record(obs::now_ns() - t0);
           shard->evictions_absorbed.fetch_add(drained.size(),
                                               std::memory_order_release);
         }
@@ -960,6 +998,11 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
 }
 
 EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
+  ++snapshots_;
+  // Rendezvous latency tap: steps 1-3 (marker broadcast → every worker at
+  // the boundary → eviction drain barrier) are the cost of *reaching* the
+  // coherent point; the overlay in step 4 is ordinary copying.
+  const std::uint64_t t0 = obs::kTelemetryEnabled ? obs::now_ns() : 0;
   // 1. Broadcast the snapshot marker through the caller's rings at the
   // current record boundary. Its seq (2·records_) orders after every
   // dispatched record; the co-dispatcher watermarks of the last batch carry
@@ -1002,6 +1045,7 @@ EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
       spin_backoff(spin, "the snapshot eviction drain barrier");
     }
   }
+  if (obs::kTelemetryEnabled) snapshot_ns_.record(obs::now_ns() - t0);
 
   // 4. Overlay the cache copies (all for `query` — the marker carried it)
   // on a clone of the concurrent store with the ordinary exact-merge absorb.
@@ -1047,7 +1091,14 @@ const ResultTable& ShardedEngine::table(std::string_view name) const {
 
 std::vector<StoreStats> ShardedEngine::store_stats() const {
   if (fault_.faulted()) fault_.raise();
-  check(finished_, "ShardedEngine: store_stats before finish");
+  // Mid-run reads are allowed (the pre-observability engine required
+  // finish()): every summed counter is a single-writer relaxed slot and the
+  // backing-store reads lock per sub-store, so this never perturbs the
+  // pipeline. Mid-run coherence is per-counter (engine_api.hpp).
+  return collect_store_stats();
+}
+
+std::vector<StoreStats> ShardedEngine::collect_store_stats() const {
   std::vector<StoreStats> out;
   for (std::size_t q = 0; q < plans_.size(); ++q) {
     StoreStats s;
@@ -1068,6 +1119,24 @@ std::vector<StoreStats> ShardedEngine::store_stats() const {
     out.push_back(std::move(s));
   }
   return out;
+}
+
+EngineMetrics ShardedEngine::metrics() const {
+  EngineMetrics m;
+  m.engine = "sharded";
+  m.records = records_;
+  m.batches = batches_;
+  m.refreshes = refreshes_;
+  m.snapshots = snapshots_;
+  m.faulted = fault_.faulted();
+  m.queries = collect_store_stats();
+  stream_.collect(m.streams);
+  collect_pipeline(m);
+  m.batch_ns = batch_ns_.snapshot();
+  m.snapshot_ns = snapshot_ns_.snapshot();
+  m.absorb_ns = absorb_ns_.snapshot();
+  fill_driver_metrics(m);
+  return m;
 }
 
 const kv::ShardedBackingStore& ShardedEngine::backing(

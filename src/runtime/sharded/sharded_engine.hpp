@@ -149,8 +149,16 @@ class ShardedEngine final : public Engine {
                                         Nanos now) override;
 
   /// Aggregated per-query stats (cache counters summed across shards).
-  /// Only valid after finish().
+  /// Valid mid-run (per-counter coherence; see the metrics contract in
+  /// engine_api.hpp) and after finish() (exact).
   [[nodiscard]] std::vector<StoreStats> store_stats() const override;
+
+  /// Self-telemetry: driver counters, per-query store stats, the full
+  /// pipeline state (per-shard eviction flow, per-dispatcher job progress,
+  /// per-ring occupancy/stalls) and the latency histograms. Any thread, any
+  /// time — including mid-run and on a poisoned engine; never blocks the
+  /// pipeline (see the metrics coherence contract in engine_api.hpp).
+  [[nodiscard]] EngineMetrics metrics() const override;
 
   /// The concurrent backing store of a switch query. Safe to read mid-run
   /// (locked per sub-store) — the paper's "monitoring applications can pull
@@ -262,6 +270,12 @@ class ShardedEngine final : public Engine {
     alignas(kCacheLineBytes) std::atomic<std::uint64_t> completed{0};
     std::atomic<bool> exit{false};
     std::atomic<bool> exited{false};  ///< thread body finished (see Shard)
+    /// Per-shard ring telemetry for this dispatcher's rings (single writer:
+    /// this dispatcher — only thread d publishes to rings[d]). Stalls count
+    /// publish() calls that blocked on a full ring at least once; the
+    /// high-water mark samples ring occupancy after each publish.
+    std::vector<obs::RelaxedU64> ring_stalls;
+    std::vector<obs::RelaxedU64> ring_hwm;
     std::thread thread;  ///< helpers only; dispatcher 0 is the caller
   };
 
@@ -357,6 +371,12 @@ class ShardedEngine final : public Engine {
   /// kv::placement_hash(key, hash_seed) without needing the key.
   [[nodiscard]] std::uint64_t placement_of_raw(std::uint64_t raw) const;
   [[nodiscard]] const ResultTable* find_table(int index) const;
+  /// store_stats() minus the fault gate (metrics() must work poisoned).
+  [[nodiscard]] std::vector<StoreStats> collect_store_stats() const;
+  /// Fill the pipeline-state part of an EngineMetrics (shards, dispatchers,
+  /// rings, merge state). Lock-free — also safe from the watchdog's
+  /// diagnostic path while threads are wedged.
+  void collect_pipeline(EngineMetrics& m) const;
 
   compiler::CompiledProgram program_;
   ShardedEngineConfig config_;
@@ -379,8 +399,16 @@ class ShardedEngine final : public Engine {
   FaultSlot fault_;
   std::atomic<bool> stop_{false};
   std::map<int, ResultTable> tables_;
-  std::uint64_t records_ = 0;
-  std::uint64_t refreshes_ = 0;
+  /// Telemetry slots (single writer: the caller thread, except absorb_ns_
+  /// whose writer is the merge thread; metrics() reads from anywhere).
+  obs::RelaxedU64 records_;
+  obs::RelaxedU64 refreshes_;
+  obs::RelaxedU64 batches_;
+  obs::RelaxedU64 snapshots_;
+  std::uint32_t batch_tick_ = 0;  ///< sampling phase for small-batch timing
+  obs::LatencyHistogram batch_ns_;
+  obs::LatencyHistogram snapshot_ns_;
+  obs::LatencyHistogram absorb_ns_;  ///< merge-thread absorb sweep latency
   std::uint64_t snapshot_gen_ = 0;  ///< caller-side snapshot generation
   Nanos next_refresh_{0};
   bool finished_ = false;

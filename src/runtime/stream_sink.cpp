@@ -10,12 +10,16 @@ void TableStreamSink::open(std::string_view /*query*/,
 }
 
 void TableStreamSink::on_batch(const StreamBatch& batch) {
-  for (const auto& row : batch.rows) {
+  for (std::size_t i = 0; i < batch.rows.size(); ++i) {
     if (table_.row_count() >= max_rows_) {
-      overflowed_ = true;
-      return;  // rows arrive in order; everything further also overflows
+      // Rows arrive in order; everything further in this batch also
+      // overflows. (Once saturated the stage stops offering rows at all, so
+      // dropped_ counts only rows actually offered and discarded.)
+      overflowed_.store(true, std::memory_order_relaxed);
+      dropped_ += batch.rows.size() - i;
+      return;
     }
-    table_.add_row(row);
+    table_.add_row(batch.rows[i]);
   }
 }
 

@@ -19,6 +19,7 @@
 //                      concurrently (the "tail -f" view of the stream).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "lang/schema.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/table.hpp"
 
 namespace perfq::runtime {
@@ -72,6 +74,12 @@ class StreamSink {
   [[nodiscard]] virtual const ResultTable* finished_table() const {
     return nullptr;
   }
+
+  /// Rows this sink was offered but discarded (capped tables, full rings).
+  /// Surfaced uniformly through EngineMetrics::streams; must be safe to call
+  /// from a metrics thread while the engine delivers. Unbounded sinks keep
+  /// the default 0.
+  [[nodiscard]] virtual std::uint64_t rows_dropped() const { return 0; }
 };
 
 /// The default sink: buffer rows into a ResultTable, capped at `max_rows`.
@@ -87,13 +95,16 @@ class TableStreamSink : public StreamSink {
   /// Saturates once the first row has been dropped (the overflow flag is
   /// latched then — matching the pre-sink engine, which recorded overflow on
   /// the first excess row before short-circuiting the rest).
-  [[nodiscard]] bool saturated() const override { return overflowed_; }
+  [[nodiscard]] bool saturated() const override {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const ResultTable* finished_table() const override {
     return &table_;
   }
+  [[nodiscard]] std::uint64_t rows_dropped() const override { return dropped_; }
 
   [[nodiscard]] const ResultTable& table() const { return table_; }
-  [[nodiscard]] bool overflowed() const { return overflowed_; }
+  [[nodiscard]] bool overflowed() const { return saturated(); }
   [[nodiscard]] std::size_t max_rows() const { return max_rows_; }
   /// Engine-internal (default-sink) path: move the table out at finish().
   [[nodiscard]] ResultTable take_table() { return std::move(table_); }
@@ -101,7 +112,10 @@ class TableStreamSink : public StreamSink {
  private:
   std::size_t max_rows_;
   ResultTable table_;
-  bool overflowed_ = false;
+  /// atomic/RelaxedU64 so a metrics thread can poll saturation and drops
+  /// while the caller thread delivers (single writer: the caller thread).
+  std::atomic<bool> overflowed_{false};
+  obs::RelaxedU64 dropped_;
 };
 
 /// Hand every batch to a user function; nothing is buffered engine-side.
@@ -139,6 +153,7 @@ class RingStreamSink : public StreamSink {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t rows_dropped() const override { return dropped(); }
 
  private:
   std::size_t capacity_;

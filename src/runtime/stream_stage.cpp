@@ -78,8 +78,20 @@ void StreamStage::deliver() {
     batch.query = entry.name;
     batch.schema = &entry.schema;
     batch.rows = entry.batch;
+    entry.delivered += entry.batch.size();
     entry.sink->on_batch(batch);
     entry.batch.clear();
+  }
+}
+
+void StreamStage::collect(std::vector<StreamSinkMetrics>& out) const {
+  for (const Entry& entry : entries_) {
+    StreamSinkMetrics m;
+    m.query = entry.name;
+    m.rows_delivered = entry.delivered;
+    m.rows_dropped = entry.sink->rows_dropped();
+    m.saturated = entry.sink->saturated();
+    out.push_back(std::move(m));
   }
 }
 

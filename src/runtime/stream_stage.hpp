@@ -41,6 +41,11 @@ class StreamStage {
   /// user-provided ones copied) into `tables` by query index.
   void finish(std::map<int, ResultTable>& tables);
 
+  /// Append one StreamSinkMetrics per stream query (delivery counts come
+  /// from single-writer slots; drop counts from the sinks). Safe from a
+  /// metrics thread while the caller thread delivers.
+  void collect(std::vector<StreamSinkMetrics>& out) const;
+
  private:
   struct Entry {
     compiler::CompiledStreamSelect compiled;
@@ -49,6 +54,7 @@ class StreamStage {
     std::shared_ptr<StreamSink> sink;
     TableStreamSink* default_sink = nullptr;  ///< set iff engine-owned
     std::vector<std::vector<double>> batch;   ///< rows since last deliver()
+    obs::RelaxedU64 delivered;  ///< rows offered via on_batch (caller thread)
   };
 
   std::vector<Entry> entries_;

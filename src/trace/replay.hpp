@@ -82,6 +82,14 @@ ReplayStats replay_into(Engine& engine, std::span<const PacketRecord> records,
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Engines that expose the telemetry surface get the replay accounting
+  // folded into metrics() (runtime-free test doubles simply don't match).
+  if constexpr (requires {
+                  engine.record_replay(std::uint64_t{}, std::uint64_t{});
+                }) {
+    engine.record_replay(stats.records,
+                         static_cast<std::uint64_t>(stats.seconds * 1e9));
+  }
   return stats;
 }
 

@@ -74,6 +74,12 @@ IngestStats replay_frames(Engine& engine,
   if (!pending.empty()) {
     engine.process_batch(std::span<const PacketRecord>(pending));
   }
+  // Fold the feed's accounting into the engine's own telemetry (metrics()
+  // .ingest) when the engine exposes the surface; test doubles without it
+  // still work — the caller always gets the stats back either way.
+  if constexpr (requires { engine.record_ingest(stats); }) {
+    engine.record_ingest(stats);
+  }
   return stats;
 }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assert the always-on telemetry layer costs <= 2% of hot-path throughput.
+
+CI builds the benches twice — the default build (telemetry ON) and a
+-DPERFQ_TELEMETRY=OFF baseline — and runs each side's kvstore_micro several
+times in an interleaved A/B/A/B order (so machine-load drift hits both sides
+equally). This script takes the two groups of google-benchmark JSON files,
+reduces each benchmark to its MINIMUM real_time across repetitions (min is
+the standard noise filter for microbenchmarks: every measurement is the true
+cost plus non-negative noise), and fails if the ON minimum exceeds the OFF
+minimum by more than the budget.
+
+Usage:
+  check_telemetry_overhead.py --on on_run1.json on_run2.json ... \
+                              --off off_run1.json off_run2.json ... \
+                              [--budget 0.02]
+
+Exit status 0 iff every benchmark present in both groups is within budget.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def min_real_times(paths):
+    """name -> min real_time (ns) across all aggregate-free entries."""
+    best = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for bench in doc.get("benchmarks", []):
+            # Skip google-benchmark aggregate rows (mean/median/stddev).
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            t = float(bench["real_time"])
+            if name not in best or t < best[name]:
+                best[name] = t
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--on", nargs="+", required=True,
+                        help="JSON results from the default (telemetry ON) build")
+    parser.add_argument("--off", nargs="+", required=True,
+                        help="JSON results from the -DPERFQ_TELEMETRY=OFF build")
+    parser.add_argument("--budget", type=float, default=0.02,
+                        help="max allowed fractional slowdown (default 0.02)")
+    args = parser.parse_args()
+
+    on = min_real_times(args.on)
+    off = min_real_times(args.off)
+    common = sorted(set(on) & set(off))
+    if not common:
+        print("error: no benchmark appears in both the ON and OFF results",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'benchmark':40s} {'off(ns)':>12s} {'on(ns)':>12s} {'delta':>8s}")
+    for name in common:
+        delta = on[name] / off[name] - 1.0
+        over = delta > args.budget
+        failed |= over
+        print(f"{name:40s} {off[name]:12.1f} {on[name]:12.1f} "
+              f"{delta:+7.2%} {'FAIL' if over else 'ok'}")
+    if failed:
+        print(f"\ntelemetry overhead exceeds the {args.budget:.0%} budget",
+              file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within the {args.budget:.0%} telemetry budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
