@@ -22,6 +22,8 @@
 #include "compiler/program.hpp"
 #include "kvstore/builtin_folds.hpp"
 #include "kvstore/kvstore.hpp"
+#include "packet/wire.hpp"
+#include "packet/wire_view.hpp"
 #include "runtime/engine_builder.hpp"
 #include "switchsim/match_compiler.hpp"
 #include "trace/replay.hpp"
@@ -362,6 +364,139 @@ void BM_KeyRouterHash(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_KeyRouterHash);
+
+// ---- wire-rate burst ingest ------------------------------------------------
+// Capture bytes → table update with no materialized record in between.
+// Frames are serialized once outside the loop; the measured work is exactly
+// what a burst feed pays per frame: validate the fixed-offset headers, hash
+// the key straight off the wire bytes, fold lazily.
+
+struct WireWorkload {
+  std::vector<std::vector<std::byte>> storage;  ///< owns the frame bytes
+  std::vector<FrameObservation> frames;
+};
+
+WireWorkload wire_workload(std::uint64_t n, std::uint32_t flows) {
+  const auto records = workload(n, flows);
+  WireWorkload w;
+  w.storage.reserve(records.size());
+  w.frames.reserve(records.size());
+  for (const auto& rec : records) {
+    w.storage.push_back(wire::serialize(rec.pkt));
+    FrameObservation frame;
+    frame.bytes = w.storage.back();
+    frame.qid = rec.qid;
+    frame.tin = rec.tin;
+    frame.tout = rec.tout;
+    frame.qsize = rec.qsize;
+    w.frames.push_back(frame);
+  }
+  return w;
+}
+
+void BM_WireToTable(benchmark::State& state) {
+  // End-to-end lazy ingest on BM_Cache8Way's exact cache-resident config
+  // (same zipf trace, same geometry): the target is the same M-records/s
+  // class as prebuilt-key cache processing — the decode must stay invisible
+  // next to the bucket access. Counters carry the ingest telemetry: how
+  // many wire fields sema let the decode skip, and frames dropped.
+  const WireWorkload w = wire_workload(1 << 16, 4096);
+  auto program = compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
+  const double skipped =
+      static_cast<double>(program.field_usage.wire_fields_skipped());
+  const auto engine =
+      runtime::EngineBuilder(std::move(program))
+          .geometry(kv::CacheGeometry::set_associative(1 << 12, 8))
+          .build();
+  std::int64_t processed = 0;
+  double damaged = 0;
+  for (auto _ : state) {
+    const auto stats = engine->process_wire_batch(w.frames);
+    processed += static_cast<std::int64_t>(stats.parsed);
+    damaged += static_cast<double>(stats.dropped());
+  }
+  state.SetItemsProcessed(processed);
+  state.counters["wire_fields_skipped"] = benchmark::Counter(skipped);
+  state.counters["damaged_frames"] = benchmark::Counter(damaged);
+  report_engine_metrics(state, *engine);
+}
+BENCHMARK(BM_WireToTable);
+
+void BM_WireToTableEager(benchmark::State& state) {
+  // The materialize-per-frame reference on the identical config: parse each
+  // frame into a PacketRecord, then process_batch. The BM_WireToTable ratio
+  // is the lazy-decode win; kept as the before/after counter the way
+  // BM_CompiledEwmaUpdateInterpreted anchors the fold VM.
+  const WireWorkload w = wire_workload(1 << 16, 4096);
+  const auto engine =
+      runtime::EngineBuilder(
+          compiler::compile_source("SELECT COUNT GROUPBY 5tuple"))
+          .geometry(kv::CacheGeometry::set_associative(1 << 12, 8))
+          .build();
+  std::vector<PacketRecord> pending;
+  pending.reserve(w.frames.size());
+  std::int64_t processed = 0;
+  for (auto _ : state) {
+    pending.clear();
+    for (const FrameObservation& frame : w.frames) {
+      const auto parsed = wire::try_parse(frame.bytes);
+      PacketRecord& rec = pending.emplace_back();
+      rec.pkt = parsed->pkt;
+      rec.qid = frame.qid;
+      rec.tin = frame.tin;
+      rec.tout = frame.tout;
+      rec.qsize = frame.qsize;
+    }
+    engine->process_batch(pending);
+    processed += static_cast<std::int64_t>(pending.size());
+  }
+  state.SetItemsProcessed(processed);
+}
+BENCHMARK(BM_WireToTableEager);
+
+void BM_WireToTableDamaged(benchmark::State& state) {
+  // Same burst with every 32nd frame snap-truncated: the skip-and-count
+  // error path must not tax the surviving frames.
+  WireWorkload w = wire_workload(1 << 16, 4096);
+  for (std::size_t i = 0; i < w.storage.size(); i += 32) {
+    w.storage[i].resize(10);
+    w.frames[i].bytes = w.storage[i];
+  }
+  const auto engine =
+      runtime::EngineBuilder(
+          compiler::compile_source("SELECT COUNT GROUPBY 5tuple"))
+          .geometry(kv::CacheGeometry::set_associative(1 << 12, 8))
+          .build();
+  std::int64_t processed = 0;
+  double damaged = 0;
+  for (auto _ : state) {
+    const auto stats = engine->process_wire_batch(w.frames);
+    processed += static_cast<std::int64_t>(stats.total());
+    damaged += static_cast<double>(stats.dropped());
+  }
+  state.SetItemsProcessed(processed);  // frames offered, incl. skipped
+  state.counters["damaged_frames"] = benchmark::Counter(damaged);
+}
+BENCHMARK(BM_WireToTableDamaged);
+
+void BM_WireKeyHash(benchmark::State& state) {
+  // Dispatch cost straight off the wire: validate + hash the plain-field
+  // key at its fixed byte offsets, no record materialized. The wire-path
+  // counterpart of BM_KeyRouterHash — together they bound what the sharded
+  // caller saves by never building a PacketRecord before routing.
+  const auto program = compiler::compile_source("SELECT COUNT GROUPBY 5tuple");
+  const auto router = compiler::KeyRouter::make(program.switch_plans[0]);
+  const WireWorkload w = wire_workload(4096, 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FrameObservation& frame = w.frames[i];
+    benchmark::DoNotOptimize(wire::check_frame(frame.bytes));
+    benchmark::DoNotOptimize(router->raw_hash(wire_record_view(frame)));
+    if (++i == w.frames.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireKeyHash);
 
 }  // namespace
 

@@ -67,6 +67,13 @@ class FoldBody {
   void execute_record(std::span<double> state, const PacketRecord& rec) const {
     vm_.execute_record(state, rec);
   }
+  void execute_record(std::span<double> state, const WireRecordView& rec) const {
+    vm_.execute_record(state, rec);
+  }
+
+  /// Every record field the body reads (state refs excluded) — sema's input
+  /// to the program-level FieldUsage union.
+  void collect_fields(FieldUsage& usage) const { collect_block(body_, usage); }
 
   /// Reference semantics: walk the resolved statement tree. Kept for
   /// differential tests and the interpreted-vs-VM microbenchmark.
@@ -92,6 +99,14 @@ class FoldBody {
       const Resolver& resolver);
   static void exec_block(const std::vector<CompiledStmt>& block,
                          std::span<double> state, const ValueSource& input);
+  static void collect_block(const std::vector<CompiledStmt>& block,
+                            FieldUsage& usage) {
+    for (const CompiledStmt& s : block) {
+      s.expr.collect_fields(usage);
+      collect_block(s.then_body, usage);
+      collect_block(s.else_body, usage);
+    }
+  }
 
   std::vector<CompiledStmt> body_;
   FoldVm vm_;
@@ -116,6 +131,28 @@ class CompiledFoldKernel final : public kv::FoldKernel {
   /// Inline so concrete (devirtualized) callers fold the VM into their loop.
   void update(kv::StateVector& state, const PacketRecord& rec) const override {
     body_.execute_record(state.span(), rec);
+  }
+  /// Lazy wire update: history-free folds run the VM straight off the frame
+  /// bytes; history-windowed folds (h > 0) fall back to the materializing
+  /// default (their window storage needs owning records anyway).
+  void update(kv::StateVector& state,
+              const WireRecordView& rec) const override {
+    if (history_ > 0) {
+      kv::FoldKernel::update(state, rec);
+      return;
+    }
+    body_.execute_record(state.span(), rec);
+  }
+  /// Fold body reads plus the linear-merge coefficient expressions (the
+  /// cache evaluates those per record too when the fold is kLinear).
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    body_.collect_fields(usage);
+    for (const CompiledRow& row : rows_) {
+      for (const ScalarExpr& c : row.coeffs) c.collect_fields(usage);
+      row.constant.collect_fields(usage);
+    }
+    return usage;
   }
   /// update() via the AST-walking reference path (tests, benchmarks).
   void update_interpreted(kv::StateVector& state, const PacketRecord& rec) const;
@@ -157,6 +194,15 @@ class SumExprKernel final : public kv::FoldKernel {
   }
   void update(kv::StateVector& state, const PacketRecord& rec) const override {
     state[0] += expr_.eval(RecordSource({&rec, 1}));
+  }
+  void update(kv::StateVector& state,
+              const WireRecordView& rec) const override {
+    state[0] += expr_.eval(WireRecordSource(rec));
+  }
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    expr_.collect_fields(usage);
+    return usage;
   }
   [[nodiscard]] kv::Linearity linearity() const override {
     return kv::Linearity::kLinearConstA;

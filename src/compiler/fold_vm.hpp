@@ -114,6 +114,18 @@ class FoldVm {
     execute_record(state, {&rec, 1});
   }
 
+  /// Lazy wire-view path: field preamble loads decode straight off the
+  /// frame bytes. Depth-0 only (history-windowed folds materialize before
+  /// reaching the VM); same IEEE operations, bit-identical results.
+  void execute_record(std::span<double> state, const WireRecordView& rec) const {
+    run(
+        [&rec](Slot slot) {
+          check(slot.depth == 0, "FoldVm: wire views carry no record history");
+          return field_value(rec, static_cast<FieldId>(slot.index));
+        },
+        state);
+  }
+
   [[nodiscard]] std::size_t instruction_count() const { return code_.size(); }
   [[nodiscard]] std::size_t register_count() const { return reg_count_; }
   [[nodiscard]] std::span<const Instr> code() const { return code_; }

@@ -18,38 +18,8 @@ KeyRouter::KeyRouter(const SwitchQueryPlan& plan) {
     key_len_ += static_cast<std::size_t>(plan.key[i].bytes);
   }
   check(key_len_ <= kv::Key::kCapacity, "KeyRouter: key too long");
-}
-
-std::size_t KeyRouter::pack_values(const PacketRecord& rec,
-                                   std::uint64_t* values,
-                                   std::uint8_t* widths) const {
-  for (std::size_t i = 0; i < arity_; ++i) {
-    // Same read + truncation as extract_key (shared key_component_value):
-    // the packed bytes, and therefore the hash, must be bit-identical
-    // between both paths.
-    values[i] = key_component_value(field_value(rec, components_[i].field));
-    widths[i] = components_[i].bytes;
-  }
-  return arity_;
-}
-
-std::uint64_t KeyRouter::raw_hash(const PacketRecord& rec) const {
-  // Value extraction and byte layout each have exactly one definition:
-  // pack_values (shared with make_key) and Key::pack_bytes (via
-  // hash_packed, shared with every Key packer).
-  std::array<std::uint64_t, 16> values;
-  std::array<std::uint8_t, 16> widths;
-  const std::size_t n = pack_values(rec, values.data(), widths.data());
-  return kv::Key::hash_packed({values.data(), n}, {widths.data(), n});
-}
-
-kv::Key KeyRouter::make_key(const PacketRecord& rec,
-                            std::uint64_t raw_hash) const {
-  std::array<std::uint64_t, 16> values;
-  std::array<std::uint8_t, 16> widths;
-  const std::size_t n = pack_values(rec, values.data(), widths.data());
-  return kv::Key::pack_prehashed({values.data(), n}, {widths.data(), n},
-                                 raw_hash);
+  wire_direct_ = plan.wire_direct_key;
+  slices_ = plan.wire_key_slices;
 }
 
 }  // namespace perfq::compiler

@@ -21,7 +21,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <optional>
+#include <type_traits>
 
 #include "compiler/program.hpp"
 #include "kvstore/key.hpp"
@@ -37,21 +39,80 @@ class KeyRouter {
 
   /// The key's seed-0 byte hash computed straight from the record: pack the
   /// plain fields into a stack buffer, hash once. No kv::Key materialized.
-  [[nodiscard]] std::uint64_t raw_hash(const PacketRecord& rec) const;
+  /// Generic over the record representation — on a WireRecordView the fields
+  /// decode lazily from frame bytes, so a plain-field key hashes straight
+  /// off the wire without ever building a PacketRecord.
+  template <typename Rec>
+  [[nodiscard]] std::uint64_t raw_hash(const Rec& rec) const {
+    if constexpr (std::is_same_v<Rec, WireRecordView>) {
+      // Byte-direct plans: the key bytes are frame bytes (same layout as
+      // gather_wire_key / Key::pack — see SwitchQueryPlan::wire_direct_key),
+      // so hashing is a gather + one hash_bytes, no doubles anywhere.
+      if (wire_direct_) {
+        std::array<std::byte, kv::Key::kCapacity> buf;
+        return hash_bytes({buf.data(), gather(rec, buf.data())}, 0);
+      }
+    }
+    // Value extraction and byte layout each have exactly one definition:
+    // pack_values (shared with make_key) and Key::pack_bytes (via
+    // hash_packed, shared with every Key packer).
+    std::array<std::uint64_t, 16> values;
+    std::array<std::uint8_t, 16> widths;
+    const std::size_t n = pack_values(rec, values.data(), widths.data());
+    return kv::Key::hash_packed({values.data(), n}, {widths.data(), n});
+  }
 
   /// Worker-side rebuild: pack the key and install the dispatcher's hash
   /// (skipping the byte-level rehash). `raw_hash` must come from
   /// raw_hash(rec) for this same record.
-  [[nodiscard]] kv::Key make_key(const PacketRecord& rec,
-                                 std::uint64_t raw_hash) const;
+  template <typename Rec>
+  [[nodiscard]] kv::Key make_key(const Rec& rec, std::uint64_t raw_hash) const {
+    if constexpr (std::is_same_v<Rec, WireRecordView>) {
+      if (wire_direct_) {
+        std::array<std::byte, kv::Key::kCapacity> buf;
+        const std::size_t len = gather(rec, buf.data());
+        return kv::Key::from_bytes_prehashed({buf.data(), len}, raw_hash);
+      }
+    }
+    std::array<std::uint64_t, 16> values;
+    std::array<std::uint8_t, 16> widths;
+    const std::size_t n = pack_values(rec, values.data(), widths.data());
+    return kv::Key::pack_prehashed({values.data(), n}, {widths.data(), n},
+                                   raw_hash);
+  }
 
  private:
   explicit KeyRouter(const SwitchQueryPlan& plan);
 
   /// Pack the key's fields (field_value read + clamp + truncate, identical
   /// to extract_key's fast path) into `values`/`widths`; returns arity.
-  std::size_t pack_values(const PacketRecord& rec, std::uint64_t* values,
-                          std::uint8_t* widths) const;
+  template <typename Rec>
+  std::size_t pack_values(const Rec& rec, std::uint64_t* values,
+                          std::uint8_t* widths) const {
+    for (std::size_t i = 0; i < arity_; ++i) {
+      // Same read + truncation as extract_key (shared key_component_value):
+      // the packed bytes, and therefore the hash, must be bit-identical
+      // between both paths.
+      values[i] = key_component_value(field_value(rec, components_[i].field));
+      widths[i] = components_[i].bytes;
+    }
+    return arity_;
+  }
+
+  /// Byte-direct gather (precondition: wire_direct_): copy each component's
+  /// wire slice into `buf`; returns the key length. Identical bytes to
+  /// pack_values + Key::pack_bytes for these plans.
+  [[nodiscard]] std::size_t gather(const WireRecordView& rec,
+                                   std::byte* buf) const {
+    const std::byte* b = rec.bytes.data();
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < arity_; ++i) {
+      const WireFieldSlice s = slices_[i];
+      std::memcpy(buf + len, b + s.offset, s.width);
+      len += s.width;
+    }
+    return len;
+  }
 
   struct Component {
     FieldId field;
@@ -59,8 +120,10 @@ class KeyRouter {
   };
   /// Key components never exceed extract_key's 16-component bound.
   std::array<Component, 16> components_{};
+  std::array<WireFieldSlice, 16> slices_{};
   std::size_t arity_ = 0;
   std::size_t key_len_ = 0;  ///< total packed bytes
+  bool wire_direct_ = false;  ///< mirrors SwitchQueryPlan::wire_direct_key
 };
 
 }  // namespace perfq::compiler

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <set>
 
 #include "common/error.hpp"
 #include "kvstore/builtin_folds.hpp"
@@ -136,6 +137,21 @@ SwitchQueryPlan build_switch_plan(const AnalyzedProgram& analysis,
     plan.fast_key_fields.push_back(static_cast<FieldId>(slot->index));
   }
 
+  // Byte-direct wire layout: valid only when every fast key field sits on
+  // the wire big-endian at a fixed offset with exactly the component's
+  // packed width, so gathered frame bytes equal kv::Key::pack's output.
+  if (!plan.fast_key_fields.empty()) {
+    plan.wire_direct_key = true;
+    for (std::size_t i = 0; i < plan.key.size(); ++i) {
+      const WireFieldSlice s = wire_field_slice(plan.fast_key_fields[i]);
+      if (s.width == 0 || static_cast<int>(s.width) != plan.key[i].bytes) {
+        plan.wire_direct_key = false;
+        break;
+      }
+      plan.wire_key_slices[i] = s;
+    }
+  }
+
   // Aggregation kernels.
   std::vector<std::shared_ptr<const kv::FoldKernel>> parts;
   for (const auto& agg : q.aggregations) {
@@ -174,6 +190,11 @@ SwitchQueryPlan build_switch_plan(const AnalyzedProgram& analysis,
     plan.kernel = std::make_shared<kv::CombinedKernel>(std::move(parts));
   }
   plan.linearity = plan.kernel->linearity();
+
+  // Per-plan read set: prefilter, key components, kernel body/coefficients.
+  if (plan.prefilter.has_value()) plan.prefilter->collect_fields(plan.used_fields);
+  for (const auto& comp : plan.key) comp.expr.collect_fields(plan.used_fields);
+  plan.used_fields |= plan.kernel->used_fields();
   return plan;
 }
 
@@ -211,58 +232,37 @@ CompiledProgram compile_program(AnalyzedProgram analysis) {
           build_switch_plan(out.analysis, static_cast<int>(i)));
     }
   }
+
+  // Program-wide read set: every plan's per-packet reads, plus the filters
+  // and projections of unconsumed stream SELECTs (the runtime's StreamStage
+  // evaluates those per record too). Whatever is NOT in this union never
+  // needs decoding from frame bytes on the wire ingest path.
+  for (const auto& plan : out.switch_plans) out.field_usage |= plan.used_fields;
+  std::set<int> consumed;
+  for (const auto& q : out.analysis.queries) {
+    consumed.insert(q.input);
+    consumed.insert(q.left);
+    consumed.insert(q.right);
+  }
+  for (std::size_t i = 0; i < out.analysis.queries.size(); ++i) {
+    const AnalyzedQuery& q = out.analysis.queries[i];
+    if (q.def.kind != lang::QueryDef::Kind::kSelect ||
+        !q.output.stream_over_base || consumed.count(static_cast<int>(i)) > 0) {
+      continue;
+    }
+    const CompiledStreamSelect sel =
+        compile_stream_select(out.analysis, static_cast<int>(i));
+    if (sel.filter.has_value()) sel.filter->collect_fields(out.field_usage);
+    for (const auto& [name, expr] : sel.projections) {
+      expr.collect_fields(out.field_usage);
+    }
+  }
   return out;
 }
 
 CompiledProgram compile_source(std::string_view source,
                                const std::map<std::string, double>& params) {
   return compile_program(lang::analyze_source(source, params));
-}
-
-namespace {
-
-/// Shared value extraction of extract_key/extract_key_prehashed: fill
-/// `values`/`widths` for every key component (fast field path or expression
-/// tree), with the clamp/truncation both packers must agree on.
-void extract_key_values(const SwitchQueryPlan& plan, const PacketRecord& rec,
-                        std::uint64_t* values, std::uint8_t* widths) {
-  check(plan.key.size() <= 16, "extract_key: too many key components");
-  if (!plan.fast_key_fields.empty()) {
-    // Plain-field key (5tuple, srcip, qid, ...): read the fields directly —
-    // same value, clamp and pack as the expression path below, minus the
-    // tree walk. This is the dispatcher's per-record routing cost in the
-    // sharded runtime.
-    for (std::size_t i = 0; i < plan.key.size(); ++i) {
-      values[i] = key_component_value(field_value(rec, plan.fast_key_fields[i]));
-      widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
-    }
-    return;
-  }
-  const RecordSource source({&rec, 1});
-  for (std::size_t i = 0; i < plan.key.size(); ++i) {
-    values[i] = key_component_value(plan.key[i].expr.eval(source));
-    widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
-  }
-}
-
-}  // namespace
-
-kv::Key extract_key(const SwitchQueryPlan& plan, const PacketRecord& rec) {
-  std::array<std::uint64_t, 16> values{};
-  std::array<std::uint8_t, 16> widths{};
-  extract_key_values(plan, rec, values.data(), widths.data());
-  return kv::Key::pack({values.data(), plan.key.size()},
-                       {widths.data(), plan.key.size()});
-}
-
-kv::Key extract_key_prehashed(const SwitchQueryPlan& plan,
-                              const PacketRecord& rec,
-                              std::uint64_t raw_hash) {
-  std::array<std::uint64_t, 16> values{};
-  std::array<std::uint8_t, 16> widths{};
-  extract_key_values(plan, rec, values.data(), widths.data());
-  return kv::Key::pack_prehashed({values.data(), plan.key.size()},
-                                 {widths.data(), plan.key.size()}, raw_hash);
 }
 
 std::vector<double> unpack_key(const SwitchQueryPlan& plan, const kv::Key& key) {

@@ -12,17 +12,22 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "compiler/fold_compiler.hpp"
 #include "compiler/scalar_expr.hpp"
 #include "kvstore/fold.hpp"
 #include "kvstore/key.hpp"
 #include "lang/sema.hpp"
+#include "packet/wire_view.hpp"
 
 namespace perfq::compiler {
 
@@ -47,9 +52,22 @@ struct SwitchQueryPlan {
   /// evaluating expression trees. This is the sharded dispatcher's per-
   /// record routing cost, so it matters doubly there. Empty = slow path.
   std::vector<FieldId> fast_key_fields;
+  /// Byte-direct wire extraction: when every fast key field lives on the
+  /// wire at a fixed offset with exactly the component's packed width (the
+  /// 5-tuple case — big-endian on the wire, big-endian in the key), the
+  /// packed key bytes ARE frame bytes. extract_key on a WireRecordView then
+  /// gathers those slices and hashes once, skipping the double round-trips
+  /// entirely. False whenever any component is computed, sidecar-sourced, or
+  /// width-mismatched; those take the fast_key_fields / expression paths.
+  bool wire_direct_key = false;
+  std::array<WireFieldSlice, 16> wire_key_slices{};
   std::shared_ptr<const kv::FoldKernel> kernel;  ///< combined aggregations
   std::vector<std::string> value_columns;  ///< per state dim, output order
   kv::Linearity linearity = kv::Linearity::kNotLinear;
+  /// Every record field this plan reads per packet: prefilter, key
+  /// components, and the kernel's fold body / coefficient expressions.
+  /// The wire ingest path decodes only these fields from frame bytes.
+  FieldUsage used_fields;
 
   [[nodiscard]] int key_bytes() const {
     int total = 0;
@@ -61,6 +79,10 @@ struct SwitchQueryPlan {
 struct CompiledProgram {
   lang::AnalyzedProgram analysis;
   std::vector<SwitchQueryPlan> switch_plans;
+  /// Union of every plan's used_fields plus the filters/projections of
+  /// unconsumed stream SELECTs — the program's whole per-packet read set.
+  /// wire_fields_skipped() is the lazy path's decode saving per frame.
+  FieldUsage field_usage;
 
   /// The switch plan for query index `q`, or nullptr.
   [[nodiscard]] const SwitchQueryPlan* plan_for(int q) const {
@@ -100,16 +122,82 @@ struct CompiledStreamSelect {
   return static_cast<std::uint64_t>(clamped);
 }
 
+/// Shared value extraction of extract_key/extract_key_prehashed: fill
+/// `values`/`widths` for every key component (fast field path or expression
+/// tree), with the clamp/truncation both packers must agree on. Generic over
+/// the record representation: the fast path reads fields through the
+/// field_value overload set (lazy decode on wire views), the expression path
+/// through record_source(). Both packers below produce bit-identical keys
+/// for a PacketRecord and the wire view it parses from.
+template <typename Rec>
+void extract_key_values(const SwitchQueryPlan& plan, const Rec& rec,
+                        std::uint64_t* values, std::uint8_t* widths) {
+  check(plan.key.size() <= 16, "extract_key: too many key components");
+  if (!plan.fast_key_fields.empty()) {
+    // Plain-field key (5tuple, srcip, qid, ...): read the fields directly —
+    // same value, clamp and pack as the expression path below, minus the
+    // tree walk. This is the dispatcher's per-record routing cost in the
+    // sharded runtime.
+    for (std::size_t i = 0; i < plan.key.size(); ++i) {
+      values[i] = key_component_value(field_value(rec, plan.fast_key_fields[i]));
+      widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
+    }
+    return;
+  }
+  const auto source = record_source(rec);
+  for (std::size_t i = 0; i < plan.key.size(); ++i) {
+    values[i] = key_component_value(plan.key[i].expr.eval(source));
+    widths[i] = static_cast<std::uint8_t>(plan.key[i].bytes);
+  }
+}
+
+/// Gather a wire-direct key's bytes (precondition: plan.wire_direct_key)
+/// into `buf` (at least kv::Key::kCapacity bytes); returns the key length.
+/// Produces exactly the bytes kv::Key::pack would: each slice is the
+/// component's big-endian canonical encoding, already laid out on the wire.
+[[nodiscard]] inline std::size_t gather_wire_key(const SwitchQueryPlan& plan,
+                                                 const WireRecordView& rec,
+                                                 std::byte* buf) {
+  const std::byte* b = rec.bytes.data();
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < plan.key.size(); ++i) {
+    const WireFieldSlice s = plan.wire_key_slices[i];
+    std::memcpy(buf + len, b + s.offset, s.width);
+    len += s.width;
+  }
+  return len;
+}
+
 /// Extract the packed key for one record under a plan.
-[[nodiscard]] kv::Key extract_key(const SwitchQueryPlan& plan,
-                                  const PacketRecord& rec);
+template <typename Rec>
+[[nodiscard]] kv::Key extract_key(const SwitchQueryPlan& plan, const Rec& rec) {
+  if constexpr (std::is_same_v<Rec, WireRecordView>) {
+    if (plan.wire_direct_key) {
+      std::array<std::byte, kv::Key::kCapacity> buf;
+      const std::size_t len = gather_wire_key(plan, rec, buf.data());
+      return kv::Key({buf.data(), len});
+    }
+  }
+  std::array<std::uint64_t, 16> values{};
+  std::array<std::uint8_t, 16> widths{};
+  extract_key_values(plan, rec, values.data(), widths.data());
+  return kv::Key::pack({values.data(), plan.key.size()},
+                       {widths.data(), plan.key.size()});
+}
 
 /// extract_key() with the byte-level hash supplied (from a dispatcher that
 /// already extracted this record's key) instead of recomputed — the sharded
 /// worker's path for computed-key plans, keeping one hash per record.
+template <typename Rec>
 [[nodiscard]] kv::Key extract_key_prehashed(const SwitchQueryPlan& plan,
-                                            const PacketRecord& rec,
-                                            std::uint64_t raw_hash);
+                                            const Rec& rec,
+                                            std::uint64_t raw_hash) {
+  std::array<std::uint64_t, 16> values{};
+  std::array<std::uint8_t, 16> widths{};
+  extract_key_values(plan, rec, values.data(), widths.data());
+  return kv::Key::pack_prehashed({values.data(), plan.key.size()},
+                                 {widths.data(), plan.key.size()}, raw_hash);
+}
 
 /// Inverse of extract_key: unpack component values from a packed key.
 [[nodiscard]] std::vector<double> unpack_key(const SwitchQueryPlan& plan,

@@ -16,6 +16,12 @@ double RecordSource::value(Slot slot) const {
   return field_value(rec, static_cast<FieldId>(slot.index));
 }
 
+double WireRecordSource::value(Slot slot) const {
+  check(slot.depth == 0,
+        "WireRecordSource: wire views carry no record history");
+  return field_value(*rec_, static_cast<FieldId>(slot.index));
+}
+
 double RowSource::value(Slot slot) const {
   check(slot.depth == 0, "RowSource: rows have no history");
   check(static_cast<std::size_t>(slot.index) < row_.size(),

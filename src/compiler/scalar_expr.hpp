@@ -19,6 +19,7 @@
 
 #include "lang/ast.hpp"
 #include "packet/record.hpp"
+#include "packet/wire_view.hpp"
 
 namespace perfq::compiler {
 
@@ -46,6 +47,29 @@ class RecordSource final : public ValueSource {
  private:
   std::span<const PacketRecord> window_;
 };
+
+/// ValueSource over one lazy wire-view record (depth 0 only: the wire
+/// ingest path serves current-packet expressions — prefilters, key
+/// components, stream projections; history-windowed folds materialize).
+class WireRecordSource final : public ValueSource {
+ public:
+  explicit WireRecordSource(const WireRecordView& rec) : rec_(&rec) {}
+  [[nodiscard]] double value(Slot slot) const override;
+
+ private:
+  const WireRecordView* rec_;
+};
+
+/// Uniform ValueSource construction for code templated over the record
+/// type: the eager record gets the windowed RecordSource, the wire view its
+/// depth-0 source. Both load fields through the field_value overload set,
+/// so evaluation is bit-identical across representations.
+[[nodiscard]] inline RecordSource record_source(const PacketRecord& rec) {
+  return RecordSource({&rec, 1});
+}
+[[nodiscard]] inline WireRecordSource record_source(const WireRecordView& rec) {
+  return WireRecordSource(rec);
+}
 
 /// ValueSource over a row of doubles; slot.index is a column index.
 class RowSource final : public ValueSource {
@@ -96,6 +120,18 @@ class ScalarExpr {
 
   /// Largest record depth referenced (0 = current packet only).
   [[nodiscard]] int max_depth() const { return max_depth_; }
+
+  /// Accumulate every record field this expression reads into `usage` — the
+  /// sema side of the FieldUsage contract (packet/record.hpp). Only
+  /// meaningful for record-context expressions (slot.index is a FieldId);
+  /// state references (fold_compiler's kStateDepth) are skipped.
+  void collect_fields(FieldUsage& usage) const {
+    for (const Node& n : nodes_) {
+      if (n.op == Op::kSlot && n.slot.depth >= 0) {
+        usage.set(static_cast<FieldId>(n.slot.index));
+      }
+    }
+  }
 
  private:
   // The fold bytecode compiler translates the resolved node tree into flat

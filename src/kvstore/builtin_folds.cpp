@@ -7,17 +7,82 @@
 namespace perfq::kv {
 namespace {
 
-double latency_of(const PacketRecord& rec) {
+// Each kernel's update body is written once, templated over the record
+// representation: the eager PacketRecord (the ground-truth reference) and
+// the lazy WireRecordView share the field_value overload set and the
+// sidecar member names, so one body serves both — the two virtual overloads
+// cannot drift apart.
+
+template <typename Rec>
+double latency_of(const Rec& rec) {
   if (rec.dropped()) return std::numeric_limits<double>::infinity();
   return static_cast<double>((rec.tout - rec.tin).count());
+}
+
+template <typename Rec>
+void count_update(StateVector& state, const Rec& /*rec*/) {
+  state[0] += 1.0;
+}
+
+template <typename Rec>
+void sum_update(StateVector& state, const Rec& rec, FieldId field) {
+  state[0] += field_value(rec, field);
+}
+
+template <typename Rec>
+void count_sum_update(StateVector& state, const Rec& rec) {
+  state[0] += 1.0;
+  state[1] += field_value(rec, FieldId::kPktLen);
+}
+
+template <typename Rec>
+void ewma_update(StateVector& state, const Rec& rec, double alpha) {
+  if (rec.dropped()) return;  // skip drops; see header comment
+  state[0] = (1.0 - alpha) * state[0] +
+             alpha * static_cast<double>((rec.tout - rec.tin).count());
+}
+
+// State: [0] = lastseq, [1] = oos_count.   (Fig. 2 "TCP out of sequence")
+template <typename Rec>
+void outofseq_update(StateVector& state, const Rec& rec) {
+  const double seq = field_value(rec, FieldId::kTcpSeq);
+  if (state[0] + 1.0 != seq) state[1] += 1.0;
+  state[0] = seq + field_value(rec, FieldId::kPayloadLen);
+}
+
+// State: [0] = maxseq, [1] = nm_count.   (Fig. 2 "TCP non-monotonic")
+template <typename Rec>
+void nonmt_update(StateVector& state, const Rec& rec) {
+  const double seq = field_value(rec, FieldId::kTcpSeq);
+  if (state[0] > seq) state[1] += 1.0;
+  if (seq > state[0]) state[0] = seq;
+}
+
+// State: [0] = tot, [1] = high.   (Fig. 2 "High 99th percentile queue size")
+template <typename Rec>
+void perc_update(StateVector& state, const Rec& rec, double threshold) {
+  if (static_cast<double>(rec.qsize) > threshold) state[1] += 1.0;
+  state[0] += 1.0;
+}
+
+template <typename Rec>
+void extremum_update(StateVector& state, const Rec& rec, FieldId field,
+                     ExtremumKernel::Mode mode) {
+  const double v = field_value(rec, field);
+  state[0] = mode == ExtremumKernel::Mode::kMax ? std::max(state[0], v)
+                                                : std::min(state[0], v);
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------- count ----
 
-void CountKernel::update(StateVector& state, const PacketRecord& /*rec*/) const {
-  state[0] += 1.0;
+void CountKernel::update(StateVector& state, const PacketRecord& rec) const {
+  count_update(state, rec);
+}
+
+void CountKernel::update(StateVector& state, const WireRecordView& rec) const {
+  count_update(state, rec);
 }
 
 AffineTransform CountKernel::transform(std::span<const PacketRecord> window) const {
@@ -30,7 +95,11 @@ AffineTransform CountKernel::transform(std::span<const PacketRecord> window) con
 // ------------------------------------------------------------------ sum ----
 
 void SumKernel::update(StateVector& state, const PacketRecord& rec) const {
-  state[0] += field_value(rec, field_);
+  sum_update(state, rec, field_);
+}
+
+void SumKernel::update(StateVector& state, const WireRecordView& rec) const {
+  sum_update(state, rec, field_);
 }
 
 AffineTransform SumKernel::transform(std::span<const PacketRecord> window) const {
@@ -43,8 +112,11 @@ AffineTransform SumKernel::transform(std::span<const PacketRecord> window) const
 // ------------------------------------------------------------ count+sum ----
 
 void CountSumKernel::update(StateVector& state, const PacketRecord& rec) const {
-  state[0] += 1.0;
-  state[1] += static_cast<double>(rec.pkt.pkt_len);
+  count_sum_update(state, rec);
+}
+
+void CountSumKernel::update(StateVector& state, const WireRecordView& rec) const {
+  count_sum_update(state, rec);
 }
 
 AffineTransform CountSumKernel::transform(
@@ -65,9 +137,11 @@ EwmaKernel::EwmaKernel(double alpha) : alpha_(alpha) {
 }
 
 void EwmaKernel::update(StateVector& state, const PacketRecord& rec) const {
-  if (rec.dropped()) return;  // skip drops; see header comment
-  state[0] = (1.0 - alpha_) * state[0] +
-             alpha_ * static_cast<double>((rec.tout - rec.tin).count());
+  ewma_update(state, rec, alpha_);
+}
+
+void EwmaKernel::update(StateVector& state, const WireRecordView& rec) const {
+  ewma_update(state, rec, alpha_);
 }
 
 AffineTransform EwmaKernel::transform(std::span<const PacketRecord> window) const {
@@ -86,11 +160,12 @@ AffineTransform EwmaKernel::transform(std::span<const PacketRecord> window) cons
 
 // ------------------------------------------------------------- outofseq ----
 
-// State: [0] = lastseq, [1] = oos_count.   (Fig. 2 "TCP out of sequence")
 void OutOfSeqKernel::update(StateVector& state, const PacketRecord& rec) const {
-  const auto seq = static_cast<double>(rec.pkt.tcp_seq);
-  if (state[0] + 1.0 != seq) state[1] += 1.0;
-  state[0] = seq + static_cast<double>(rec.pkt.payload_len);
+  outofseq_update(state, rec);
+}
+
+void OutOfSeqKernel::update(StateVector& state, const WireRecordView& rec) const {
+  outofseq_update(state, rec);
 }
 
 AffineTransform OutOfSeqKernel::transform(
@@ -114,19 +189,24 @@ AffineTransform OutOfSeqKernel::transform(
 
 // ---------------------------------------------------------------- nonmt ----
 
-// State: [0] = maxseq, [1] = nm_count.   (Fig. 2 "TCP non-monotonic")
 void NonMonotonicKernel::update(StateVector& state, const PacketRecord& rec) const {
-  const auto seq = static_cast<double>(rec.pkt.tcp_seq);
-  if (state[0] > seq) state[1] += 1.0;
-  if (seq > state[0]) state[0] = seq;
+  nonmt_update(state, rec);
+}
+
+void NonMonotonicKernel::update(StateVector& state,
+                                const WireRecordView& rec) const {
+  nonmt_update(state, rec);
 }
 
 // ----------------------------------------------------------------- perc ----
 
-// State: [0] = tot, [1] = high.   (Fig. 2 "High 99th percentile queue size")
 void HighPercentileKernel::update(StateVector& state, const PacketRecord& rec) const {
-  if (static_cast<double>(rec.qsize) > threshold_) state[1] += 1.0;
-  state[0] += 1.0;
+  perc_update(state, rec, threshold_);
+}
+
+void HighPercentileKernel::update(StateVector& state,
+                                  const WireRecordView& rec) const {
+  perc_update(state, rec, threshold_);
 }
 
 AffineTransform HighPercentileKernel::transform(
@@ -148,8 +228,11 @@ StateVector ExtremumKernel::initial_state() const {
 }
 
 void ExtremumKernel::update(StateVector& state, const PacketRecord& rec) const {
-  const double v = field_value(rec, field_);
-  state[0] = mode_ == Mode::kMax ? std::max(state[0], v) : std::min(state[0], v);
+  extremum_update(state, rec, field_, mode_);
+}
+
+void ExtremumKernel::update(StateVector& state, const WireRecordView& rec) const {
+  extremum_update(state, rec, field_, mode_);
 }
 
 void ExtremumKernel::merge_values(StateVector& backing,
@@ -161,6 +244,11 @@ void ExtremumKernel::merge_values(StateVector& backing,
 // -------------------------------------------------------------- sum_lat ----
 
 void SumLatencyKernel::update(StateVector& state, const PacketRecord& rec) const {
+  state[0] += latency_of(rec);
+}
+
+void SumLatencyKernel::update(StateVector& state,
+                              const WireRecordView& rec) const {
   state[0] += latency_of(rec);
 }
 

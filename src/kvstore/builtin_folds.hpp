@@ -29,6 +29,8 @@ class CountKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 1; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override { return {}; }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kLinearConstA;
   }
@@ -49,6 +51,12 @@ class SumKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 1; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(field_);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kLinearConstA;
   }
@@ -69,6 +77,12 @@ class CountSumKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 2; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kPktLen);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kLinearConstA;
   }
@@ -90,6 +104,13 @@ class EwmaKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 1; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kTin);
+    usage.set(FieldId::kTout);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     // A = (1-alpha) for live packets but I for drops, so A is *not* packet
     // independent: classified kLinear (running-product aux), h = 0.
@@ -112,6 +133,13 @@ class OutOfSeqKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 2; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kTcpSeq);
+    usage.set(FieldId::kPayloadLen);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override { return Linearity::kLinear; }
   [[nodiscard]] std::size_t history_window() const override { return 1; }
   [[nodiscard]] AffineTransform transform(
@@ -127,6 +155,12 @@ class NonMonotonicKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 2; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kTcpSeq);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override { return Linearity::kNotLinear; }
 };
 
@@ -139,6 +173,12 @@ class HighPercentileKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 2; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(2); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kQsize);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kLinearConstA;
   }
@@ -170,6 +210,12 @@ class ExtremumKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 1; }
   [[nodiscard]] StateVector initial_state() const override;  // merge identity
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(field_);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kNotLinear;
   }
@@ -190,6 +236,13 @@ class SumLatencyKernel final : public FoldKernel {
   [[nodiscard]] std::size_t state_dims() const override { return 1; }
   [[nodiscard]] StateVector initial_state() const override { return StateVector(1); }
   void update(StateVector& state, const PacketRecord& rec) const override;
+  void update(StateVector& state, const WireRecordView& rec) const override;
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    usage.set(FieldId::kTin);
+    usage.set(FieldId::kTout);
+    return usage;
+  }
   [[nodiscard]] Linearity linearity() const override {
     return Linearity::kLinearConstA;
   }

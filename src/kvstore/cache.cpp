@@ -105,7 +105,8 @@ void Cache::prefetch(const Key& key) const {
   }
 }
 
-void Cache::process(const Key& key, const PacketRecord& rec) {
+template <typename Rec>
+void Cache::process(const Key& key, const Rec& rec) {
   ++stats_.packets;
   const std::uint64_t h = bucket_hash(key);
   const std::uint64_t b = bucket_of_hash(h);
@@ -176,36 +177,45 @@ void Cache::process(const Key& key, const PacketRecord& rec) {
   ++bucket.used;
 }
 
-void Cache::fold_record(std::uint32_t slot_idx, const PacketRecord& rec) {
+void Cache::fold_aux(std::uint32_t slot_idx, const PacketRecord& rec,
+                     std::uint64_t idx_in_epoch, std::size_t h) {
+  LinearAux& aux = aux_[slot_idx];
+  if (idx_in_epoch < h) {
+    // Boundary packet: the merge replays these raw records, so log them.
+    aux.boundary.push_back(rec);
+  } else if (kernel_->linearity() == Linearity::kLinear) {
+    // Interior packet of a varying-A fold: compose this packet's transform
+    // into the running product P (window = last h records + current).
+    if (h == 0) {
+      // Common case (e.g. EWMA): window is just the current record —
+      // no window buffer needed at all.
+      const AffineTransform t = kernel_->transform({&rec, 1});
+      aux.product.left_multiply(t.a);
+    } else {
+      aux.scratch.assign(aux.history.begin(), aux.history.end());
+      aux.scratch.push_back(rec);
+      const AffineTransform t = kernel_->transform(aux.scratch);
+      aux.product.left_multiply(t.a);
+    }
+  }
+  // Maintain the last-h window.
+  if (h > 0) {
+    aux.history.push_back(rec);
+    if (aux.history.size() > h) aux.history.erase(aux.history.begin());
+  }
+}
+
+template <typename Rec>
+void Cache::fold_record(std::uint32_t slot_idx, const Rec& rec) {
   Slot& slot = slots_[slot_idx];
   const std::size_t h = kernel_->history_window();
-  const std::uint64_t idx_in_epoch = slot.packets;  // 0-based
 
   if (!aux_.empty()) {
-    LinearAux& aux = aux_[slot_idx];
-    if (idx_in_epoch < h) {
-      // Boundary packet: the merge replays these raw records, so log them.
-      aux.boundary.push_back(rec);
-    } else if (kernel_->linearity() == Linearity::kLinear) {
-      // Interior packet of a varying-A fold: compose this packet's transform
-      // into the running product P (window = last h records + current).
-      if (h == 0) {
-        // Common case (e.g. EWMA): window is just the current record —
-        // no window buffer needed at all.
-        const AffineTransform t = kernel_->transform({&rec, 1});
-        aux.product.left_multiply(t.a);
-      } else {
-        aux.scratch.assign(aux.history.begin(), aux.history.end());
-        aux.scratch.push_back(rec);
-        const AffineTransform t = kernel_->transform(aux.scratch);
-        aux.product.left_multiply(t.a);
-      }
-    }
-    // Maintain the last-h window.
-    if (h > 0) {
-      aux.history.push_back(rec);
-      if (aux.history.size() > h) aux.history.erase(aux.history.begin());
-    }
+    // Aux maintenance stores owning records (boundary/history logs) and
+    // evaluates transform() over PacketRecord windows, so a wire view
+    // materializes exactly once here; the aux-free common case (const-A,
+    // h = 0 — COUNT, SUM) never builds a PacketRecord at all.
+    fold_aux(slot_idx, materialized(rec), slot.packets, h);
   }
 
   kernel_->update(slot.state, rec);
@@ -312,6 +322,12 @@ void Cache::flush(Nanos now) {
     }
   }
 }
+
+// The two record representations the engines drive the cache with. Kept as
+// explicit instantiations (rather than header definitions) so process()'s
+// body stays out of every includer and the hot path keeps one home.
+template void Cache::process<PacketRecord>(const Key&, const PacketRecord&);
+template void Cache::process<WireRecordView>(const Key&, const WireRecordView&);
 
 std::optional<StateVector> Cache::peek(const Key& key) const {
   const std::uint64_t h = bucket_hash(key);

@@ -119,8 +119,14 @@ class Cache {
   void set_eviction_sink(EvictionSink sink) { sink_ = std::move(sink); }
 
   /// Fold one record into the entry for `key` (the single per-packet cache
-  /// operation of §3.2).
-  void process(const Key& key, const PacketRecord& rec);
+  /// operation of §3.2). Generic over the record representation: the wire
+  /// ingest path passes WireRecordView and const-A/h=0 kernels (COUNT, SUM —
+  /// the common case) then fold straight off frame bytes; kernels needing
+  /// aux state (running product, boundary/history logs) materialize the
+  /// record once because those logs store owning records. Instantiated in
+  /// cache.cpp for PacketRecord and WireRecordView.
+  template <typename Rec>
+  void process(const Key& key, const Rec& rec);
 
   /// Hint that `key` is about to be processed: software-prefetch its bucket's
   /// tag row and slot array. Used by the batched engine path to overlap the
@@ -209,7 +215,13 @@ class Cache {
            kernel_->history_window() > 0;
   }
 
-  void fold_record(std::uint32_t slot_idx, const PacketRecord& rec);
+  template <typename Rec>
+  void fold_record(std::uint32_t slot_idx, const Rec& rec);
+  /// The aux-maintenance half of fold_record (running product P, boundary
+  /// and history logs). Operates on an eager record: the logs own their
+  /// records and transform() takes a PacketRecord window.
+  void fold_aux(std::uint32_t slot_idx, const PacketRecord& rec,
+                std::uint64_t idx_in_epoch, std::size_t h);
   void unlink(Bucket& bucket, std::uint32_t slot_idx);
   void push_mru(Bucket& bucket, std::uint32_t slot_idx);
   void evict_slot(std::uint32_t slot_idx, Nanos now, bool final_flush);

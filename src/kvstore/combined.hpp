@@ -54,12 +54,17 @@ class CombinedKernel final : public FoldKernel {
   }
 
   void update(StateVector& state, const PacketRecord& rec) const override {
-    for (std::size_t i = 0; i < parts_.size(); ++i) {
-      StateVector part(parts_[i]->state_dims());
-      for (std::size_t d = 0; d < part.dims(); ++d) part[d] = state[offsets_[i] + d];
-      parts_[i]->update(part, rec);
-      for (std::size_t d = 0; d < part.dims(); ++d) state[offsets_[i] + d] = part[d];
-    }
+    update_impl(state, rec);
+  }
+  void update(StateVector& state, const WireRecordView& rec) const override {
+    update_impl(state, rec);
+  }
+
+  /// Union of the components' field reads.
+  [[nodiscard]] FieldUsage used_fields() const override {
+    FieldUsage usage;
+    for (const auto& p : parts_) usage |= p->used_fields();
+    return usage;
   }
 
   [[nodiscard]] Linearity linearity() const override {
@@ -121,6 +126,16 @@ class CombinedKernel final : public FoldKernel {
   [[nodiscard]] std::size_t components() const { return parts_.size(); }
 
  private:
+  template <typename Rec>
+  void update_impl(StateVector& state, const Rec& rec) const {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      StateVector part(parts_[i]->state_dims());
+      for (std::size_t d = 0; d < part.dims(); ++d) part[d] = state[offsets_[i] + d];
+      parts_[i]->update(part, rec);
+      for (std::size_t d = 0; d < part.dims(); ++d) state[offsets_[i] + d] = part[d];
+    }
+  }
+
   std::vector<std::shared_ptr<const FoldKernel>> parts_;
   std::vector<std::size_t> offsets_;
   std::size_t dims_ = 0;

@@ -6,6 +6,11 @@
 
 namespace perfq::kv {
 
+void FoldKernel::update(StateVector& state, const WireRecordView& rec) const {
+  const PacketRecord eager = materialized(rec);
+  update(state, eager);
+}
+
 AffineTransform FoldKernel::transform(std::span<const PacketRecord> /*window*/) const {
   throw InternalError{"FoldKernel::transform called on a non-linear kernel: " +
                       name()};

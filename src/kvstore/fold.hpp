@@ -29,6 +29,7 @@
 
 #include "kvstore/state.hpp"
 #include "packet/record.hpp"
+#include "packet/wire_view.hpp"
 
 namespace perfq::kv {
 
@@ -75,6 +76,24 @@ class FoldKernel {
   /// In-place update of the accumulator with one record. Must be defined for
   /// every kernel (it is the ground-truth semantics).
   virtual void update(StateVector& state, const PacketRecord& rec) const = 0;
+
+  /// Update off a lazy wire-view record. The default materializes the frame
+  /// and runs the reference update — always correct, never fast. Every
+  /// shipped kernel overrides it with a lazy body that decodes only the
+  /// fields it reads; the override must agree with the reference update bit
+  /// for bit (update(s, materialized(v)) == wire update(s, v) — the
+  /// wire-ingest property tests pin this).
+  virtual void update(StateVector& state, const WireRecordView& rec) const;
+
+  /// The schema fields the per-record update reads — the kernel's share of
+  /// the program's FieldUsage contract (packet/record.hpp). The default
+  /// claims everything (safe for out-of-tree kernels); shipped kernels
+  /// report exactly what they touch.
+  [[nodiscard]] virtual FieldUsage used_fields() const {
+    FieldUsage usage;
+    usage.set_all();
+    return usage;
+  }
 
   /// Linearity classification (kNotLinear unless overridden).
   [[nodiscard]] virtual Linearity linearity() const { return Linearity::kNotLinear; }

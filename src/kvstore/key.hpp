@@ -64,6 +64,19 @@ class Key {
     return k;
   }
 
+  /// Key(bytes) with the byte-level hash supplied by the caller instead of
+  /// recomputed — the byte-gather analogue of pack_prehashed(). The caller
+  /// guarantees `raw_hash == hash_bytes(bytes, 0)`.
+  static Key from_bytes_prehashed(std::span<const std::byte> bytes,
+                                  std::uint64_t raw_hash) {
+    if (bytes.size() > kCapacity) throw ConfigError{"kv::Key: key too long"};
+    Key k;
+    k.len_ = static_cast<std::uint8_t>(bytes.size());
+    std::memcpy(k.bytes_.data(), bytes.data(), bytes.size());
+    k.hash_ = raw_hash;
+    return k;
+  }
+
   /// The hash pack() would cache for these values/widths, without keeping
   /// the Key. Shares pack_bytes() so the byte layout the hash covers has
   /// exactly one definition — hash_packed(v, w) == pack(v, w).raw_hash().

@@ -115,6 +115,7 @@ void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn) {
   fn("ingest_truncated", none, static_cast<double>(m.ingest.truncated));
   fn("ingest_unsupported", none, static_cast<double>(m.ingest.unsupported));
   fn("ingest_bad_length", none, static_cast<double>(m.ingest.bad_length));
+  fn("ingest_bad_checksum", none, static_cast<double>(m.ingest.bad_checksum));
   fn("replay_records", none, static_cast<double>(m.replay_records));
   fn("replay_nanos", none, static_cast<double>(m.replay_nanos));
 }

@@ -36,6 +36,10 @@ class SampledEngine final : public runtime::Engine {
   void process_batch(std::span<const PacketRecord> records) override {
     inner_->process_batch(records);
   }
+  trace::IngestStats process_wire_batch(
+      std::span<const FrameObservation> frames) override {
+    return inner_->process_wire_batch(frames);
+  }
   void finish(Nanos now) override { inner_->finish(now); }
   [[nodiscard]] const runtime::ResultTable& result() const override {
     return inner_->result();

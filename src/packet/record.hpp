@@ -15,6 +15,7 @@
 // comparison semantics.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -63,6 +64,39 @@ enum class FieldId : std::uint8_t {
 };
 
 inline constexpr std::size_t kNumFields = 16;
+
+/// Which schema fields a compiled query (or whole program) reads — the
+/// contract between sema and the lazy wire-ingest path: a WireRecordView
+/// only ever decodes fields set here, so the bitset is exactly the per-frame
+/// decode work. Built in compile_program from the same slot-load analysis
+/// that feeds fast_key_fields; set_all() is the safe default for anything
+/// the analysis cannot see through.
+struct FieldUsage {
+  std::uint32_t bits = 0;
+
+  /// Fields kSrcIp..kPktPath live in the frame bytes; kQid..kQsize ride in
+  /// the telemetry sidecar and cost nothing to "decode".
+  static constexpr std::uint32_t kWireMask =
+      (1u << (static_cast<unsigned>(FieldId::kQid))) - 1;
+
+  constexpr void set(FieldId id) { bits |= 1u << static_cast<unsigned>(id); }
+  constexpr void set_all() { bits = (1u << kNumFields) - 1; }
+  [[nodiscard]] constexpr bool test(FieldId id) const {
+    return (bits & (1u << static_cast<unsigned>(id))) != 0;
+  }
+  [[nodiscard]] constexpr int count() const { return std::popcount(bits); }
+  constexpr FieldUsage& operator|=(FieldUsage other) {
+    bits |= other.bits;
+    return *this;
+  }
+  /// Wire-resident fields read / skipped by a lazy decode of one frame.
+  [[nodiscard]] constexpr int wire_fields() const {
+    return std::popcount(bits & kWireMask);
+  }
+  [[nodiscard]] constexpr int wire_fields_skipped() const {
+    return std::popcount(kWireMask) - wire_fields();
+  }
+};
 
 /// Field name as written in queries ("srcip", "tin", ...).
 [[nodiscard]] std::string_view field_name(FieldId id);

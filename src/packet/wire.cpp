@@ -19,24 +19,12 @@ void put_u32(std::byte* p, std::uint32_t v) {
   p[3] = static_cast<std::byte>(v);
 }
 
-std::uint16_t get_u16(const std::byte* p) {
-  return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(p[0]) << 8) |
-                                    std::to_integer<std::uint16_t>(p[1]));
-}
-
-std::uint32_t get_u32(const std::byte* p) {
-  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
-         (std::to_integer<std::uint32_t>(p[1]) << 16) |
-         (std::to_integer<std::uint32_t>(p[2]) << 8) |
-         std::to_integer<std::uint32_t>(p[3]);
-}
-
 }  // namespace
 
 std::uint16_t ipv4_checksum(std::span<const std::byte> header) {
   std::uint32_t sum = 0;
   for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
-    sum += get_u16(header.data() + i);
+    sum += load_u16(header.data() + i);
   }
   while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
   return static_cast<std::uint16_t>(~sum & 0xFFFF);
@@ -96,17 +84,17 @@ std::vector<std::byte> serialize(const Packet& pkt) {
   return out;
 }
 
-std::optional<ParseResult> try_parse(std::span<const std::byte> bytes,
-                                     ParseError* error) {
-  const auto fail = [&](ParseError err) -> std::optional<ParseResult> {
+std::size_t check_frame(std::span<const std::byte> bytes, ParseError* error,
+                        bool verify_checksum) {
+  const auto fail = [&](ParseError err) -> std::size_t {
     if (error != nullptr) *error = err;
-    return std::nullopt;
+    return 0;
   };
   if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen) {
     return fail(ParseError::kTruncated);
   }
   const std::byte* p = bytes.data();
-  if (get_u16(p + 12) != kEtherTypeIpv4) {
+  if (load_u16(p + 12) != kEtherTypeIpv4) {
     return fail(ParseError::kUnsupportedEtherType);
   }
   p += kEthHeaderLen;
@@ -114,31 +102,27 @@ std::optional<ParseResult> try_parse(std::span<const std::byte> bytes,
   if ((std::to_integer<std::uint8_t>(p[0]) & 0xF0) != 0x40) {
     return fail(ParseError::kNotIpv4);
   }
-  Packet pkt;
-  const std::uint16_t ip_total = get_u16(p + 2);
-  pkt.pkt_uniq = get_u16(p + 4);
-  pkt.ip_ttl = std::to_integer<std::uint8_t>(p[8]);
-  pkt.flow.proto = std::to_integer<std::uint8_t>(p[9]);
-  pkt.flow.src_ip = get_u32(p + 12);
-  pkt.flow.dst_ip = get_u32(p + 16);
-  p += kIpv4HeaderLen;
+  // The checksum test comes before the protocol/length fields are trusted:
+  // a corrupted header must not be classified by its (corrupt) contents.
+  // RFC 1071: a header whose stored checksum is correct sums (checksum
+  // included) to 0xFFFF, so the ones'-complement of the sum is zero.
+  if (verify_checksum &&
+      ipv4_checksum(std::span<const std::byte>{p, kIpv4HeaderLen}) != 0) {
+    return fail(ParseError::kBadChecksum);
+  }
+  const std::uint16_t ip_total = load_u16(p + 2);
+  const std::uint8_t proto = std::to_integer<std::uint8_t>(p[9]);
 
   std::size_t l4_len = 0;
-  if (pkt.flow.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+  if (proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
     if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen + kTcpHeaderLen) {
       return fail(ParseError::kTruncated);
     }
-    pkt.flow.src_port = get_u16(p + 0);
-    pkt.flow.dst_port = get_u16(p + 2);
-    pkt.tcp_seq = get_u32(p + 4);
-    pkt.tcp_flags = std::to_integer<std::uint8_t>(p[13]);
     l4_len = kTcpHeaderLen;
-  } else if (pkt.flow.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+  } else if (proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
     if (bytes.size() < kEthHeaderLen + kIpv4HeaderLen + kUdpHeaderLen) {
       return fail(ParseError::kTruncated);
     }
-    pkt.flow.src_port = get_u16(p + 0);
-    pkt.flow.dst_port = get_u16(p + 2);
     l4_len = kUdpHeaderLen;
   } else {
     return fail(ParseError::kUnsupportedProtocol);
@@ -147,9 +131,35 @@ std::optional<ParseResult> try_parse(std::span<const std::byte> bytes,
   if (ip_total < kIpv4HeaderLen + l4_len) {
     return fail(ParseError::kBadLength);
   }
+  return kEthHeaderLen + kIpv4HeaderLen + l4_len;
+}
+
+std::optional<ParseResult> try_parse(std::span<const std::byte> bytes,
+                                     ParseError* error, bool verify_checksum) {
+  const std::size_t header_bytes = check_frame(bytes, error, verify_checksum);
+  if (header_bytes == 0) return std::nullopt;
+
+  // Validation passed: every offset below is in bounds and self-consistent.
+  const std::byte* p = bytes.data() + kEthHeaderLen;
+  Packet pkt;
+  const std::uint16_t ip_total = load_u16(p + 2);
+  pkt.pkt_uniq = load_u16(p + 4);
+  pkt.ip_ttl = std::to_integer<std::uint8_t>(p[8]);
+  pkt.flow.proto = std::to_integer<std::uint8_t>(p[9]);
+  pkt.flow.src_ip = load_u32(p + 12);
+  pkt.flow.dst_ip = load_u32(p + 16);
+  p += kIpv4HeaderLen;
+
+  pkt.flow.src_port = load_u16(p + 0);
+  pkt.flow.dst_port = load_u16(p + 2);
+  const std::size_t l4_len = header_bytes - kEthHeaderLen - kIpv4HeaderLen;
+  if (l4_len == kTcpHeaderLen) {
+    pkt.tcp_seq = load_u32(p + 4);
+    pkt.tcp_flags = std::to_integer<std::uint8_t>(p[13]);
+  }
   pkt.payload_len = static_cast<std::uint32_t>(ip_total - kIpv4HeaderLen - l4_len);
   pkt.pkt_len = static_cast<std::uint32_t>(kEthHeaderLen + ip_total);
-  return ParseResult{pkt, kEthHeaderLen + kIpv4HeaderLen + l4_len};
+  return ParseResult{pkt, header_bytes};
 }
 
 ParseResult parse(std::span<const std::byte> bytes) {

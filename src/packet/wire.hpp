@@ -44,6 +44,7 @@ enum class ParseError : std::uint8_t {
   kNotIpv4,               ///< EtherType said IPv4 but the version nibble isn't 4
   kUnsupportedProtocol,   ///< IP protocol other than TCP/UDP
   kBadLength,             ///< IPv4 total length smaller than its headers
+  kBadChecksum,           ///< IPv4 header checksum mismatch (opt-in check)
 };
 
 [[nodiscard]] constexpr const char* to_string(ParseError err) {
@@ -53,17 +54,47 @@ enum class ParseError : std::uint8_t {
     case ParseError::kNotIpv4: return "not IPv4";
     case ParseError::kUnsupportedProtocol: return "unsupported IP protocol";
     case ParseError::kBadLength: return "bad IPv4 total length";
+    case ParseError::kBadChecksum: return "bad IPv4 header checksum";
   }
   return "?";
 }
+
+/// Big-endian loads off the wire. Inline: the lazy wire-view record decodes
+/// individual fields on access through these, on the per-packet hot path.
+[[nodiscard]] inline std::uint16_t load_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(p[0]) << 8) |
+      std::to_integer<std::uint16_t>(p[1]));
+}
+
+[[nodiscard]] inline std::uint32_t load_u32(const std::byte* p) {
+  return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+         (std::to_integer<std::uint32_t>(p[1]) << 16) |
+         (std::to_integer<std::uint32_t>(p[2]) << 8) |
+         std::to_integer<std::uint32_t>(p[3]);
+}
+
+/// Validate a frame without materializing a Packet: the single source of
+/// truth for what counts as parseable (try_parse is check + extraction, so
+/// the two can never drift). Returns the frame's header-byte count on
+/// success, 0 on failure with the reason in `error`. A frame that passes is
+/// safe to hand to WireRecordView: every fixed field offset is in bounds.
+/// `verify_checksum` adds the (off-by-default) IPv4 header checksum test —
+/// a corrupted header is caught before its protocol/length fields are
+/// trusted.
+[[nodiscard]] std::size_t check_frame(std::span<const std::byte> bytes,
+                                      ParseError* error = nullptr,
+                                      bool verify_checksum = false);
 
 /// Parse wire bytes into a Packet without throwing: nullopt on malformed
 /// input, with the reason written to `error` when non-null. The truncation
 /// contract is exact: any prefix shorter than the frame's header bytes is
 /// kTruncated; any prefix covering them parses identically to the full frame
 /// (payload bytes are never read — lengths come from the IPv4 header).
+/// `verify_checksum` as in check_frame.
 [[nodiscard]] std::optional<ParseResult> try_parse(
-    std::span<const std::byte> bytes, ParseError* error = nullptr);
+    std::span<const std::byte> bytes, ParseError* error = nullptr,
+    bool verify_checksum = false);
 
 /// Throwing wrapper over try_parse: ConfigError carrying to_string(error)
 /// on malformed input. For callers where a bad frame is a hard error

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/error.hpp"
@@ -12,6 +13,7 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
     : program_(std::move(program)),
       config_(std::move(config)),
       stream_(program_, config_) {
+  wire_verify_checksums_ = config_.verify_checksums;
   // Key-value store per on-switch GROUPBY.
   for (const auto& plan : program_.switch_plans) {
     kv::CacheGeometry geometry = config_.geometry;
@@ -47,44 +49,93 @@ void QueryEngine::process_batch(std::span<const PacketRecord> records) {
   if (timed) batch_ns_.record(obs::now_ns() - t0);
 }
 
+template <typename Rec>
+void QueryEngine::process_chunk(std::span<const Rec> chunk) {
+  const std::size_t n = chunk.size();
+  const bool streams = !stream_.empty();
+
+  // Pass 1: evaluate prefilters and extract every key (computing its
+  // cached hash once), prefetching the owning cache bucket so its tag row
+  // and slots are resident by the time pass 2 folds the record.
+  for (auto& sw : switches_) {
+    for (std::size_t i = 0; i < n; ++i) sw.core.prepare(i, chunk[i]);
+  }
+
+  // Pass 2: fold records in time order (refresh boundaries included;
+  // prefetches above have no side effects, so ordering is preserved).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rec& rec = chunk[i];
+    if (config_.refresh_interval > Nanos{0}) {
+      if (next_refresh_ == Nanos{0}) {
+        next_refresh_ = rec.tin + config_.refresh_interval;
+      }
+      if (rec.tin >= next_refresh_) {
+        // Periodic backing-store refresh (§3.2): exact for linear folds,
+        // and non-linear folds record one more segment (accounted in
+        // accuracy).
+        for (auto& sw : switches_) sw.store->flush(rec.tin);
+        ++refreshes_;
+        next_refresh_ = rec.tin + config_.refresh_interval;
+      }
+    }
+    for (auto& sw : switches_) sw.core.fold(i, rec);
+    if (streams) stream_.observe(rec);
+  }
+}
+
 void QueryEngine::process_batch_impl(std::span<const PacketRecord> records) {
   records_ += records.size();
-  const bool streams = !stream_.empty();
   for (std::size_t base = 0; base < records.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, records.size() - base);
-    const std::span<const PacketRecord> chunk = records.subspan(base, n);
-
-    // Pass 1: evaluate prefilters and extract every key (computing its
-    // cached hash once), prefetching the owning cache bucket so its tag row
-    // and slots are resident by the time pass 2 folds the record.
-    for (auto& sw : switches_) {
-      for (std::size_t i = 0; i < n; ++i) sw.core.prepare(i, chunk[i]);
-    }
-
-    // Pass 2: fold records in time order (refresh boundaries included;
-    // prefetches above have no side effects, so ordering is preserved).
-    for (std::size_t i = 0; i < n; ++i) {
-      const PacketRecord& rec = chunk[i];
-      if (config_.refresh_interval > Nanos{0}) {
-        if (next_refresh_ == Nanos{0}) {
-          next_refresh_ = rec.tin + config_.refresh_interval;
-        }
-        if (rec.tin >= next_refresh_) {
-          // Periodic backing-store refresh (§3.2): exact for linear folds,
-          // and non-linear folds record one more segment (accounted in
-          // accuracy).
-          for (auto& sw : switches_) sw.store->flush(rec.tin);
-          ++refreshes_;
-          next_refresh_ = rec.tin + config_.refresh_interval;
-        }
-      }
-      for (auto& sw : switches_) sw.core.fold(i, rec);
-      if (streams) stream_.observe(rec);
-    }
+    process_chunk(records.subspan(base, n));
   }
   // Stream rows buffered above leave the engine here: one delivery per
   // process_batch call (the sink batch-boundary contract).
-  if (streams) stream_.deliver();
+  if (!stream_.empty()) stream_.deliver();
+}
+
+trace::IngestStats QueryEngine::process_wire_batch(
+    std::span<const FrameObservation> frames) {
+  throw_if_faulted();
+  check(!finished_, "QueryEngine: process after finish");
+  ++batches_;
+  const bool timed =
+      obs::kTelemetryEnabled &&
+      (frames.size() >= obs::kAlwaysTimeBatch ||
+       (batch_tick_++ & obs::kSmallBatchSampleMask) == 0);
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  trace::IngestStats stats;
+  guarded([&] { process_wire_batch_impl(frames, stats); });
+  record_ingest(stats);
+  if (timed) batch_ns_.record(obs::now_ns() - t0);
+  return stats;
+}
+
+void QueryEngine::process_wire_batch_impl(
+    std::span<const FrameObservation> frames, trace::IngestStats& stats) {
+  // Fused validate + dispatch: fill a chunk of lazy views (damaged frames
+  // skip-and-count, preserving time order across the survivors), run the
+  // same two-pass pipeline process_batch uses, repeat. Frame bytes are only
+  // read twice per record: the header validation and the lazy field loads
+  // the program actually performs.
+  std::array<WireRecordView, kBatchChunk> views;
+  std::size_t n = 0;
+  for (const FrameObservation& frame : frames) {
+    wire::ParseError err{};
+    if (wire::check_frame(frame.bytes, &err, wire_verify_checksums_) == 0) {
+      trace::count_parse_error(stats, err);
+      continue;
+    }
+    ++stats.parsed;
+    views[n++] = wire_record_view(frame);
+    if (n == kBatchChunk) {
+      process_chunk(std::span<const WireRecordView>{views.data(), n});
+      n = 0;
+    }
+  }
+  if (n > 0) process_chunk(std::span<const WireRecordView>{views.data(), n});
+  records_ += stats.parsed;
+  if (!stream_.empty()) stream_.deliver();
 }
 
 void QueryEngine::finish(Nanos now) {

@@ -48,6 +48,15 @@ class QueryEngine final : public Engine {
   /// to calling process() per record.
   void process_batch(std::span<const PacketRecord> records) override;
 
+  /// Fused lazy wire ingest: validate each frame (skip-and-count damage),
+  /// then run the SAME two-pass chunk pipeline over WireRecordViews — fields
+  /// decode lazily at their wire offsets, so only what the compiled program
+  /// reads (program().field_usage) is ever touched. No PacketRecord is
+  /// materialized for const-A/h=0 kernels. Bit-identical to parsing the
+  /// frames and calling process_batch().
+  trace::IngestStats process_wire_batch(
+      std::span<const FrameObservation> frames) override;
+
   /// End the query window: flush caches, run the collection layer. Must be
   /// called exactly once before reading results.
   void finish(Nanos now) override;
@@ -98,6 +107,13 @@ class QueryEngine final : public Engine {
 
   void materialize_switch_tables();
   void process_batch_impl(std::span<const PacketRecord> records);
+  void process_wire_batch_impl(std::span<const FrameObservation> frames,
+                               trace::IngestStats& stats);
+  /// The two-pass prepare/fold pipeline over one chunk (<= kBatchChunk
+  /// records), shared verbatim by the eager and lazy wire paths: record
+  /// semantics differ only in where field_value() reads from.
+  template <typename Rec>
+  void process_chunk(std::span<const Rec> chunk);
   /// store_stats() minus the fault gate — metrics() must work when poisoned.
   [[nodiscard]] std::vector<StoreStats> collect_store_stats() const;
   [[nodiscard]] const ResultTable* find_table(int index) const;

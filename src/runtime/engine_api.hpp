@@ -112,6 +112,7 @@
 #include "compiler/program.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
+#include "packet/wire_view.hpp"
 #include "runtime/stream_sink.hpp"
 #include "runtime/table.hpp"
 #include "trace/ingest_stats.hpp"
@@ -140,6 +141,10 @@ struct EngineConfig {
   /// get a default TableStreamSink(max_stream_rows). Unknown names (or names
   /// of non-stream queries) are a ConfigError at engine construction.
   std::map<std::string, std::shared_ptr<StreamSink>> stream_sinks;
+  /// Opt-in IPv4 header checksum verification on the wire ingest path
+  /// (process_wire_batch). Off by default: software captures rarely carry
+  /// valid checksums (offload). Failures skip-and-count as bad_checksum.
+  bool verify_checksums = false;
 };
 
 /// Per-switch-query statistics surfaced to the evaluation harnesses.
@@ -254,6 +259,41 @@ class Engine {
   /// rows in one delivery per call (stream_sink.hpp).
   virtual void process_batch(std::span<const PacketRecord> records) = 0;
 
+  /// Feed a burst of raw captured frames (time-ordered), fused with
+  /// dispatch: validation, field decode and fold happen in one pass per
+  /// frame. Damaged frames are SKIPPED AND COUNTED (never thrown on) into
+  /// the returned stats, which also accumulate into metrics().ingest.
+  /// Results over the surviving frames are bit-identical to parsing each
+  /// frame into a PacketRecord and calling process_batch() — the engines'
+  /// lazy overrides decode only the fields the compiled program reads
+  /// (CompiledProgram::field_usage), straight off the frame bytes. The base
+  /// implementation is the eager reference path.
+  virtual trace::IngestStats process_wire_batch(
+      std::span<const FrameObservation> frames) {
+    trace::IngestStats stats;
+    std::vector<PacketRecord> pending;
+    pending.reserve(frames.size());
+    for (const FrameObservation& frame : frames) {
+      wire::ParseError err{};
+      const auto parsed =
+          wire::try_parse(frame.bytes, &err, wire_verify_checksums_);
+      if (!parsed) {
+        trace::count_parse_error(stats, err);
+        continue;
+      }
+      PacketRecord& rec = pending.emplace_back();
+      rec.pkt = parsed->pkt;
+      rec.qid = frame.qid;
+      rec.tin = frame.tin;
+      rec.tout = frame.tout;
+      rec.qsize = frame.qsize;
+      ++stats.parsed;
+    }
+    process_batch(pending);
+    record_ingest(stats);
+    return stats;
+  }
+
   /// End the query window: flush caches, close stream sinks, run the
   /// collection layer. Must be called exactly once before result()/table().
   virtual void finish(Nanos now) = 0;
@@ -300,6 +340,7 @@ class Engine {
     ingest_telemetry_.truncated += stats.truncated;
     ingest_telemetry_.unsupported += stats.unsupported;
     ingest_telemetry_.bad_length += stats.bad_length;
+    ingest_telemetry_.bad_checksum += stats.bad_checksum;
   }
 
   /// Record one replay pass (trace::replay) for metrics().replay_*.
@@ -313,10 +354,14 @@ class Engine {
   /// (caller) thread, read by metrics() — single-writer relaxed, like every
   /// other slot.
   struct IngestTelemetry {
-    obs::RelaxedU64 parsed, truncated, unsupported, bad_length;
+    obs::RelaxedU64 parsed, truncated, unsupported, bad_length, bad_checksum;
     obs::RelaxedU64 replay_records, replay_nanos;
   };
   IngestTelemetry ingest_telemetry_;
+
+  /// Whether the wire ingest path verifies IPv4 header checksums. Concrete
+  /// engines set this from EngineConfig::verify_checksums at construction.
+  bool wire_verify_checksums_ = false;
 
   /// Copy the driver-side slots into a metrics result (concrete engines call
   /// this from their metrics()).
@@ -325,6 +370,7 @@ class Engine {
     m.ingest.truncated = ingest_telemetry_.truncated;
     m.ingest.unsupported = ingest_telemetry_.unsupported;
     m.ingest.bad_length = ingest_telemetry_.bad_length;
+    m.ingest.bad_checksum = ingest_telemetry_.bad_checksum;
     m.replay_records = ingest_telemetry_.replay_records;
     m.replay_nanos = ingest_telemetry_.replay_nanos;
   }

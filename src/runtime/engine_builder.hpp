@@ -66,6 +66,13 @@ class EngineBuilder {
     config_.stream_sinks[query] = std::move(sink);
     return *this;
   }
+  /// Verify IPv4 header checksums on the wire ingest path
+  /// (Engine::process_wire_batch); failures skip-and-count as bad_checksum.
+  /// Off by default — software captures rarely carry valid checksums.
+  EngineBuilder& verify_checksums(bool on = true) {
+    config_.verify_checksums = on;
+    return *this;
+  }
 
   /// Scale the store across `num_shards` worker cores (0 = serial engine,
   /// the default). Requires num_buckets % num_shards == 0 per geometry.

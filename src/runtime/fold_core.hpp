@@ -32,9 +32,13 @@ class SwitchFoldCore {
       : plan_(&plan), cache_(&cache) {}
 
   /// Pass 1 for chunk slot `i`: evaluate the prefilter, extract the key and
-  /// prefetch its bucket. Returns whether the record passed.
-  bool prepare(std::size_t i, const PacketRecord& rec) {
-    const compiler::RecordSource source({&rec, 1});
+  /// prefetch its bucket. Returns whether the record passed. Generic over
+  /// the record representation (PacketRecord or lazy WireRecordView): both
+  /// read fields through the field_value overload set, so pass/fail and the
+  /// packed key are bit-identical across representations.
+  template <typename Rec>
+  bool prepare(std::size_t i, const Rec& rec) {
+    const auto source = compiler::record_source(rec);
     pass_[i] = !plan_->prefilter.has_value() ||
                plan_->prefilter->eval_bool(source);
     if (pass_[i]) {
@@ -53,7 +57,8 @@ class SwitchFoldCore {
   }
 
   /// Pass 2 for chunk slot `i`: fold the record if it passed pass 1.
-  void fold(std::size_t i, const PacketRecord& rec) {
+  template <typename Rec>
+  void fold(std::size_t i, const Rec& rec) {
     PERFQ_FAILPOINT("fold_core.fold");
     if (pass_[i]) cache_->process(keys_[i], rec);
   }

@@ -26,6 +26,7 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
     : program_(std::move(program)),
       config_(std::move(config)),
       stream_(program_, config_.engine) {
+  wire_verify_checksums_ = config_.engine.verify_checksums;
   const std::size_t n_shards = config_.num_shards;
   const std::size_t n_dispatchers = config_.num_dispatchers;
   if (n_shards == 0) {
@@ -468,6 +469,36 @@ void ShardedEngine::process_batch(std::span<const PacketRecord> records) {
   // death, watchdog expiry): dispatch may have been silently abandoned —
   // surface it at the batch boundary rather than on the next call.
   throw_if_faulted();
+}
+
+trace::IngestStats ShardedEngine::process_wire_batch(
+    std::span<const FrameObservation> frames) {
+  // Fused validate + decode into the reusable caller-owned scratch, then the
+  // ordinary dispatch pipeline (which owns the poisoned-state machinery and
+  // batch telemetry). Steady-state: zero allocations once the scratch has
+  // grown to the burst size.
+  trace::IngestStats stats;
+  wire_pending_.clear();
+  wire_pending_.reserve(frames.size());
+  for (const FrameObservation& frame : frames) {
+    wire::ParseError err{};
+    const auto parsed =
+        wire::try_parse(frame.bytes, &err, wire_verify_checksums_);
+    if (!parsed) {
+      trace::count_parse_error(stats, err);
+      continue;
+    }
+    PacketRecord& rec = wire_pending_.emplace_back();
+    rec.pkt = parsed->pkt;
+    rec.qid = frame.qid;
+    rec.tin = frame.tin;
+    rec.tout = frame.tout;
+    rec.qsize = frame.qsize;
+    ++stats.parsed;
+  }
+  process_batch(wire_pending_);
+  record_ingest(stats);
+  return stats;
 }
 
 void ShardedEngine::process_batch_impl(std::span<const PacketRecord> records) {

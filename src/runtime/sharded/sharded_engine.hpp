@@ -127,6 +127,17 @@ class ShardedEngine final : public Engine {
   /// once every record is staged or published; folding proceeds async.
   void process_batch(std::span<const PacketRecord> records) override;
 
+  /// Wire-burst front end: validate every frame (damaged frames skip-and-
+  /// count), decode survivors once into a reusable caller-owned buffer, then
+  /// run the ordinary dispatch pipeline. The sharded topology ships records
+  /// BY VALUE through its ring matrix (workers outlive the caller's frame
+  /// buffers), so — unlike QueryEngine's fully lazy override — the decode is
+  /// not skipped, only fused: one pass, no per-burst allocation in steady
+  /// state, identical skip/count semantics. Results are bit-identical to
+  /// parse-then-process_batch.
+  trace::IngestStats process_wire_batch(
+      std::span<const FrameObservation> frames) override;
+
   /// Drain rings and eviction queues, join all threads, then materialize
   /// results (cross-shard union is exact; see file comment). Call once.
   void finish(Nanos now) override;
@@ -389,6 +400,7 @@ class ShardedEngine final : public Engine {
   std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
   StreamStage stream_;
   std::vector<FlushEvent> flush_events_;  ///< per-batch scratch (caller only)
+  std::vector<PacketRecord> wire_pending_;  ///< wire-burst scratch (caller only)
   std::thread merge_thread_;
   std::atomic<bool> merge_stop_{false};
   std::atomic<bool> merge_exited_{false};

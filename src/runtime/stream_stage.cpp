@@ -52,8 +52,9 @@ StreamStage::StreamStage(const compiler::CompiledProgram& program,
   }
 }
 
-void StreamStage::observe(const PacketRecord& rec) {
-  const compiler::RecordSource source({&rec, 1});
+template <typename Rec>
+void StreamStage::observe(const Rec& rec) {
+  const auto source = compiler::record_source(rec);
   for (Entry& entry : entries_) {
     // A saturated sink (e.g. an overflowed table sink) drops every further
     // row anyway: skip the filter/projection work per record.
@@ -70,6 +71,9 @@ void StreamStage::observe(const PacketRecord& rec) {
     entry.batch.push_back(std::move(row));
   }
 }
+
+template void StreamStage::observe<PacketRecord>(const PacketRecord&);
+template void StreamStage::observe<WireRecordView>(const WireRecordView&);
 
 void StreamStage::deliver() {
   for (Entry& entry : entries_) {

@@ -30,7 +30,10 @@ class StreamStage {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
   /// Evaluate every sink's filter/projections on one record (record order).
-  void observe(const PacketRecord& rec);
+  /// Generic over the record representation; the wire ingest path evaluates
+  /// straight off frame bytes. Instantiated in stream_stage.cpp.
+  template <typename Rec>
+  void observe(const Rec& rec);
 
   /// Flush the rows buffered since the last deliver() to the sinks — one
   /// on_batch() per sink per process_batch() call with matching rows.

@@ -3,13 +3,16 @@
 // Live capture and on-disk traces both deliver damaged input as a matter of
 // course — snap-length truncation, foreign EtherTypes, files cut off by a
 // crashed writer. The ingest layer (wire::try_parse, TraceReader,
-// replay_frames) skips such input instead of aborting the run, and counts
-// what it skipped here so the caller can tell "clean trace" from "mostly
-// garbage" — a run that silently dropped half its frames is not a result.
+// replay_frames, Engine::process_wire_batch) skips such input instead of
+// aborting the run, and counts what it skipped here so the caller can tell
+// "clean trace" from "mostly garbage" — a run that silently dropped half its
+// frames is not a result.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "packet/wire.hpp"
 
 namespace perfq::trace {
 
@@ -18,10 +21,11 @@ struct IngestStats {
   std::uint64_t truncated = 0;    ///< fewer bytes than the headers require
   std::uint64_t unsupported = 0;  ///< non-IPv4 / non-TCP/UDP frames
   std::uint64_t bad_length = 0;   ///< self-inconsistent headers
+  std::uint64_t bad_checksum = 0;  ///< IPv4 checksum mismatch (opt-in check)
 
   /// Frames skipped for any reason.
   [[nodiscard]] std::uint64_t dropped() const {
-    return truncated + unsupported + bad_length;
+    return truncated + unsupported + bad_length + bad_checksum;
   }
   /// Frames seen (delivered + skipped).
   [[nodiscard]] std::uint64_t total() const { return parsed + dropped(); }
@@ -30,7 +34,8 @@ struct IngestStats {
     return "ingest: parsed=" + std::to_string(parsed) +
            " truncated=" + std::to_string(truncated) +
            " unsupported=" + std::to_string(unsupported) +
-           " bad_length=" + std::to_string(bad_length);
+           " bad_length=" + std::to_string(bad_length) +
+           " bad_checksum=" + std::to_string(bad_checksum);
   }
 
   IngestStats& operator+=(const IngestStats& other) {
@@ -38,8 +43,25 @@ struct IngestStats {
     truncated += other.truncated;
     unsupported += other.unsupported;
     bad_length += other.bad_length;
+    bad_checksum += other.bad_checksum;
     return *this;
   }
 };
+
+/// The one mapping from a parse failure to its stats bucket — every resilient
+/// feed (replay_frames, process_wire_batch) classifies through this so the
+/// buckets can never drift between ingest paths.
+inline void count_parse_error(IngestStats& stats, wire::ParseError err) {
+  switch (err) {
+    case wire::ParseError::kTruncated: ++stats.truncated; break;
+    case wire::ParseError::kUnsupportedEtherType:
+    case wire::ParseError::kNotIpv4:
+    case wire::ParseError::kUnsupportedProtocol:
+      ++stats.unsupported;
+      break;
+    case wire::ParseError::kBadLength: ++stats.bad_length; break;
+    case wire::ParseError::kBadChecksum: ++stats.bad_checksum; break;
+  }
+}
 
 }  // namespace perfq::trace

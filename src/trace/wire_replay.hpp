@@ -7,6 +7,10 @@
 // never thrown on: one bad frame in a billion-packet capture must not abort
 // the run, but the caller gets an exact IngestStats accounting of what was
 // dropped. Statically polymorphic over the engine like replay.hpp.
+//
+// This is the eager (materialize-per-frame) reference path. Engines expose
+// process_wire_batch() (runtime/engine_api.hpp) for the fused lazy path that
+// folds straight off the frame bytes; results are bit-identical.
 #pragma once
 
 #include <algorithm>
@@ -16,55 +20,44 @@
 
 #include "packet/record.hpp"
 #include "packet/wire.hpp"
+#include "packet/wire_view.hpp"
 #include "trace/ingest_stats.hpp"
 
 namespace perfq::trace {
 
-/// One captured frame: the wire bytes (possibly truncated by the capture's
-/// snap length) plus the telemetry the INT/queue layer observed for it —
-/// the fields a raw frame does not encode.
-struct FrameObservation {
-  std::span<const std::byte> bytes;
-  std::uint32_t qid = 0;
-  Nanos tin{0};
-  Nanos tout{0};
-  std::uint32_t qsize = 0;
-};
+/// FrameObservation lives in packet/wire_view.hpp with the wire-view record
+/// it feeds; aliased here for the trace-facing callers that predate it.
+using perfq::FrameObservation;
 
 /// Decode `frames` through wire::try_parse and feed the survivors into
 /// `engine` in `batch`-sized time-ordered batches (frames must arrive
 /// time-ordered; skipping preserves order). Returns the ingest accounting;
 /// stats.parsed is exactly the number of records the engine received.
+/// `verify_checksums` adds the opt-in IPv4 header checksum test (failures
+/// count as bad_checksum).
 template <typename Engine>
 IngestStats replay_frames(Engine& engine,
                           std::span<const FrameObservation> frames,
-                          std::size_t batch = 1024) {
+                          std::size_t batch = 1024,
+                          bool verify_checksums = false) {
   if (batch == 0) batch = 1;
   IngestStats stats;
   std::vector<PacketRecord> pending;
   pending.reserve(std::min(batch, frames.size()));
   for (const FrameObservation& frame : frames) {
     wire::ParseError err{};
-    const auto parsed = wire::try_parse(frame.bytes, &err);
+    const auto parsed = wire::try_parse(frame.bytes, &err, verify_checksums);
     if (!parsed) {
-      switch (err) {
-        case wire::ParseError::kTruncated: ++stats.truncated; break;
-        case wire::ParseError::kUnsupportedEtherType:
-        case wire::ParseError::kNotIpv4:
-        case wire::ParseError::kUnsupportedProtocol:
-          ++stats.unsupported;
-          break;
-        case wire::ParseError::kBadLength: ++stats.bad_length; break;
-      }
+      count_parse_error(stats, err);
       continue;
     }
-    PacketRecord rec;
+    // Build the record in place: one header decode, zero record copies.
+    PacketRecord& rec = pending.emplace_back();
     rec.pkt = parsed->pkt;
     rec.qid = frame.qid;
     rec.tin = frame.tin;
     rec.tout = frame.tout;
     rec.qsize = frame.qsize;
-    pending.push_back(rec);
     ++stats.parsed;
     if (pending.size() >= batch) {
       engine.process_batch(std::span<const PacketRecord>(pending));

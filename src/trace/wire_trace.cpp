@@ -1,0 +1,257 @@
+#include "trace/wire_trace.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PERFQ_WIRE_TRACE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace perfq::trace {
+namespace {
+
+// On-disk layouts (little-endian, packed by hand to stay portable). Frame
+// bodies have arbitrary lengths, so headers after the first frame land at
+// unaligned offsets — always memcpy out of the mapping, never cast.
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t count;
+};
+static_assert(sizeof(FileHeader) == 16, "wire trace header layout drifted");
+
+struct FrameHeader {
+  std::uint32_t wire_len;
+  std::uint32_t qid;
+  std::uint32_t qsize;
+  std::uint32_t reserved;
+  std::int64_t tin_ns;
+  std::int64_t tout_ns;
+};
+static_assert(sizeof(FrameHeader) == 32, "wire frame header layout drifted");
+
+// pcap-lite: the classic libpcap container, little-endian host order only.
+struct PcapFileHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t network;
+};
+static_assert(sizeof(PcapFileHeader) == 24, "pcap header layout drifted");
+
+struct PcapRecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_frac;  ///< micro- or nanoseconds, per the file magic
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(PcapRecordHeader) == 16, "pcap record layout drifted");
+
+constexpr std::uint32_t byte_swap(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+
+}  // namespace
+
+WireTraceWriter::WireTraceWriter(const std::filesystem::path& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw ConfigError{"WireTraceWriter: cannot open " + path.string()};
+  }
+  const FileHeader hdr{kWireTraceMagic, kWireTraceVersion, 0};
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+}
+
+WireTraceWriter::~WireTraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; a failed close surfaces when close() is
+    // called explicitly.
+  }
+}
+
+void WireTraceWriter::write(const FrameObservation& frame) {
+  check(!closed_, "WireTraceWriter: write after close");
+  FrameHeader hdr{};
+  hdr.wire_len = static_cast<std::uint32_t>(frame.bytes.size());
+  hdr.qid = frame.qid;
+  hdr.qsize = frame.qsize;
+  hdr.tin_ns = frame.tin.count();
+  hdr.tout_ns = frame.tout.count();
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out_.write(reinterpret_cast<const char*>(frame.bytes.data()),
+             static_cast<std::streamsize>(frame.bytes.size()));
+  ++count_;
+}
+
+void WireTraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(0);
+  const FileHeader hdr{kWireTraceMagic, kWireTraceVersion, count_};
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out_.flush();
+  if (!out_) throw ConfigError{"WireTraceWriter: write failure on close"};
+}
+
+WireTraceReader::WireTraceReader(const std::filesystem::path& path) {
+#ifdef PERFQ_WIRE_TRACE_MMAP
+  // Map read-only and let the page cache feed the bursts; MAP_PRIVATE so a
+  // concurrently-truncated file cannot alias our view with someone's writes.
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* m = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+      if (m != MAP_FAILED) {
+        map_ = m;
+        size_ = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  if (map_ == nullptr) {
+    // Heap fallback: empty files, exotic filesystems, non-POSIX builds.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      throw ConfigError{"WireTraceReader: cannot open " + path.string()};
+    }
+    const std::streamsize bytes = in.tellg();
+    heap_.resize(static_cast<std::size_t>(bytes));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(heap_.data()), bytes);
+    if (!in && bytes > 0) {
+      throw ConfigError{"WireTraceReader: cannot read " + path.string()};
+    }
+    size_ = heap_.size();
+  }
+
+  // The header decides the dialect; damage here is rejected outright —
+  // unlike a torn tail, there is nothing meaningful to salvage.
+  std::uint32_t magic = 0;
+  if (size_ >= sizeof(magic)) std::memcpy(&magic, data(), sizeof(magic));
+  if (magic == kWireTraceMagic) {
+    FileHeader hdr{};
+    if (size_ < sizeof(hdr)) {
+      throw ConfigError{"WireTraceReader: truncated PQWF header in " +
+                        path.string()};
+    }
+    std::memcpy(&hdr, data(), sizeof(hdr));
+    if (hdr.version != kWireTraceVersion) {
+      throw ConfigError{"WireTraceReader: unsupported PQWF version " +
+                        std::to_string(hdr.version)};
+    }
+    total_ = hdr.count;
+    pos_ = sizeof(hdr);
+  } else if (magic == kPcapMagicMicros || magic == kPcapMagicNanos) {
+    if (size_ < sizeof(PcapFileHeader)) {
+      throw ConfigError{"WireTraceReader: truncated pcap header in " +
+                        path.string()};
+    }
+    pcap_ = true;
+    pcap_nanos_ = magic == kPcapMagicNanos;
+    pos_ = sizeof(PcapFileHeader);
+  } else if (byte_swap(magic) == kPcapMagicMicros ||
+             byte_swap(magic) == kPcapMagicNanos) {
+    throw ConfigError{
+        "WireTraceReader: byte-swapped pcap unsupported: " + path.string()};
+  } else {
+    throw ConfigError{"WireTraceReader: not a PQWF or pcap trace: " +
+                      path.string()};
+  }
+}
+
+WireTraceReader::~WireTraceReader() {
+#ifdef PERFQ_WIRE_TRACE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+const std::byte* WireTraceReader::data() const {
+  return map_ != nullptr ? static_cast<const std::byte*>(map_) : heap_.data();
+}
+
+void WireTraceReader::end_torn() {
+  // A frame started (or was promised) but the bytes ran out: crashed
+  // writer, partial copy. Data condition — count and end, never throw.
+  if (pcap_) {
+    ++stats_.truncated;  // pcap has no promised count; charge the torn one
+  } else {
+    stats_.truncated += total_ - read_;
+  }
+  exhausted_ = true;
+}
+
+std::optional<FrameObservation> WireTraceReader::next() {
+  if (exhausted_) return std::nullopt;
+  if (!pcap_ && read_ >= total_) return std::nullopt;
+  if (pcap_ && pos_ >= size_) {  // clean pcap EOF: ran exactly dry
+    exhausted_ = true;
+    return std::nullopt;
+  }
+
+  std::uint32_t wire_len = 0;
+  FrameObservation out;
+  if (pcap_) {
+    PcapRecordHeader hdr{};
+    if (size_ - pos_ < sizeof(hdr)) {
+      end_torn();
+      return std::nullopt;
+    }
+    std::memcpy(&hdr, data() + pos_, sizeof(hdr));
+    pos_ += sizeof(hdr);
+    wire_len = hdr.incl_len;
+    const std::int64_t frac_ns =
+        pcap_nanos_ ? static_cast<std::int64_t>(hdr.ts_frac)
+                    : static_cast<std::int64_t>(hdr.ts_frac) * 1000;
+    // pcap carries no queue telemetry: tin = tout = capture time, so the
+    // observation reads as "forwarded instantly" downstream.
+    out.tin = Nanos{static_cast<std::int64_t>(hdr.ts_sec) * 1'000'000'000 +
+                    frac_ns};
+    out.tout = out.tin;
+  } else {
+    FrameHeader hdr{};
+    if (size_ - pos_ < sizeof(hdr)) {
+      end_torn();
+      return std::nullopt;
+    }
+    std::memcpy(&hdr, data() + pos_, sizeof(hdr));
+    pos_ += sizeof(hdr);
+    wire_len = hdr.wire_len;
+    out.qid = hdr.qid;
+    out.qsize = hdr.qsize;
+    out.tin = Nanos{hdr.tin_ns};
+    out.tout = Nanos{hdr.tout_ns};
+  }
+
+  if (size_ - pos_ < wire_len) {
+    end_torn();
+    return std::nullopt;
+  }
+  out.bytes = std::span<const std::byte>(data() + pos_, wire_len);
+  pos_ += wire_len;
+  ++read_;
+  ++stats_.parsed;
+  return out;
+}
+
+void write_wire_trace(const std::filesystem::path& path,
+                      std::span<const FrameObservation> frames) {
+  WireTraceWriter writer(path);
+  for (const FrameObservation& frame : frames) writer.write(frame);
+  writer.close();
+}
+
+}  // namespace perfq::trace

@@ -2,6 +2,8 @@
 // file round-trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <span>
@@ -15,6 +17,7 @@
 #include "trace/replay.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/wire_replay.hpp"
+#include "trace/wire_trace.hpp"
 
 namespace perfq::trace {
 namespace {
@@ -332,6 +335,187 @@ TEST(WireReplay, SkipsAndCountsDamagedFrames) {
     EXPECT_EQ(delivered.qsize, records[i].qsize) << i;
   }
   EXPECT_FALSE(stats.to_string().empty());
+}
+
+/// Serialize records into owned frame bytes + FrameObservations (the inner
+/// vectors never move their heap buffers, so the spans stay valid).
+struct FrameSet {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<FrameObservation> frames;
+};
+
+FrameSet frames_from(const std::vector<PacketRecord>& records) {
+  FrameSet set;
+  for (const PacketRecord& rec : records) {
+    set.storage.push_back(wire::serialize(rec.pkt));
+    FrameObservation frame;
+    frame.bytes = set.storage.back();
+    frame.qid = rec.qid;
+    frame.tin = rec.tin;
+    frame.tout = rec.tout;
+    frame.qsize = rec.qsize;
+    set.frames.push_back(frame);
+  }
+  return set;
+}
+
+TEST(WireTrace, RoundTripsFramesAndTelemetry) {
+  TraceConfig c = small_config();
+  c.num_flows = 30;
+  const auto records = generate_all(c, 200);
+  const auto set = frames_from(records);
+  const auto path = std::filesystem::temp_directory_path() / "perfq.pqwf";
+  write_wire_trace(path, set.frames);
+
+  WireTraceReader reader(path);
+  EXPECT_FALSE(reader.is_pcap());
+  EXPECT_EQ(reader.frame_count(), records.size());
+  std::size_t i = 0;
+  while (auto frame = reader.next()) {
+    ASSERT_LT(i, set.frames.size());
+    const FrameObservation& want = set.frames[i];
+    ASSERT_EQ(frame->bytes.size(), want.bytes.size()) << i;
+    EXPECT_EQ(std::memcmp(frame->bytes.data(), want.bytes.data(),
+                          want.bytes.size()),
+              0)
+        << i;
+    EXPECT_EQ(frame->qid, want.qid) << i;
+    EXPECT_EQ(frame->tin, want.tin) << i;
+    EXPECT_EQ(frame->tout, want.tout) << i;
+    EXPECT_EQ(frame->qsize, want.qsize) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+  EXPECT_EQ(reader.frames_read(), records.size());
+  EXPECT_EQ(reader.stats().dropped(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(WireTrace, RejectsGarbageAndForeignFiles) {
+  const auto path = std::filesystem::temp_directory_path() / "garbage.pqwf";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a wire trace, nor a pcap";
+  }
+  EXPECT_THROW(WireTraceReader{path}, ConfigError);
+  {
+    // Byte-swapped pcap magic: a big-endian capture we refuse up front
+    // rather than silently misparse.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::uint32_t swapped = 0xd4c3b2a1;
+    out.write(reinterpret_cast<const char*>(&swapped), sizeof(swapped));
+    std::vector<char> rest(40, 0);
+    out.write(rest.data(), static_cast<std::streamsize>(rest.size()));
+  }
+  EXPECT_THROW(WireTraceReader{path}, ConfigError);
+  std::filesystem::remove(path);
+  EXPECT_THROW(WireTraceReader{path}, ConfigError);  // missing file
+}
+
+TEST(WireTrace, TornTailFuzzAtEveryByteOffset) {
+  // The mmap reader's torn-tail contract, exhaustively: cut the file at
+  // EVERY byte offset past the file header. The reader must deliver exactly
+  // the frames that fit completely, count the rest as truncated, and never
+  // throw or hand out a span past the mapping.
+  TraceConfig c = small_config();
+  c.num_flows = 5;
+  const auto records = generate_all(c, 12);
+  ASSERT_GE(records.size(), 4u);
+  const auto set = frames_from(records);
+  const auto path = std::filesystem::temp_directory_path() / "torn.pqwf";
+  write_wire_trace(path, set.frames);
+
+  // Frame end offsets in the file: header is 16 bytes, each frame is a
+  // 32-byte frame header plus its wire bytes.
+  std::vector<std::uintmax_t> frame_end;
+  std::uintmax_t off = 16;
+  for (const auto& frame : set.frames) {
+    off += 32 + frame.bytes.size();
+    frame_end.push_back(off);
+  }
+  const std::uintmax_t full = std::filesystem::file_size(path);
+  ASSERT_EQ(full, frame_end.back());
+
+  for (std::uintmax_t cut = full - 1; cut >= 16; --cut) {
+    std::filesystem::resize_file(path, cut);
+    const std::size_t fit = static_cast<std::size_t>(
+        std::count_if(frame_end.begin(), frame_end.end(),
+                      [&](std::uintmax_t e) { return e <= cut; }));
+    WireTraceReader reader(path);
+    EXPECT_EQ(reader.frame_count(), records.size());  // the header's promise
+    std::size_t delivered = 0;
+    while (auto frame = reader.next()) {
+      EXPECT_EQ(frame->bytes.size(), set.frames[delivered].bytes.size());
+      ++delivered;
+    }
+    ASSERT_EQ(delivered, fit) << "cut at " << cut;
+    EXPECT_EQ(reader.stats().parsed, fit);
+    EXPECT_EQ(reader.stats().truncated, records.size() - fit);
+    // Ended means ended: no resurrection.
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(WireTrace, PcapFrontReadsClassicCaptures) {
+  // A hand-written classic pcap (microsecond magic): same reader surface,
+  // telemetry synthesized — no queue data on the wire, so tin == tout ==
+  // the capture timestamp and qid/qsize read 0.
+  Packet pkt;
+  pkt.flow = FiveTuple{0x0A000001, 0x0A000002, 1234, 80, 6};
+  pkt.pkt_len = 54;
+  const auto bytes = wire::serialize(pkt);
+
+  const auto path = std::filesystem::temp_directory_path() / "classic.pcap";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::uint32_t magic = kPcapMagicMicros;
+    const std::uint16_t version[2] = {2, 4};
+    const std::uint32_t zeros[3] = {0, 0, 0};  // thiszone, sigfigs reserved
+    const std::uint32_t snaplen = 65535;
+    const std::uint32_t network = 1;  // LINKTYPE_ETHERNET
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(version), 4);
+    out.write(reinterpret_cast<const char*>(zeros), 8);
+    out.write(reinterpret_cast<const char*>(&snaplen), 4);
+    out.write(reinterpret_cast<const char*>(&network), 4);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const std::uint32_t hdr[4] = {
+          /*ts_sec=*/10 + i, /*ts_usec=*/500,
+          /*incl_len=*/static_cast<std::uint32_t>(bytes.size()),
+          /*orig_len=*/static_cast<std::uint32_t>(bytes.size())};
+      out.write(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+  }
+
+  WireTraceReader reader(path);
+  EXPECT_TRUE(reader.is_pcap());
+  EXPECT_EQ(reader.frame_count(), 0u);  // pcap does not promise a count
+  std::size_t n = 0;
+  while (auto frame = reader.next()) {
+    EXPECT_EQ(frame->bytes.size(), bytes.size());
+    EXPECT_EQ(frame->tin, Nanos{(10 + static_cast<std::int64_t>(n)) *
+                                    1'000'000'000 +
+                                500 * 1'000});
+    EXPECT_EQ(frame->tout, frame->tin);
+    EXPECT_EQ(frame->qid, 0u);
+    EXPECT_EQ(frame->qsize, 0u);
+    ++n;
+  }
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(reader.stats().truncated, 0u);
+
+  // Torn pcap tail: cut into the last record's body — two clean frames,
+  // one counted torn.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 10);
+  WireTraceReader torn(path);
+  std::size_t delivered = 0;
+  while (torn.next()) ++delivered;
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(torn.stats().truncated, 1u);
+  std::filesystem::remove(path);
 }
 
 TEST(WireReplay, AllCleanFeedDropsNothing) {

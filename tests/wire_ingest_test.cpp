@@ -1,0 +1,419 @@
+// Wire-rate ingest: the lazy wire-view path (Engine::process_wire_batch,
+// folding straight off frame bytes) must be BIT-IDENTICAL to the eager
+// reference (wire::try_parse then process_batch) — same tables, same
+// counters, exact double equality — on both engines, with damage sprinkled
+// in and refresh on or off. Plus the sema FieldUsage contract the lazy
+// decode relies on, and the burst truncation property: a frame cut at any
+// byte offset is skipped-and-counted (or parses identically, if the cut
+// spared the headers) without perturbing its burst neighbors.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include "runtime/engine.hpp"
+#include "runtime/sharded/sharded_engine.hpp"
+#include "runtime_test_util.hpp"
+#include "trace/wire_replay.hpp"
+#include "trace/wire_trace.hpp"
+
+namespace perfq::runtime {
+namespace {
+
+const std::map<std::string, double> kParams = {{"alpha", 0.125}, {"K", 50}};
+
+/// The Fig. 2 fold corpus (the sharded-equivalence suite's list), spanning
+/// const-A, varying-A, h=1 linear and non-linear kernels — each stresses a
+/// different lazy-update specialization (builtins, compiled fold bodies,
+/// the history-window materializing fallback).
+struct CorpusEntry {
+  const char* name;
+  const char* source;
+};
+const CorpusEntry kFig2Corpus[] = {
+    {"counter", R"(
+def counter (cnt, (pkt_len)):
+    cnt = cnt + 1
+
+SELECT 5tuple, counter GROUPBY 5tuple
+)"},
+    {"bytecounter", R"(
+def bytecounter ((cnt, bytes), (pkt_len)):
+    cnt = cnt + 1
+    bytes = bytes + pkt_len
+
+SELECT 5tuple, bytecounter GROUPBY 5tuple
+)"},
+    {"ewma", R"(
+def ewma (lat_est, (tin, tout)):
+    lat_est = (1 - alpha) * lat_est + alpha * (tout - tin)
+
+SELECT 5tuple, ewma GROUPBY 5tuple
+)"},
+    {"outofseq", R"(
+def outofseq ((lastseq, oos_count), (tcpseq, payload_len)):
+    if lastseq + 1 != tcpseq: oos_count = oos_count + 1
+    lastseq = tcpseq + payload_len
+
+SELECT 5tuple, outofseq GROUPBY 5tuple
+)"},
+    {"nonmt", R"(
+def nonmt ((maxseq, nm_count), (tcpseq)):
+    if maxseq > tcpseq: nm_count = nm_count + 1
+    maxseq = max(maxseq, tcpseq)
+
+SELECT 5tuple, nonmt GROUPBY 5tuple
+)"},
+    {"perc", R"(
+def perc ((tot, high), qin):
+    if qin > K: high = high + 1
+    tot = tot + 1
+
+SELECT qid, perc GROUPBY qid
+)"},
+    {"sum_lat", R"(
+def sum_lat (lat, (tin, tout)):
+    lat = lat + (tout - tin)
+
+SELECT 5tuple, sum_lat GROUPBY 5tuple
+)"},
+    {"gear", R"(
+def gear (acc, (pkt_len)):
+    if pkt_len > 500:
+        acc = 2 * acc
+    else:
+        acc = acc + 1
+
+SELECT 5tuple, gear GROUPBY 5tuple
+)"},
+};
+
+/// Records serialized to wire frames with their telemetry sidecars.
+/// `storage` owns the bytes (inner vectors never move their heap buffers,
+/// so the spans in `frames` stay valid as more are appended).
+struct FrameSet {
+  std::vector<std::vector<std::byte>> storage;
+  std::vector<FrameObservation> frames;
+
+  void add(const PacketRecord& rec) {
+    storage.push_back(wire::serialize(rec.pkt));
+    add_bytes(storage.back(), rec);
+  }
+  void add_bytes(std::span<const std::byte> bytes, const PacketRecord& rec) {
+    FrameObservation frame;
+    frame.bytes = bytes;
+    frame.qid = rec.qid;
+    frame.tin = rec.tin;
+    frame.tout = rec.tout;
+    frame.qsize = rec.qsize;
+    frames.push_back(frame);
+  }
+};
+
+FrameSet serialize_workload(const std::vector<PacketRecord>& records) {
+  FrameSet set;
+  for (const PacketRecord& rec : records) set.add(rec);
+  return set;
+}
+
+EngineConfig engine_config(Nanos refresh) {
+  EngineConfig config;
+  config.geometry = kv::CacheGeometry::set_associative(64, 8);
+  config.refresh_interval = refresh;
+  return config;
+}
+
+/// Eager reference: try_parse every frame, feed the survivors through
+/// process_batch. Everything downstream of the parse is the pre-wire-view
+/// code path, so this is the semantic anchor the lazy path must match.
+ResultTable eager_reference(const char* source,
+                            std::span<const FrameObservation> frames,
+                            Nanos refresh, trace::IngestStats* stats_out) {
+  QueryEngine engine(compiler::compile_source(source, kParams),
+                     engine_config(refresh));
+  const trace::IngestStats stats =
+      trace::replay_frames(engine, frames, /*batch=*/777);
+  engine.finish(12_s);
+  if (stats_out != nullptr) *stats_out = stats;
+  return engine.result();
+}
+
+void run_wire_equivalence(const CorpusEntry& entry,
+                          std::span<const FrameObservation> frames,
+                          Nanos refresh) {
+  const std::string context =
+      std::string(entry.name) + " refresh=" + std::to_string(refresh.count());
+  trace::IngestStats want_stats;
+  const ResultTable want =
+      eager_reference(entry.source, frames, refresh, &want_stats);
+
+  // Serial lazy path, deliberately odd burst size (chunking must not show).
+  QueryEngine lazy(compiler::compile_source(entry.source, kParams),
+                   engine_config(refresh));
+  trace::IngestStats lazy_stats;
+  for (std::size_t base = 0; base < frames.size(); base += 501) {
+    const std::size_t n = std::min<std::size_t>(501, frames.size() - base);
+    lazy_stats += lazy.process_wire_batch(frames.subspan(base, n));
+  }
+  lazy.finish(12_s);
+  EXPECT_EQ(lazy_stats.parsed, want_stats.parsed) << context;
+  EXPECT_EQ(lazy_stats.dropped(), want_stats.dropped()) << context;
+  EXPECT_EQ(lazy.records_processed(), want_stats.parsed) << context;
+  expect_tables_bit_identical(want, lazy.result(), context + " [serial]");
+
+  // Sharded engines across the dispatch matrix: the wire burst is decoded
+  // once on the caller and fanned out by value through the rings.
+  for (const std::size_t dispatchers : {1u, 2u}) {
+    for (const std::size_t shards : {1u, 4u}) {
+      ShardedEngineConfig config;
+      config.engine = engine_config(refresh);
+      config.num_shards = shards;
+      config.num_dispatchers = dispatchers;
+      config.ring_capacity = 512;
+      config.dispatch_batch = 64;
+      ShardedEngine sharded(compiler::compile_source(entry.source, kParams),
+                            config);
+      trace::IngestStats sharded_stats;
+      for (std::size_t base = 0; base < frames.size(); base += 1024) {
+        const std::size_t n =
+            std::min<std::size_t>(1024, frames.size() - base);
+        sharded_stats += sharded.process_wire_batch(frames.subspan(base, n));
+      }
+      sharded.finish(12_s);
+      EXPECT_EQ(sharded_stats.parsed, want_stats.parsed) << context;
+      expect_tables_bit_identical(
+          want, sharded.result(),
+          context + " [D=" + std::to_string(dispatchers) +
+              " shards=" + std::to_string(shards) + "]");
+    }
+  }
+}
+
+TEST(WireIngest, Fig2CorpusBitIdenticalToEagerParse) {
+  const auto set = serialize_workload(test_workload());
+  for (const auto& entry : kFig2Corpus) {
+    run_wire_equivalence(entry, set.frames, /*refresh=*/0_s);
+  }
+}
+
+TEST(WireIngest, Fig2CorpusBitIdenticalWithPeriodicRefresh) {
+  // Refresh boundaries are found from the record's tin, which a wire view
+  // carries in its sidecar — epochs must land identically on both paths.
+  const auto set = serialize_workload(test_workload());
+  for (const auto& entry : kFig2Corpus) {
+    run_wire_equivalence(entry, set.frames, /*refresh=*/1_s);
+  }
+}
+
+TEST(WireIngest, DamagedFramesSkippedIdenticallyOnBothPaths) {
+  // Damage sprinkled through the burst: both paths must skip the same
+  // frames, count them under the same reasons, and agree on the tables.
+  const auto records = test_workload();
+  FrameSet set;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    set.storage.push_back(wire::serialize(records[i].pkt));
+    auto& bytes = set.storage.back();
+    if (i % 11 == 3) {
+      bytes.resize(bytes.size() / 4);  // snap-length truncation
+    } else if (i % 11 == 7) {
+      bytes[12] = std::byte{0x86};  // IPv6 EtherType
+      bytes[13] = std::byte{0xDD};
+    }
+    set.add_bytes(bytes, records[i]);
+  }
+  for (const auto& entry : {kFig2Corpus[1], kFig2Corpus[4]}) {
+    run_wire_equivalence(entry, set.frames, /*refresh=*/1_s);
+  }
+}
+
+TEST(WireIngest, ChecksumVerificationOptInCountsBadChecksum) {
+  const auto records = test_workload(/*seed=*/5, /*num_flows=*/50);
+  FrameSet set;
+  std::size_t corrupted = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    set.storage.push_back(wire::serialize(records[i].pkt));
+    auto& bytes = set.storage.back();
+    if (i % 7 == 2) {
+      bytes[22] ^= std::byte{0xFF};  // flip the TTL: checksum now stale
+      ++corrupted;
+    }
+    set.add_bytes(bytes, records[i]);
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  // Verification off (the default): a stale checksum is not consulted, the
+  // frame parses (with the corrupt TTL visible as data).
+  {
+    QueryEngine engine(compiler::compile_source(kFig2Corpus[0].source, kParams),
+                       engine_config(0_s));
+    const auto stats = engine.process_wire_batch(set.frames);
+    EXPECT_EQ(stats.parsed, set.frames.size());
+    EXPECT_EQ(stats.bad_checksum, 0u);
+  }
+  // Opt in on both engines: corrupted headers are skipped and counted, and
+  // the verdict reaches the metrics surface.
+  EngineConfig verifying = engine_config(0_s);
+  verifying.verify_checksums = true;
+  {
+    QueryEngine engine(compiler::compile_source(kFig2Corpus[0].source, kParams),
+                       verifying);
+    const auto stats = engine.process_wire_batch(set.frames);
+    EXPECT_EQ(stats.parsed, set.frames.size() - corrupted);
+    EXPECT_EQ(stats.bad_checksum, corrupted);
+    EXPECT_EQ(stats.dropped(), corrupted);
+    EXPECT_EQ(engine.metrics().ingest.bad_checksum, corrupted);
+  }
+  {
+    ShardedEngineConfig config;
+    config.engine = verifying;
+    config.num_shards = 4;
+    ShardedEngine engine(compiler::compile_source(kFig2Corpus[0].source, kParams),
+                         config);
+    const auto stats = engine.process_wire_batch(set.frames);
+    engine.finish(12_s);
+    EXPECT_EQ(stats.bad_checksum, corrupted);
+    EXPECT_EQ(engine.metrics().ingest.bad_checksum, corrupted);
+  }
+}
+
+TEST(WireIngest, BurstTruncationNeverPerturbsNeighbors) {
+  // The burst property behind resilient capture ingest: cut ONE frame at
+  // every possible byte offset inside a [good, cut, good] burst — the cut
+  // frame either parses identically to the full frame (the cut spared the
+  // headers; payload bytes are never read) or is skipped and counted, and
+  // the neighbors fold identically either way.
+  PacketRecord mid;
+  mid.pkt.flow = FiveTuple{0xC0A80101, 0x0A000001, 50000, 80, 6};
+  mid.pkt.payload_len = 64;
+  mid.pkt.pkt_len = 64 + 54;
+  mid.pkt.tcp_seq = 0x12345678;
+  mid.tin = Nanos{10};
+  mid.tout = Nanos{20};
+  const auto mid_bytes = wire::serialize(mid.pkt);
+  const std::size_t header_bytes = wire::parse(mid_bytes).header_bytes;
+
+  PacketRecord left = mid, right = mid;
+  left.pkt.flow.src_port = 1111;
+  right.pkt.flow.src_port = 2222;
+  const auto left_bytes = wire::serialize(left.pkt);
+  const auto right_bytes = wire::serialize(right.pkt);
+
+  QueryEngine engine(compiler::compile_source(kFig2Corpus[1].source, kParams),
+                     engine_config(0_s));
+  std::uint64_t want_parsed = 0;
+  std::uint64_t want_truncated = 0;
+  trace::IngestStats got;
+  FrameSet all;  // the identical feed, replayed eagerly as the reference
+  for (std::size_t len = 0; len <= mid_bytes.size(); ++len) {
+    FrameSet burst;
+    burst.add_bytes(left_bytes, left);
+    burst.add_bytes(std::span<const std::byte>(mid_bytes.data(), len), mid);
+    burst.add_bytes(right_bytes, right);
+    got += engine.process_wire_batch(burst.frames);
+    all.add_bytes(left_bytes, left);
+    all.add_bytes(std::span<const std::byte>(mid_bytes.data(), len), mid);
+    all.add_bytes(right_bytes, right);
+    want_parsed += len < header_bytes ? 2 : 3;
+    want_truncated += len < header_bytes ? 1 : 0;
+  }
+  engine.finish(1_s);
+  EXPECT_EQ(got.parsed, want_parsed);
+  EXPECT_EQ(got.truncated, want_truncated);
+  EXPECT_EQ(got.dropped(), want_truncated);
+
+  // Each burst folded its neighbors and exactly the header-complete cuts:
+  // the eager reference over the identical feed lands on the same table.
+  QueryEngine reference(
+      compiler::compile_source(kFig2Corpus[1].source, kParams),
+      engine_config(0_s));
+  const trace::IngestStats ref_stats =
+      trace::replay_frames(reference, all.frames, /*batch=*/64);
+  reference.finish(1_s);
+  EXPECT_EQ(ref_stats.parsed, want_parsed);
+  EXPECT_EQ(ref_stats.truncated, want_truncated);
+  ASSERT_EQ(engine.result().row_count(), 3u);
+  expect_tables_bit_identical(reference.result(), engine.result(),
+                              "burst truncation");
+}
+
+TEST(WireIngest, PqwfFileReplayMatchesInMemoryFrames) {
+  // Capture bytes from disk: frames written to a PQWF file and replayed
+  // through the mmap reader + process_wire_batch must land on the same
+  // tables and accounting as the same frames fed from memory — the spans
+  // the engine folds over alias the file mapping, zero copies in between.
+  const auto records = test_workload(/*seed=*/31, /*num_flows=*/100);
+  FrameSet set;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    set.storage.push_back(wire::serialize(records[i].pkt));
+    auto& bytes = set.storage.back();
+    if (i % 13 == 5) bytes.resize(10);  // damage rides along on disk too
+    set.add_bytes(bytes, records[i]);
+  }
+  const auto path =
+      std::filesystem::temp_directory_path() / "wire_ingest_roundtrip.pqwf";
+  trace::write_wire_trace(path, set.frames);
+
+  QueryEngine from_memory(
+      compiler::compile_source(kFig2Corpus[1].source, kParams),
+      engine_config(1_s));
+  trace::IngestStats mem_stats;
+  mem_stats += from_memory.process_wire_batch(set.frames);
+  from_memory.finish(12_s);
+
+  QueryEngine from_file(
+      compiler::compile_source(kFig2Corpus[1].source, kParams),
+      engine_config(1_s));
+  const trace::IngestStats file_stats =
+      trace::replay_wire_trace(from_file, path, /*burst=*/256);
+  from_file.finish(12_s);
+
+  EXPECT_EQ(file_stats.parsed, mem_stats.parsed);
+  EXPECT_EQ(file_stats.truncated, mem_stats.truncated);
+  expect_tables_bit_identical(from_memory.result(), from_file.result(),
+                              "pqwf replay");
+  std::filesystem::remove(path);
+}
+
+TEST(WireIngest, FieldUsageReflectsWhatTheProgramReads) {
+  // Sema's per-program FieldUsage is the lazy path's decode contract: a
+  // count-over-5tuple program touches exactly the key fields on the wire.
+  const auto counter =
+      compiler::compile_source(kFig2Corpus[0].source, kParams);
+  const FieldUsage usage = counter.field_usage;
+  for (const FieldId f : five_tuple_fields()) {
+    EXPECT_TRUE(usage.test(f)) << field_name(f);
+  }
+  EXPECT_FALSE(usage.test(FieldId::kPktLen));  // declared but never read
+  EXPECT_FALSE(usage.test(FieldId::kTcpSeq));
+  EXPECT_FALSE(usage.test(FieldId::kIpTtl));
+  EXPECT_EQ(usage.wire_fields(), 5);
+  EXPECT_EQ(usage.wire_fields_skipped(), 7);
+
+  // ewma keys on the 5-tuple but folds over sidecar timestamps only — the
+  // wire decode cost is still just the 13 key bytes.
+  const auto ewma = compiler::compile_source(kFig2Corpus[2].source, kParams);
+  EXPECT_TRUE(ewma.field_usage.test(FieldId::kTin));
+  EXPECT_TRUE(ewma.field_usage.test(FieldId::kTout));
+  EXPECT_EQ(ewma.field_usage.wire_fields(), 5);
+
+  // A predicate's reads count too.
+  const auto filtered = compiler::compile_source(
+      "SELECT 5tuple, COUNT GROUPBY 5tuple WHERE pkt_len > 100");
+  EXPECT_TRUE(filtered.field_usage.test(FieldId::kPktLen));
+  EXPECT_EQ(filtered.field_usage.wire_fields(), 6);
+
+  // Per-plan usage unions into the program-wide set.
+  FieldUsage unioned;
+  for (const auto& plan : filtered.switch_plans) {
+    unioned |= plan.used_fields;
+  }
+  EXPECT_EQ(unioned.bits, filtered.field_usage.bits);
+}
+
+}  // namespace
+}  // namespace perfq::runtime

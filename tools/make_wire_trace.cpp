@@ -1,0 +1,102 @@
+// make_wire_trace — generate a PQWF wire-frame trace from the synthetic
+// flow-session workload, optionally sprinkling damaged frames in so ingest
+// skip-and-count paths have something to skip.
+//
+//   make_wire_trace OUT.pqwf [--records N] [--flows N] [--seed S]
+//                   [--duration-ms MS] [--damage-every K]
+//
+// Damage cycles through the three classes the parser distinguishes:
+// snap-length truncation, a foreign EtherType, and a corrupted IPv4 header
+// (which also fails the opt-in checksum check). With --damage-every 0 (the
+// default) every frame is clean.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "packet/wire.hpp"
+#include "trace/flow_session.hpp"
+#include "trace/wire_trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s OUT.pqwf [--records N] [--flows N] [--seed S]\n"
+               "       [--duration-ms MS] [--damage-every K]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perfq;
+  if (argc < 2) return usage(argv[0]);
+  const std::string out_path = argv[1];
+  std::uint64_t records = 100'000;
+  std::uint32_t flows = 2000;
+  std::uint64_t seed = 7;
+  std::int64_t duration_ms = 10'000;
+  std::uint64_t damage_every = 0;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "--records") {
+      records = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--flows") {
+      flows = static_cast<std::uint32_t>(std::strtoul(val, nullptr, 10));
+    } else if (flag == "--seed") {
+      seed = std::strtoull(val, nullptr, 10);
+    } else if (flag == "--duration-ms") {
+      duration_ms = std::strtoll(val, nullptr, 10);
+    } else if (flag == "--damage-every") {
+      damage_every = std::strtoull(val, nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  trace::TraceConfig config;
+  config.seed = seed;
+  config.num_flows = flows;
+  config.duration = Nanos{duration_ms * 1'000'000};
+  const std::vector<PacketRecord> generated =
+      trace::generate_all(config, records);
+
+  trace::WireTraceWriter writer(out_path);
+  std::uint64_t damaged = 0;
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    const PacketRecord& rec = generated[i];
+    std::vector<std::byte> bytes = wire::serialize(rec.pkt);
+    if (damage_every > 0 && i % damage_every == damage_every - 1) {
+      switch ((i / damage_every) % 3) {
+        case 0: bytes.resize(bytes.size() / 3); break;  // snap truncation
+        case 1:  // IPv6 EtherType: a frame we do not speak
+          bytes[12] = std::byte{0x86};
+          bytes[13] = std::byte{0xDD};
+          break;
+        case 2:  // bit-flip the TTL: checksum no longer covers the header
+          bytes[22] ^= std::byte{0xFF};
+          break;
+      }
+      ++damaged;
+    }
+    FrameObservation frame;
+    frame.bytes = bytes;
+    frame.qid = rec.qid;
+    frame.tin = rec.tin;
+    frame.tout = rec.tout;
+    frame.qsize = rec.qsize;
+    writer.write(frame);
+  }
+  writer.close();
+  std::printf("%s: %llu frames (%llu damaged), %llu flows requested\n",
+              out_path.c_str(),
+              static_cast<unsigned long long>(writer.frames_written()),
+              static_cast<unsigned long long>(damaged),
+              static_cast<unsigned long long>(flows));
+  return 0;
+}
