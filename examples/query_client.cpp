@@ -1,0 +1,120 @@
+// Line-protocol client for the query server: send one command, print the
+// payload, exit 0 on OK / 1 on ERR. The scripted half of the socket round
+// trip CI exercises.
+//
+// Usage:
+//   ./build/examples/query_client <port> <command words...>
+//   ./build/examples/query_client 7411 LIST
+//   ./build/examples/query_client 7411 ATTACH heavy 'SELECT 5tuple, COUNT GROUPBY 5tuple'
+//
+// Words are joined with single spaces into one request line; quote the query
+// text so the shell hands it over as one argument (embedded newlines may be
+// written as the two-byte escape \n — see service/line_protocol.hpp).
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+/// Read one '\n'-terminated line from fd into `line` (newline stripped),
+/// buffering leftovers across calls. Returns false on EOF/error.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <port> <command words...>\n", argv[0]);
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port '%s'\n", argv[1]);
+    return 2;
+  }
+  std::string request;
+  for (int i = 2; i < argc; ++i) {
+    if (i > 2) request += ' ';
+    request += argv[i];
+  }
+  request += '\n';
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::fprintf(stderr, "connect 127.0.0.1:%d: %s\n", port,
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      std::fprintf(stderr, "write failed\n");
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  std::string status;
+  if (!read_line(fd, buffer, status)) {
+    std::fprintf(stderr, "connection closed before a response\n");
+    ::close(fd);
+    return 1;
+  }
+  int rc;
+  if (status.rfind("OK ", 0) == 0) {
+    rc = 0;
+    const long payload = std::atol(status.c_str() + 3);
+    std::string line;
+    for (long i = 0; i < payload; ++i) {
+      if (!read_line(fd, buffer, line)) {
+        std::fprintf(stderr, "truncated payload (%ld of %ld lines)\n", i,
+                     payload);
+        rc = 1;
+        break;
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  } else if (status.rfind("ERR ", 0) == 0) {
+    std::fprintf(stderr, "%s\n", status.c_str());
+    rc = 1;
+  } else {
+    std::fprintf(stderr, "malformed response '%s'\n", status.c_str());
+    rc = 1;
+  }
+  ::close(fd);
+  return rc;
+}

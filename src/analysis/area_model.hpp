@@ -56,6 +56,42 @@ struct DatacenterWorkloadModel {
   }
 };
 
+/// Admission pricing for a multi-tenant query service: each attached query's
+/// cache geometry is priced as a fraction of switch die area via AreaModel,
+/// and attach is admitted only while the running total stays within
+/// `max_die_fraction` — the paper's "< 2.5% additional die area" budget
+/// applied per box instead of per query. Pure arithmetic; the service layer
+/// owns when to charge()/release().
+struct AdmissionBudget {
+  AreaModel area;
+  double max_die_fraction = 0.025;  ///< §3.3: one 32-Mbit cache's budget
+  double used_die_fraction = 0.0;
+
+  /// On-chip cost of one cache slot: key bits plus one 64-bit word per
+  /// aggregation state dimension (matches the bench's kBitsPerPair=128 for
+  /// 8-byte keys with one 64-bit value).
+  [[nodiscard]] static double bits_per_pair(int key_bytes,
+                                            std::size_t state_dims) {
+    return static_cast<double>(key_bytes) * 8.0 +
+           64.0 * static_cast<double>(state_dims);
+  }
+  /// Die fraction a cache of `slots` entries at `bits_per_pair` costs.
+  [[nodiscard]] double price(std::uint64_t slots, double bpp) const {
+    return area.area_fraction(static_cast<double>(slots) * bpp /
+                              (1024.0 * 1024.0));
+  }
+  /// Whether charging `fraction` more would stay within budget. Exact-at-
+  /// budget admits; the epsilon absorbs float noise from summed prices.
+  [[nodiscard]] bool would_admit(double fraction) const {
+    return used_die_fraction + fraction <= max_die_fraction + 1e-12;
+  }
+  void charge(double fraction) { used_die_fraction += fraction; }
+  void release(double fraction) {
+    used_die_fraction -= fraction;
+    if (used_die_fraction < 0.0) used_die_fraction = 0.0;
+  }
+};
+
 /// Published single-core op rates for scale-out stores (paper's refs [1, 5,
 /// 10, 24]); the backing-store feasibility argument compares against these.
 struct BackingStoreCapacity {

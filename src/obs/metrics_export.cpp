@@ -69,6 +69,8 @@ void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn) {
     fn("store_total_keys", labels,
        static_cast<double>(q.accuracy.total_keys));
     fn("store_accuracy", labels, q.accuracy.accuracy());
+    fn("store_attached", labels, q.attached ? 1.0 : 0.0);
+    fn("store_attach_records", labels, static_cast<double>(q.attach_records));
   }
 
   for (const runtime::StreamSinkMetrics& s : m.streams) {
@@ -77,6 +79,8 @@ void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn) {
        static_cast<double>(s.rows_delivered));
     fn("stream_rows_dropped", labels, static_cast<double>(s.rows_dropped));
     fn("stream_saturated", labels, s.saturated ? 1.0 : 0.0);
+    fn("stream_attached", labels, s.attached ? 1.0 : 0.0);
+    fn("stream_attach_records", labels, static_cast<double>(s.attach_records));
   }
 
   for (const runtime::ShardMetrics& s : m.shards) {
@@ -186,13 +190,21 @@ std::string format_metrics(const runtime::EngineMetrics& m) {
            " hits=" + num(static_cast<double>(hits)) + " (" + num(hit_rate) +
            "%) evictions=" + num(static_cast<double>(q.cache.evictions)) +
            " keys=" + num(static_cast<double>(q.keys)) +
-           " accuracy=" + num(q.accuracy.accuracy()) + "\n";
+           " accuracy=" + num(q.accuracy.accuracy()) +
+           (q.attached ? " attached@" +
+                             num(static_cast<double>(q.attach_records))
+                       : "") +
+           "\n";
   }
   for (const runtime::StreamSinkMetrics& s : m.streams) {
     out += "stream '" + s.query +
            "': delivered=" + num(static_cast<double>(s.rows_delivered)) +
            " dropped=" + num(static_cast<double>(s.rows_dropped)) +
-           (s.saturated ? " saturated" : "") + "\n";
+           (s.saturated ? " saturated" : "") +
+           (s.attached ? " attached@" +
+                             num(static_cast<double>(s.attach_records))
+                       : "") +
+           "\n";
   }
   const auto hist_line = [&](const char* label,
                              const obs::HistogramSnapshot& h) {

@@ -53,6 +53,13 @@ class SampledEngine final : public runtime::Engine {
                                                  Nanos now) override {
     return inner_->snapshot(query_name, now);
   }
+  void attach_query(compiler::CompiledProgram program,
+                    const runtime::AttachOptions& options) override {
+    inner_->attach_query(std::move(program), options);
+  }
+  runtime::ResultTable detach_query(std::string_view name, Nanos now) override {
+    return inner_->detach_query(name, now);
+  }
   [[nodiscard]] std::vector<runtime::StoreStats> store_stats() const override {
     return inner_->store_stats();
   }

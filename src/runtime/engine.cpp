@@ -23,9 +23,9 @@ QueryEngine::QueryEngine(compiler::CompiledProgram program, EngineConfig config)
     }
     auto store = std::make_unique<kv::KeyValueStore>(
         geometry, plan.kernel, config_.hash_seed, config_.eviction_policy);
-    kv::Cache& cache = store->cache();
+    auto core = std::make_unique<SwitchFoldCore>(plan, store->cache());
     switches_.push_back(
-        SwitchInstance{&plan, std::move(store), SwitchFoldCore(plan, cache)});
+        SwitchInstance{&plan, std::move(store), std::move(core), nullptr, 0});
   }
 }
 
@@ -58,7 +58,7 @@ void QueryEngine::process_chunk(std::span<const Rec> chunk) {
   // cached hash once), prefetching the owning cache bucket so its tag row
   // and slots are resident by the time pass 2 folds the record.
   for (auto& sw : switches_) {
-    for (std::size_t i = 0; i < n; ++i) sw.core.prepare(i, chunk[i]);
+    for (std::size_t i = 0; i < n; ++i) sw.core->prepare(i, chunk[i]);
   }
 
   // Pass 2: fold records in time order (refresh boundaries included;
@@ -78,7 +78,7 @@ void QueryEngine::process_chunk(std::span<const Rec> chunk) {
         next_refresh_ = rec.tin + config_.refresh_interval;
       }
     }
-    for (auto& sw : switches_) sw.core.fold(i, rec);
+    for (auto& sw : switches_) sw.core->fold(i, rec);
     if (streams) stream_.observe(rec);
   }
 }
@@ -145,12 +145,89 @@ void QueryEngine::finish(Nanos now) {
   guarded([&] {
     for (auto& sw : switches_) sw.store->flush(now);
     materialize_switch_tables();
-    stream_.finish(tables_);
+    stream_.finish(tables_, attached_tables_);
     for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
       if (tables_.count(static_cast<int>(i)) > 0) continue;
       run_collection_query(program_, static_cast<int>(i), tables_);
     }
   });
+}
+
+void QueryEngine::attach_query(compiler::CompiledProgram program,
+                               const AttachOptions& options) {
+  throw_if_faulted();
+  check(!finished_, "QueryEngine: attach after finish");
+  // Validation throws (ConfigError) before ANY state change: a rejected
+  // attach leaves the engine exactly as it was.
+  const AttachKind kind = attachable_kind(program);
+  if (options.name.empty()) {
+    throw ConfigError{"attach: query name must not be empty"};
+  }
+  for (const auto& sw : switches_) {
+    if (sw.plan->name == options.name) {
+      throw ConfigError{"attach: query '" + options.name + "' already exists"};
+    }
+  }
+  if (stream_.has(options.name) ||
+      program_.analysis.query_index(options.name) >= 0) {
+    throw ConfigError{"attach: query '" + options.name + "' already exists"};
+  }
+  // The tenant owns its program; rename its result to the resident name.
+  auto owned = std::make_shared<compiler::CompiledProgram>(std::move(program));
+  owned->analysis.queries.back().def.result_name = options.name;
+  if (kind == AttachKind::kStreamSelect) {
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    stream_.attach(std::move(owned), options.name, options.sink, config_,
+                   records_);
+    return;
+  }
+  compiler::SwitchQueryPlan& plan = owned->switch_plans.front();
+  plan.name = options.name;
+  kv::CacheGeometry geometry = config_.geometry;
+  if (const auto it = config_.per_query_geometry.find(options.name);
+      it != config_.per_query_geometry.end()) {
+    geometry = it->second;
+  }
+  if (options.geometry.has_value()) geometry = *options.geometry;
+  auto store = std::make_unique<kv::KeyValueStore>(
+      geometry, plan.kernel, config_.hash_seed, config_.eviction_policy);
+  auto core = std::make_unique<SwitchFoldCore>(plan, store->cache());
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  switches_.push_back(SwitchInstance{&plan, std::move(store), std::move(core),
+                                     std::move(owned), records_});
+}
+
+ResultTable QueryEngine::detach_query(std::string_view name, Nanos now) {
+  throw_if_faulted();
+  check(!finished_, "QueryEngine: detach after finish");
+  for (auto it = switches_.begin(); it != switches_.end(); ++it) {
+    if (it->plan->name != name) continue;
+    if (it->attached == nullptr) {
+      throw ConfigError{"detach: '" + std::string{name} +
+                        "' is a base-program query and cannot be detached"};
+    }
+    // End this one query's window: flush its cache slice, materialize the
+    // final table, then free everything the attach allocated. Resident
+    // queries' stores are untouched.
+    ResultTable table = guarded([&] {
+      it->store->flush(now);
+      return materialize_switch_table(*it->attached, *it->plan,
+                                      it->store->backing());
+    });
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    switches_.erase(it);
+    return table;
+  }
+  if (stream_.has(name)) {
+    if (!stream_.has_attached(name)) {
+      throw ConfigError{"detach: '" + std::string{name} +
+                        "' is a base-program query and cannot be detached"};
+    }
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    return guarded([&] { return stream_.detach(name); });
+  }
+  throw QueryError{"result",
+                   "detach: unknown query '" + std::string{name} + "'"};
 }
 
 EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
@@ -170,7 +247,9 @@ EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
       kv::BackingStore merged = sw.store->backing();
       sw.store->cache().snapshot_into(
           now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
-      EngineSnapshot snap{materialize_switch_table(program_, *sw.plan, merged),
+      const compiler::CompiledProgram& prog =
+          sw.attached != nullptr ? *sw.attached : program_;
+      EngineSnapshot snap{materialize_switch_table(prog, *sw.plan, merged),
                           records_, now};
       if (obs::kTelemetryEnabled) snapshot_ns_.record(obs::now_ns() - t0);
       return snap;
@@ -182,9 +261,17 @@ EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
 
 void QueryEngine::materialize_switch_tables() {
   for (auto& sw : switches_) {
-    tables_.emplace(
-        sw.plan->query_index,
-        materialize_switch_table(program_, *sw.plan, sw.store->backing()));
+    if (sw.attached != nullptr) {
+      // Attached queries end with the window; their query indices belong to
+      // their own programs, so their tables file by name.
+      attached_tables_.emplace(
+          sw.plan->name,
+          materialize_switch_table(*sw.attached, *sw.plan, sw.store->backing()));
+    } else {
+      tables_.emplace(
+          sw.plan->query_index,
+          materialize_switch_table(program_, *sw.plan, sw.store->backing()));
+    }
   }
 }
 
@@ -204,6 +291,10 @@ const ResultTable& QueryEngine::result() const {
 const ResultTable& QueryEngine::table(std::string_view name) const {
   throw_if_faulted();
   check(finished_, "QueryEngine: table before finish");
+  if (const auto it = attached_tables_.find(name);
+      it != attached_tables_.end()) {
+    return it->second;
+  }
   const int idx = program_.analysis.query_index(name);
   if (idx < 0) {
     throw QueryError{"result", "unknown table '" + std::string{name} + "'"};
@@ -219,6 +310,7 @@ const ResultTable& QueryEngine::table(std::string_view name) const {
 
 std::vector<StoreStats> QueryEngine::store_stats() const {
   throw_if_faulted();
+  std::lock_guard<std::mutex> lock(topology_mu_);
   return collect_store_stats();
 }
 
@@ -233,6 +325,8 @@ std::vector<StoreStats> QueryEngine::collect_store_stats() const {
     s.backing_writes = sw.store->backing().writes();
     s.backing_capacity_writes = sw.store->backing().capacity_writes();
     s.keys = sw.store->backing().key_count();
+    s.attached = sw.attached != nullptr;
+    s.attach_records = sw.attach_records;
     out.push_back(std::move(s));
   }
   return out;
@@ -246,8 +340,13 @@ EngineMetrics QueryEngine::metrics() const {
   m.refreshes = refreshes_;
   m.snapshots = snapshots_;
   m.faulted = fault_.faulted();
-  m.queries = collect_store_stats();
-  stream_.collect(m.streams);
+  {
+    // Topology lock: attach/detach mutate switches_/stream_ entries on the
+    // caller thread; the element internals stay lock-free relaxed slots.
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    m.queries = collect_store_stats();
+    stream_.collect(m.streams);
+  }
   m.batch_ns = batch_ns_.snapshot();
   m.snapshot_ns = snapshot_ns_.snapshot();
   fill_driver_metrics(m);

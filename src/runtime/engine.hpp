@@ -21,8 +21,10 @@
 // contract as ShardedEngine (see engine_fault.hpp and engine_api.hpp).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -74,6 +76,13 @@ class QueryEngine final : public Engine {
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
                                         Nanos now) override;
 
+  /// Dynamic attach/detach (lifecycle contract in engine_api.hpp): the new
+  /// query gets its own key-value store (or stream sink) and starts folding
+  /// at the current record boundary; detach flushes, materializes and frees.
+  void attach_query(compiler::CompiledProgram program,
+                    const AttachOptions& options) override;
+  ResultTable detach_query(std::string_view name, Nanos now) override;
+
   [[nodiscard]] std::vector<StoreStats> store_stats() const override;
 
   /// Self-telemetry; any thread, any time, never throws (engine_api.hpp
@@ -102,7 +111,13 @@ class QueryEngine final : public Engine {
     std::unique_ptr<kv::KeyValueStore> store;
     /// The reusable hot path (prefilter/extract/prefetch/fold) over the
     /// store's cache; shard workers run the same core (runtime/fold_core).
-    SwitchFoldCore core;
+    /// Heap-owned so detach frees the core's scratch with the instance.
+    std::unique_ptr<SwitchFoldCore> core;
+    /// Attached tenants own their compiled program (the plan pointer points
+    /// into it); null for base-program instances. Doubles as the attached
+    /// flag.
+    std::shared_ptr<const compiler::CompiledProgram> attached;
+    std::uint64_t attach_records = 0;  ///< attach epoch
   };
 
   void materialize_switch_tables();
@@ -142,6 +157,14 @@ class QueryEngine final : public Engine {
   std::vector<SwitchInstance> switches_;
   StreamStage stream_;
   std::map<int, ResultTable> tables_;  ///< by query index
+  /// Final tables of queries still attached at finish(), by name (their
+  /// query indices belong to their own programs).
+  std::map<std::string, ResultTable, std::less<>> attached_tables_;
+  /// Guards the switches_/stream_ TOPOLOGY (attach/detach push_back/erase)
+  /// against metrics()/store_stats() readers on other threads. The hot path
+  /// never takes it: attach/detach are serialized with process_batch() by
+  /// the caller (engine_api.hpp lifecycle contract).
+  mutable std::mutex topology_mu_;
   /// Telemetry slots (single writer: the caller thread; metrics() reads).
   obs::RelaxedU64 records_;
   obs::RelaxedU64 refreshes_;

@@ -98,12 +98,65 @@
 // both, by construction. EngineBuilder::metrics_sampler(interval) wraps the
 // engine so a background thread appends EngineMetrics samples to a bounded
 // ring, readable via metrics_series().
+//
+// ---- Query lifecycle contract (dynamic attach/detach) ----------------------
+//
+// The engines host a RESIDENT program: queries can be attached and detached
+// mid-stream (the paper's §3.2 operating model — operators submit queries
+// while traffic flows), without stopping ingest and without perturbing the
+// queries already running. src/service/query_service.hpp is the intended
+// front end; the raw engine contract is:
+//
+//   - attach_query(program, options) accepts a SINGLE-query compiled program:
+//     either one on-switch GROUPBY chain (exactly one switch plan, no
+//     collection layer) or one unconsumed stream SELECT. The query is renamed
+//     to options.name (which must be unique across every resident query and
+//     base-program table; collisions are a ConfigError). Anything else —
+//     multi-query programs, collection-layer queries, invalid geometry (the
+//     sharded engine still requires num_buckets % num_shards == 0) — is a
+//     clean ConfigError thrown BEFORE any state changes: a rejected attach
+//     leaves the engine exactly as it was, never with degraded results.
+//   - The ATTACH EPOCH is the record boundary at which attach_query returns:
+//     records processed before it are out of scope for the new query by
+//     contract; every record after it folds into the new query in exact
+//     global order. For linear-in-state kernels the query's results are
+//     therefore bit-identical to a fresh engine fed only the post-attach
+//     suffix (the final table of a linear fold is independent of eviction
+//     and flush timing). One float-rounding caveat: the periodic refresh
+//     clock anchors at an engine's FIRST record, so the resident engine and
+//     the suffix oracle flush at different absolute times — exact for folds
+//     whose merge is FP-exact (integer counters/sums) and for any linear
+//     fold with refresh off, ULP-level otherwise (ewma under refresh).
+//     StoreStats::attach_records records the epoch.
+//   - detach_query(name, now) ends the query's window at the current record
+//     boundary: its cache slice is flushed at `now`, the final table is
+//     materialized and returned, and every resource the attach allocated
+//     (cache slice, fold-core scratch, backing store, plan storage) is
+//     freed. Only dynamically attached queries can be detached — detaching a
+//     base-program query would orphan the collection layer and is a
+//     ConfigError. Resident queries are NOT perturbed: their caches are not
+//     flushed and their final tables are byte-identical whether or not a
+//     neighbor detached. Queries still attached at finish(now) end with the
+//     window; their tables remain readable via table(name).
+//   - Threading: attach_query/detach_query belong to the PROCESSING domain —
+//     the caller must serialize them with process_batch()/finish()/snapshot()
+//     exactly as it serializes those with each other (QueryService does this
+//     with one mutex; thread identity does not matter, only serialization at
+//     batch boundaries). metrics()/store_stats() stay safe from ANY thread
+//     concurrently with an attach/detach — topology mutations are guarded
+//     against the metrics readers, never against the hot path.
+//   - Poisoned-engine interaction: attach/detach on a poisoned engine throw
+//     the recorded EngineFaultError like every other mutating call.
+//     Validation failures (bad program shape, name collision, over-budget
+//     admission in the service layer) are argument errors — ConfigError /
+//     QueryError — and do NOT poison the engine.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -147,6 +200,78 @@ struct EngineConfig {
   bool verify_checksums = false;
 };
 
+/// Options for one dynamic attach (see the query lifecycle contract above).
+struct AttachOptions {
+  /// The resident name of the query — result table name, metrics label, and
+  /// the handle detach_query() takes. Must be unique among live queries.
+  std::string name;
+  /// Cache slice geometry for an on-switch GROUPBY tenant; falls back to the
+  /// engine's EngineConfig::geometry (then per_query_geometry by name).
+  std::optional<kv::CacheGeometry> geometry;
+  /// Sink for a stream-SELECT tenant; a default TableStreamSink if empty.
+  std::shared_ptr<StreamSink> sink;
+};
+
+/// How an attachable program folds: one on-switch GROUPBY with its own cache
+/// slice, or one stream SELECT delivered through a StreamSink.
+enum class AttachKind : std::uint8_t { kSwitchQuery, kStreamSelect };
+
+/// Classify a program for attach_query(). Attachable programs are single-
+/// result: either one on-switch GROUPBY chain (exactly one switch plan that
+/// IS the program's last query — upstream SELECTs are composed into the
+/// plan, nothing runs in the collection layer) or one unconsumed stream
+/// SELECT chain. Throws ConfigError for everything else — multi-result
+/// programs, collection-layer queries (joins, soft GROUPBYs, SELECTs over
+/// aggregate results) have no per-record resident form.
+[[nodiscard]] inline AttachKind attachable_kind(
+    const compiler::CompiledProgram& program) {
+  const auto& queries = program.analysis.queries;
+  if (queries.empty()) {
+    throw ConfigError{"attach: program has no queries"};
+  }
+  // Unconsumed stream SELECTs, by the same rule StreamStage applies.
+  std::vector<char> consumed(queries.size(), 0);
+  const auto mark = [&](int i) {
+    if (i >= 0 && static_cast<std::size_t>(i) < queries.size()) consumed[i] = 1;
+  };
+  for (const auto& q : queries) {
+    mark(q.input);
+    mark(q.left);
+    mark(q.right);
+  }
+  std::size_t stream_selects = 0;
+  int last_stream = -1;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    if (q.def.kind == lang::QueryDef::Kind::kSelect &&
+        q.output.stream_over_base && consumed[i] == 0) {
+      ++stream_selects;
+      last_stream = static_cast<int>(i);
+    }
+  }
+  const int last = static_cast<int>(queries.size()) - 1;
+  if (program.switch_plans.size() == 1) {
+    if (program.switch_plans.front().query_index != last) {
+      throw ConfigError{
+          "attach: program runs a collection layer downstream of its GROUPBY; "
+          "attachable programs end at the on-switch aggregate"};
+    }
+    if (stream_selects != 0) {
+      throw ConfigError{
+          "attach: program mixes an on-switch GROUPBY with a stream SELECT; "
+          "attach them as separate queries"};
+    }
+    return AttachKind::kSwitchQuery;
+  }
+  if (program.switch_plans.empty() && stream_selects == 1 &&
+      last_stream == last) {
+    return AttachKind::kStreamSelect;
+  }
+  throw ConfigError{
+      "attach: program must be exactly one on-switch GROUPBY chain or one "
+      "stream SELECT"};
+}
+
 /// Per-switch-query statistics surfaced to the evaluation harnesses.
 struct StoreStats {
   std::string name;
@@ -156,6 +281,8 @@ struct StoreStats {
   std::uint64_t backing_writes = 0;
   std::uint64_t backing_capacity_writes = 0;
   std::size_t keys = 0;
+  bool attached = false;              ///< dynamically attached (vs base program)
+  std::uint64_t attach_records = 0;   ///< attach epoch (records seen before it)
 };
 
 /// A mid-run result pull, stamped with the record boundary it is exact at.
@@ -171,6 +298,8 @@ struct StreamSinkMetrics {
   std::uint64_t rows_delivered = 0;  ///< rows offered to the sink
   std::uint64_t rows_dropped = 0;    ///< rows the sink discarded (bounded sinks)
   bool saturated = false;            ///< sink hit its bound at least once
+  bool attached = false;             ///< dynamically attached (vs base program)
+  std::uint64_t attach_records = 0;  ///< attach epoch (records seen before it)
 };
 
 /// Per-shard pipeline accounting (sharded engine only).
@@ -313,6 +442,21 @@ class Engine {
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name) {
     return snapshot(query_name, Nanos{0});
   }
+
+  /// Attach one dynamically compiled query mid-stream (see the query
+  /// lifecycle contract in the file comment). The program must be attachable
+  /// — attachable_kind() below — and options.name unique among live queries;
+  /// violations are ConfigError with no state change. Folding starts at the
+  /// current record boundary (the attach epoch). Must be serialized with
+  /// process_batch()/finish()/snapshot() by the caller.
+  virtual void attach_query(compiler::CompiledProgram program,
+                            const AttachOptions& options) = 0;
+
+  /// Detach a dynamically attached query: flush its cache slice at `now`,
+  /// return its final table, free every resource the attach allocated.
+  /// Unknown or base-program names are a QueryError/ConfigError with no
+  /// state change. Must be serialized like attach_query().
+  virtual ResultTable detach_query(std::string_view name, Nanos now) = 0;
 
   /// Per-query store stats. Valid mid-run on both engines (mid-run values
   /// obey the metrics coherence contract); throws EngineFaultError if the

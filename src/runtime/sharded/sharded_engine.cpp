@@ -70,6 +70,8 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
     shard_geometry.push_back(slice);
     backings_.push_back(std::make_unique<kv::ShardedBackingStore>(
         plan.kernel, backing_shards));
+    attached_programs_.push_back(nullptr);
+    attach_records_.push_back(0);
   }
 
   // (Stream SELECT sinks live in stream_ — caller-side, identical to
@@ -101,7 +103,8 @@ ShardedEngine::ShardedEngine(compiler::CompiledProgram program,
           });
     }
     for (std::size_t q = 0; q < plans_.size(); ++q) {
-      sh.cores.emplace_back(*plans_[q], *sh.caches[q]);
+      sh.cores.push_back(
+          std::make_unique<SwitchFoldCore>(*plans_[q], *sh.caches[q]));
     }
     shards_.push_back(std::move(shard));
   }
@@ -390,6 +393,7 @@ void ShardedEngine::dispatch_slice(std::size_t d,
     // kv::Key materialized); the worker re-packs the key on its own core.
     const compiler::RecordSource source({&rec, 1});
     for (std::size_t q = 0; q < plans_.size(); ++q) {
+      if (plans_[q] == nullptr) continue;  // detached slot
       const compiler::SwitchQueryPlan& plan = *plans_[q];
       if (plan.prefilter.has_value() && !plan.prefilter->eval_bool(source)) {
         continue;
@@ -634,7 +638,7 @@ void ShardedEngine::worker_prepare(Shard& sh, std::size_t i,
   // expression tree here, off the serial dispatcher — and prefetch its
   // cache bucket.
   const std::size_t q = msg.query;
-  sh.cores[q].prepare_extracted(
+  sh.cores[q]->prepare_extracted(
       i, routers_[q].has_value()
              ? routers_[q]->make_key(msg.rec, msg.raw_hash)
              : compiler::extract_key_prehashed(*plans_[q], msg.rec,
@@ -644,13 +648,23 @@ void ShardedEngine::worker_prepare(Shard& sh, std::size_t i,
 void ShardedEngine::worker_process(Shard& sh, std::size_t i, ShardMsg& msg) {
   switch (msg.kind) {
     case ShardMsg::Kind::kRecord:
-      sh.cores[msg.query].fold(i, msg.rec);
+      sh.cores[msg.query]->fold(i, msg.rec);
       break;
     case ShardMsg::Kind::kFlush:
-      for (auto& cache : sh.caches) cache->flush(msg.rec.tin);
+      // Null slots are detached queries (their slices are gone).
+      for (auto& cache : sh.caches) {
+        if (cache != nullptr) cache->flush(msg.rec.tin);
+      }
       // Refresh wants the backing store fresh soon: hand the flush's
       // evictions to the merge thread immediately.
       push_evictions(sh);
+      break;
+    case ShardMsg::Kind::kBarrier:
+      // Attach/detach quiesce: everything before the barrier is folded (the
+      // merge delivered it in order); push pending evictions so the caller's
+      // drain barrier can prove the backing stores boundary-exact, then ack.
+      push_evictions(sh);
+      sh.snapshot_ready.store(msg.raw_hash, std::memory_order_release);
       break;
     case ShardMsg::Kind::kSnapshot:
       // Mid-run snapshot rendezvous, executed at exactly the requested
@@ -976,11 +990,21 @@ void ShardedEngine::finish(Nanos now) {
     // materializing partial tables.
     throw_if_faulted();
     for (std::size_t q = 0; q < plans_.size(); ++q) {
-      tables_.emplace(
-          plans_[q]->query_index,
-          materialize_switch_table(program_, *plans_[q], *backings_[q]));
+      if (plans_[q] == nullptr) continue;  // detached slot
+      if (attached_programs_[q] != nullptr) {
+        // Attached queries end with the window; their query indices belong
+        // to their own programs, so their tables file by name.
+        attached_tables_.emplace(
+            plans_[q]->name, materialize_switch_table(*attached_programs_[q],
+                                                      *plans_[q],
+                                                      *backings_[q]));
+      } else {
+        tables_.emplace(
+            plans_[q]->query_index,
+            materialize_switch_table(program_, *plans_[q], *backings_[q]));
+      }
     }
-    stream_.finish(tables_);
+    stream_.finish(tables_, attached_tables_);
     for (std::size_t i = 0; i < program_.analysis.queries.size(); ++i) {
       if (tables_.count(static_cast<int>(i)) > 0) continue;
       run_collection_query(program_, static_cast<int>(i), tables_);
@@ -1006,7 +1030,7 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
   // a usage error, not an engine fault, and must not poison the pipeline.
   std::size_t query = plans_.size();
   for (std::size_t q = 0; q < plans_.size(); ++q) {
-    if (plans_[q]->name == query_name) query = q;
+    if (plans_[q] != nullptr && plans_[q]->name == query_name) query = q;
   }
   if (query == plans_.size()) {
     throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
@@ -1066,16 +1090,7 @@ EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
   // 3. Drain barrier: every eviction produced before the boundary is now in
   // the MPSC queues (workers push before acking); wait until the merge
   // thread has absorbed them all, so the backing store is boundary-exact.
-  for (auto& shard : shards_) {
-    const std::uint64_t target =
-        shard->evictions_pushed.load(std::memory_order_acquire);
-    SpinState spin;
-    while (shard->evictions_absorbed.load(std::memory_order_acquire) <
-           target) {
-      if (fault_.faulted()) fault_.raise();
-      spin_backoff(spin, "the snapshot eviction drain barrier");
-    }
-  }
+  drain_eviction_barrier("the snapshot eviction drain barrier");
   if (obs::kTelemetryEnabled) snapshot_ns_.record(obs::now_ns() - t0);
 
   // 4. Overlay the cache copies (all for `query` — the marker carried it)
@@ -1086,9 +1101,214 @@ EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
   for (auto& shard : shards_) {
     for (TaggedEviction& t : shard->snapshot_out) merged->absorb(t.ev);
   }
+  const compiler::CompiledProgram& prog = attached_programs_[query] != nullptr
+                                              ? *attached_programs_[query]
+                                              : program_;
   return EngineSnapshot{
-      materialize_switch_table(program_, *plans_[query], *merged), records_,
-      now};
+      materialize_switch_table(prog, *plans_[query], *merged), records_, now};
+}
+
+void ShardedEngine::drain_eviction_barrier(const char* what) {
+  for (auto& shard : shards_) {
+    const std::uint64_t target =
+        shard->evictions_pushed.load(std::memory_order_acquire);
+    SpinState spin;
+    while (shard->evictions_absorbed.load(std::memory_order_acquire) <
+           target) {
+      if (fault_.faulted()) fault_.raise();
+      spin_backoff(spin, what);
+    }
+  }
+}
+
+void ShardedEngine::quiesce_pipeline(const char* what) {
+  // The snapshot rendezvous without the cache copy: broadcast a kBarrier at
+  // the current record boundary through the caller's rings (seq 2·records_
+  // orders after every dispatched record), wait for each worker's ack, then
+  // prove the backing stores caught up. On return nothing is in flight:
+  // every ring is drained past the boundary, every eviction absorbed, and
+  // the workers are between messages — safe to grow or free per-shard
+  // topology the next messages will see (ring publish/pop is the
+  // release/acquire pair ordering the caller's mutations for the workers).
+  const std::uint64_t gen = ++snapshot_gen_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kBarrier;
+    msg.seq = 2 * records_;
+    msg.raw_hash = gen;
+    stage(0, s, std::move(msg));
+    publish(0, s);
+  }
+  for (auto& shard : shards_) {
+    SpinState spin;
+    while (shard->snapshot_ready.load(std::memory_order_acquire) != gen) {
+      if (fault_.faulted()) fault_.raise();
+      spin_backoff(spin, what);
+    }
+  }
+  drain_eviction_barrier(what);
+}
+
+void ShardedEngine::attach_query(compiler::CompiledProgram program,
+                                 const AttachOptions& options) {
+  throw_if_faulted();
+  check(!finished_, "ShardedEngine: attach after finish");
+  // Validation throws (ConfigError) before ANY state change.
+  const AttachKind kind = attachable_kind(program);
+  if (options.name.empty()) {
+    throw ConfigError{"attach: query name must not be empty"};
+  }
+  for (const auto* plan : plans_) {
+    if (plan != nullptr && plan->name == options.name) {
+      throw ConfigError{"attach: query '" + options.name + "' already exists"};
+    }
+  }
+  if (stream_.has(options.name) ||
+      program_.analysis.query_index(options.name) >= 0) {
+    throw ConfigError{"attach: query '" + options.name + "' already exists"};
+  }
+  auto owned = std::make_shared<compiler::CompiledProgram>(std::move(program));
+  owned->analysis.queries.back().def.result_name = options.name;
+  if (kind == AttachKind::kStreamSelect) {
+    // Stream tenants live on the caller thread only: no pipeline quiesce
+    // needed, just the topology lock against metrics readers.
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    stream_.attach(std::move(owned), options.name, options.sink,
+                   config_.engine, records_);
+    return;
+  }
+  const std::size_t n_shards = shards_.size();
+  if (plans_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max())) {
+    throw ConfigError{"attach: too many switch queries"};
+  }
+  compiler::SwitchQueryPlan& plan = owned->switch_plans.front();
+  plan.name = options.name;
+  kv::CacheGeometry geometry = config_.engine.geometry;
+  if (const auto it = config_.engine.per_query_geometry.find(options.name);
+      it != config_.engine.per_query_geometry.end()) {
+    geometry = it->second;
+  }
+  if (options.geometry.has_value()) geometry = *options.geometry;
+  if (geometry.num_buckets % n_shards != 0) {
+    throw ConfigError{
+        "attach: geometry '" + geometry.to_string() + "' for query '" +
+        options.name + "' needs num_buckets divisible by num_shards (" +
+        std::to_string(n_shards) + ") for exact shard/bucket alignment"};
+  }
+  // Build every new structure BEFORE touching shared state: an allocation
+  // failure here leaves the engine exactly as it was.
+  const std::size_t backing_shards =
+      config_.backing_shards == 0 ? n_shards : config_.backing_shards;
+  kv::CacheGeometry slice = geometry;
+  slice.num_buckets = geometry.num_buckets / n_shards;
+  auto backing =
+      std::make_unique<kv::ShardedBackingStore>(plan.kernel, backing_shards);
+  const std::size_t q = plans_.size();  // the new slot's stable index
+  std::vector<std::unique_ptr<kv::Cache>> caches;
+  std::vector<std::unique_ptr<SwitchFoldCore>> cores;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    Shard& sh = *shards_[s];
+    caches.push_back(std::make_unique<kv::Cache>(
+        slice, plan.kernel, config_.engine.hash_seed,
+        config_.engine.eviction_policy, /*bucket_scale=*/n_shards));
+    caches.back()->set_eviction_sink([this, &sh, q](kv::EvictedValue&& ev) {
+      sh.evict_buf.push_back(
+          TaggedEviction{static_cast<std::uint16_t>(q), std::move(ev)});
+      if (sh.evict_buf.size() >= config_.eviction_batch) {
+        push_evictions(sh);
+      }
+    });
+    cores.push_back(std::make_unique<SwitchFoldCore>(plan, *caches.back()));
+  }
+  // Quiesce so the per-shard vectors can grow with nothing in flight, then
+  // install the slot. The workers see the new entries through the next ring
+  // publish/pop pair; metrics readers through the topology lock.
+  quiesce_pipeline("the attach quiesce barrier");
+  throw_if_faulted();
+  std::lock_guard<std::mutex> lock(topology_mu_);
+  plans_.push_back(&plan);
+  routers_.push_back(compiler::KeyRouter::make(plan));
+  backings_.push_back(std::move(backing));
+  attached_programs_.push_back(std::move(owned));
+  attach_records_.push_back(records_);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards_[s]->caches.push_back(std::move(caches[s]));
+    shards_[s]->cores.push_back(std::move(cores[s]));
+  }
+}
+
+ResultTable ShardedEngine::detach_query(std::string_view name, Nanos now) {
+  throw_if_faulted();
+  check(!finished_, "ShardedEngine: detach after finish");
+  std::size_t query = plans_.size();
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    if (plans_[q] != nullptr && plans_[q]->name == name) query = q;
+  }
+  if (query == plans_.size()) {
+    if (stream_.has(name)) {
+      if (!stream_.has_attached(name)) {
+        throw ConfigError{"detach: '" + std::string{name} +
+                          "' is a base-program query and cannot be detached"};
+      }
+      std::lock_guard<std::mutex> lock(topology_mu_);
+      try {
+        return stream_.detach(name);
+      } catch (const std::exception& e) {
+        fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+        begin_stop();
+        fault_.raise();
+      }
+    }
+    throw QueryError{"result",
+                     "detach: unknown query '" + std::string{name} + "'"};
+  }
+  if (attached_programs_[query] == nullptr) {
+    throw ConfigError{"detach: '" + std::string{name} +
+                      "' is a base-program query and cannot be detached"};
+  }
+  try {
+    // 1. Quiesce: nothing in flight, backing stores boundary-exact.
+    quiesce_pipeline("the detach quiesce barrier");
+    throw_if_faulted();
+    // 2. End this query's window: flush its slices from the caller (the
+    // workers are idle between messages; evictions route through the
+    // per-shard sink closures into evict_buf exactly as a worker flush
+    // would), hand them to the merge thread, and drain again.
+    for (auto& shard : shards_) {
+      shard->caches[query]->flush(now);
+      push_evictions(*shard);
+    }
+    drain_eviction_barrier("the detach eviction drain");
+    throw_if_faulted();
+    // 3. The final table, from the now-complete backing store.
+    ResultTable table = materialize_switch_table(
+        *attached_programs_[query], *plans_[query], *backings_[query]);
+    // 4. Free the slot in place (indices of resident queries never move; no
+    // message for this query can exist anymore). Resident queries' caches
+    // are untouched — their tables are byte-identical either way.
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    for (auto& shard : shards_) {
+      shard->caches[query].reset();
+      shard->cores[query].reset();
+    }
+    backings_[query].reset();
+    routers_[query].reset();
+    attached_programs_[query].reset();
+    plans_[query] = nullptr;
+    return table;
+  } catch (const EngineFaultError&) {
+    begin_stop();
+    throw;
+  } catch (const std::exception& e) {
+    fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+    begin_stop();
+    fault_.raise();
+  } catch (...) {
+    fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+    begin_stop();
+    fault_.raise();
+  }
 }
 
 const ResultTable* ShardedEngine::find_table(int index) const {
@@ -1107,6 +1327,10 @@ const ResultTable& ShardedEngine::result() const {
 const ResultTable& ShardedEngine::table(std::string_view name) const {
   if (fault_.faulted()) fault_.raise();
   check(finished_, "ShardedEngine: table before finish");
+  if (const auto it = attached_tables_.find(name);
+      it != attached_tables_.end()) {
+    return it->second;
+  }
   const int idx = program_.analysis.query_index(name);
   if (idx < 0) {
     throw QueryError{"result", "unknown table '" + std::string{name} + "'"};
@@ -1126,12 +1350,14 @@ std::vector<StoreStats> ShardedEngine::store_stats() const {
   // finish()): every summed counter is a single-writer relaxed slot and the
   // backing-store reads lock per sub-store, so this never perturbs the
   // pipeline. Mid-run coherence is per-counter (engine_api.hpp).
+  std::lock_guard<std::mutex> lock(topology_mu_);
   return collect_store_stats();
 }
 
 std::vector<StoreStats> ShardedEngine::collect_store_stats() const {
   std::vector<StoreStats> out;
   for (std::size_t q = 0; q < plans_.size(); ++q) {
+    if (plans_[q] == nullptr) continue;  // detached slot
     StoreStats s;
     s.name = plans_[q]->name;
     s.linearity = plans_[q]->linearity;
@@ -1147,6 +1373,8 @@ std::vector<StoreStats> ShardedEngine::collect_store_stats() const {
     s.backing_writes = backings_[q]->writes();
     s.backing_capacity_writes = backings_[q]->capacity_writes();
     s.keys = backings_[q]->key_count();
+    s.attached = attached_programs_[q] != nullptr;
+    s.attach_records = attach_records_[q];
     out.push_back(std::move(s));
   }
   return out;
@@ -1160,8 +1388,13 @@ EngineMetrics ShardedEngine::metrics() const {
   m.refreshes = refreshes_;
   m.snapshots = snapshots_;
   m.faulted = fault_.faulted();
-  m.queries = collect_store_stats();
-  stream_.collect(m.streams);
+  {
+    // Topology lock: attach/detach mutate the per-query vectors on the
+    // caller thread; the element internals stay lock-free relaxed slots.
+    std::lock_guard<std::mutex> lock(topology_mu_);
+    m.queries = collect_store_stats();
+    stream_.collect(m.streams);
+  }
   collect_pipeline(m);
   m.batch_ns = batch_ns_.snapshot();
   m.snapshot_ns = snapshot_ns_.snapshot();
@@ -1173,7 +1406,9 @@ EngineMetrics ShardedEngine::metrics() const {
 const kv::ShardedBackingStore& ShardedEngine::backing(
     std::string_view query_name) const {
   for (std::size_t q = 0; q < plans_.size(); ++q) {
-    if (plans_[q]->name == query_name) return *backings_[q];
+    if (plans_[q] != nullptr && plans_[q]->name == query_name) {
+      return *backings_[q];
+    }
   }
   throw QueryError{"result",
                    "no switch query named '" + std::string{query_name} + "'"};

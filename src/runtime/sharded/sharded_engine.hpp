@@ -59,8 +59,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -159,6 +161,20 @@ class ShardedEngine final : public Engine {
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
                                         Nanos now) override;
 
+  /// Dynamic attach/detach without stopping the pipeline's threads
+  /// (lifecycle contract in engine_api.hpp). Both quiesce the pipeline at
+  /// the current record boundary with an in-band barrier (the snapshot
+  /// rendezvous machinery, minus the cache copy), so the per-shard topology
+  /// vectors can grow (attach) or a slot's structures can be freed (detach)
+  /// with nothing in flight; folding resumes on the next batch. The tenant
+  /// gets a bucket slice per shard (geometry.num_buckets must divide by
+  /// num_shards) and its own ShardedBackingStore. Detach flushes the
+  /// tenant's slices from the caller, drains the eviction queues, and frees
+  /// the slot in place (indices of resident queries never move).
+  void attach_query(compiler::CompiledProgram program,
+                    const AttachOptions& options) override;
+  ResultTable detach_query(std::string_view name, Nanos now) override;
+
   /// Aggregated per-query stats (cache counters summed across shards).
   /// Valid mid-run (per-counter coherence; see the metrics contract in
   /// engine_api.hpp) and after finish() (exact).
@@ -215,6 +231,10 @@ class ShardedEngine final : public Engine {
       kRecord,
       kFlush,
       kSnapshot,
+      /// Attach/detach quiesce marker: the worker pushes its pending
+      /// evictions and acks through `snapshot_ready` (same rendezvous as
+      /// kSnapshot, no cache copy). raw_hash carries the generation.
+      kBarrier,
       kWatermark,
       kStop
     };
@@ -236,8 +256,11 @@ class ShardedEngine final : public Engine {
     /// shard's worker (sole consumer).
     std::vector<std::unique_ptr<SpscRing<ShardMsg>>> rings;
     MpscQueue<TaggedEviction> evictions;
-    std::vector<std::unique_ptr<kv::Cache>> caches;  ///< per switch query
-    std::vector<SwitchFoldCore> cores;               ///< parallel to caches
+    /// Per switch query. Slots of detached queries are null (indices of
+    /// resident queries stay stable; the message `query` field indexes
+    /// these directly).
+    std::vector<std::unique_ptr<kv::Cache>> caches;
+    std::vector<std::unique_ptr<SwitchFoldCore>> cores;  ///< parallel to caches
     std::vector<TaggedEviction> evict_buf;  ///< worker-local staging
     /// Snapshot rendezvous: the worker writes a non-destructive copy of the
     /// requested query's resident entries here, then publishes the
@@ -373,6 +396,14 @@ class ShardedEngine final : public Engine {
   /// poisoned-state machinery).
   void process_batch_impl(std::span<const PacketRecord> records);
   [[nodiscard]] EngineSnapshot snapshot_impl(std::size_t query, Nanos now);
+  /// Quiesce at the current record boundary: broadcast a kBarrier through
+  /// the caller's rings, wait for every worker's ack, then run the eviction
+  /// drain barrier — on return nothing is in flight and the backing stores
+  /// are boundary-exact. Folding resumes with the next dispatched message.
+  /// May record a watchdog fault (callers re-check with throw_if_faulted).
+  void quiesce_pipeline(const char* what);
+  /// The eviction drain barrier alone (pushed == absorbed per shard).
+  void drain_eviction_barrier(const char* what);
   /// Send final kFlush (optionally) + kStop through every ring (helpers
   /// push their own on exit) and join all threads. `watchdog` guards the
   /// joins with the drain deadline (finish() path); the destructor passes
@@ -392,10 +423,18 @@ class ShardedEngine final : public Engine {
   compiler::CompiledProgram program_;
   ShardedEngineConfig config_;
   std::uint64_t seed_mix_ = 0;  ///< mix64(hash_seed), precomputed
+  /// Per switch query; a DETACHED query's slot is nulled in place (never
+  /// erased — message `query` fields and eviction-sink closures index these
+  /// vectors, so resident indices must stay stable).
   std::vector<const compiler::SwitchQueryPlan*> plans_;
   /// Record-direct router per plan; nullopt = computed key, expression path.
   std::vector<std::optional<compiler::KeyRouter>> routers_;
   std::vector<std::unique_ptr<kv::ShardedBackingStore>> backings_;
+  /// Parallel to plans_: the owned program of a dynamically attached query
+  /// (its plan pointer points into it); null for base-program queries.
+  std::vector<std::shared_ptr<const compiler::CompiledProgram>>
+      attached_programs_;
+  std::vector<std::uint64_t> attach_records_;  ///< attach epoch per query
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
   StreamStage stream_;
@@ -411,6 +450,14 @@ class ShardedEngine final : public Engine {
   FaultSlot fault_;
   std::atomic<bool> stop_{false};
   std::map<int, ResultTable> tables_;
+  /// Final tables of queries still attached at finish(), by name.
+  std::map<std::string, ResultTable, std::less<>> attached_tables_;
+  /// Guards the query TOPOLOGY (plans_/routers_/backings_/shard cache+core
+  /// vectors, stream entries) against metrics()/store_stats() readers. The
+  /// pipeline threads never take it: attach/detach mutate only after the
+  /// quiesce barrier proves nothing is in flight, and they are serialized
+  /// with process_batch()/snapshot() by the caller (engine_api.hpp).
+  mutable std::mutex topology_mu_;
   /// Telemetry slots (single writer: the caller thread, except absorb_ns_
   /// whose writer is the merge thread; metrics() reads from anywhere).
   obs::RelaxedU64 records_;

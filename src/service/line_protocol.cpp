@@ -1,0 +1,193 @@
+#include "service/line_protocol.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/metrics_export.hpp"
+
+namespace perfq::service {
+
+namespace {
+
+/// Split a rendered multi-line string into payload lines (no trailing blank).
+void push_lines(std::vector<std::string>& out, const std::string& text) {
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) out.push_back(line);
+}
+
+std::string format_fraction(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f%%", f * 100.0);
+  return buf;
+}
+
+Response run_command(QueryService& service, std::string_view line) {
+  std::istringstream ss{std::string(line)};
+  std::string cmd;
+  ss >> cmd;
+  Response r;
+  if (cmd.empty()) {
+    r.ok = false;
+    r.error = "empty command";
+    return r;
+  }
+  if (cmd == "PING") {
+    return r;
+  }
+  if (cmd == "ATTACH") {
+    std::string name;
+    ss >> name;
+    if (name.empty()) throw ConfigError{"ATTACH needs a tenant name"};
+    std::string rest;
+    std::getline(ss, rest);
+    // The query language is indentation-sensitive (def blocks): the program
+    // must start at column 1, so drop the separator spaces, not just one.
+    rest.erase(0, rest.find_first_not_of(" \t"));
+    if (rest.empty()) throw ConfigError{"ATTACH needs query text"};
+    const TenantInfo info = service.attach(name, unescape_source(rest));
+    r.lines.push_back(
+        "attached '" + info.name + "' kind=" +
+        (info.kind == runtime::AttachKind::kSwitchQuery ? "switch" : "stream") +
+        " die=" + format_fraction(info.die_fraction) +
+        " epoch=" + std::to_string(info.attach_records));
+    return r;
+  }
+  if (cmd == "DETACH") {
+    std::string name;
+    ss >> name;
+    if (name.empty()) throw ConfigError{"DETACH needs a tenant name"};
+    const runtime::ResultTable table = service.detach(name);
+    push_lines(r.lines, table.to_text("final '" + name + "'", 20));
+    return r;
+  }
+  if (cmd == "SNAPSHOT") {
+    std::string name;
+    ss >> name;
+    if (name.empty()) throw ConfigError{"SNAPSHOT needs a query name"};
+    const runtime::EngineSnapshot snap = service.snapshot(name);
+    push_lines(r.lines,
+               snap.table.to_text("snapshot '" + name + "' @ record " +
+                                      std::to_string(snap.records),
+                                  20));
+    return r;
+  }
+  if (cmd == "DRAIN") {
+    std::string name;
+    ss >> name;
+    if (name.empty()) throw ConfigError{"DRAIN needs a tenant name"};
+    std::vector<std::vector<double>> rows;
+    service.drain(name, rows);
+    for (const auto& row : rows) {
+      std::string out;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ' ';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", row[i]);
+        out += buf;
+      }
+      r.lines.push_back(std::move(out));
+    }
+    return r;
+  }
+  if (cmd == "LIST") {
+    for (const TenantInfo& t : service.tenants()) {
+      r.lines.push_back(
+          "tenant '" + t.name + "' kind=" +
+          (t.kind == runtime::AttachKind::kSwitchQuery ? "switch" : "stream") +
+          " die=" + format_fraction(t.die_fraction) +
+          " epoch=" + std::to_string(t.attach_records));
+    }
+    r.lines.push_back(
+        "budget used=" + format_fraction(service.used_die_fraction()) + " of " +
+        format_fraction(service.config().budget.max_die_fraction) +
+        " records=" + std::to_string(service.records_processed()));
+    return r;
+  }
+  if (cmd == "STATS") {
+    push_lines(r.lines, obs::format_metrics(service.metrics()));
+    return r;
+  }
+  if (cmd == "JSON") {
+    r.lines.push_back(obs::metrics_to_json(service.metrics()));
+    return r;
+  }
+  if (cmd == "PROM") {
+    push_lines(r.lines, obs::metrics_to_prometheus(service.metrics()));
+    return r;
+  }
+  if (cmd == "SHUTDOWN") {
+    r.shutdown = true;
+    return r;
+  }
+  r.ok = false;
+  r.error = "unknown command '" + cmd + "'";
+  return r;
+}
+
+}  // namespace
+
+std::string Response::to_wire() const {
+  if (!ok) return "ERR " + error + "\n";
+  std::string out = "OK " + std::to_string(lines.size()) + "\n";
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Response execute_line(QueryService& service, std::string_view line) {
+  try {
+    return run_command(service, line);
+  } catch (const Error& e) {
+    Response r;
+    r.ok = false;
+    r.error = e.what();
+    // Payload lines are newline-delimited: an embedded newline in an error
+    // message would desynchronize the framing.
+    for (char& c : r.error) {
+      if (c == '\n') c = ' ';
+    }
+    return r;
+  }
+}
+
+std::string unescape_source(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      if (s[i + 1] == 'n') {
+        out += '\n';
+        ++i;
+        continue;
+      }
+      if (s[i + 1] == '\\') {
+        out += '\\';
+        ++i;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::string escape_source(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace perfq::service

@@ -1,0 +1,60 @@
+// The query service's wire protocol: newline-delimited text commands over
+// any byte stream (the socket server, a pipe, a test harness). One request
+// line in, one status line plus a counted payload out — trivially scriptable
+// from nc/bash and parseable without a framing library:
+//
+//   -> ATTACH heavy SELECT 5tuple, COUNT GROUPBY 5tuple
+//   <- OK 1
+//   <- attached 'heavy' kind=switch die=0.2100% epoch=123456
+//   -> SNAPSHOT heavy
+//   <- OK 14
+//   <- ... 14 lines of table text ...
+//   -> BOGUS
+//   <- ERR unknown command 'BOGUS'
+//
+// Commands (case-sensitive; <source> runs to end of line, with the two-byte
+// escape "\n" standing for a newline so multi-line programs fit one line):
+//   PING                 liveness probe
+//   ATTACH <name> <source>   compile + admit + attach a tenant
+//   DETACH <name>        detach; payload is the tenant's final table
+//   SNAPSHOT <name>      mid-run result pull (switch queries)
+//   DRAIN <name>         pull buffered stream rows (stream tenants)
+//   LIST                 one line per tenant + the budget line
+//   STATS                human-readable engine telemetry
+//   JSON                 telemetry as one JSON line
+//   PROM                 telemetry as Prometheus text
+//   SHUTDOWN             ask the host process to stop (server closes after)
+//
+// The executor maps every perfq Error to an ERR line — a bad query or an
+// over-budget attach never disturbs the session, matching the engine's
+// "validation never poisons" contract.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/query_service.hpp"
+
+namespace perfq::service {
+
+/// One executed command: the status line's payload follows in `lines`.
+struct Response {
+  bool ok = true;
+  std::vector<std::string> lines;  ///< payload (status line not included)
+  std::string error;               ///< set iff !ok
+  bool shutdown = false;           ///< SHUTDOWN was requested
+
+  /// Render as the wire form: "OK <n>\n<lines...>" or "ERR <error>\n".
+  [[nodiscard]] std::string to_wire() const;
+};
+
+/// Execute one request line against the service. Never throws: every
+/// perfq::Error becomes an ERR response.
+Response execute_line(QueryService& service, std::string_view line);
+
+/// "\n" (two bytes) → newline; "\\" → backslash. Inverse of escape_source.
+[[nodiscard]] std::string unescape_source(std::string_view s);
+[[nodiscard]] std::string escape_source(std::string_view s);
+
+}  // namespace perfq::service

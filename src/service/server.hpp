@@ -1,0 +1,63 @@
+// Loopback TCP front end for the query service: accepts line-protocol
+// clients (line_protocol.hpp) and executes their commands against one shared
+// QueryService while the host process keeps ingesting on its own thread —
+// the deployment shape of the paper's §3.2 model: a resident monitor whose
+// operators connect, submit queries, pull results, and leave.
+//
+// Deliberately minimal plumbing: plain POSIX sockets bound to 127.0.0.1
+// only (an operator console, not an exposed service), one thread per client
+// (command rates are human-scale), blocking I/O with the listener closed to
+// unblock accept() on stop(). All concurrency control lives in the service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.hpp"
+
+namespace perfq::service {
+
+class QueryServer {
+ public:
+  /// Binds 127.0.0.1:`port` and starts accepting (port 0 = ephemeral; read
+  /// the bound port back with port()). Throws ConfigError on bind failure.
+  /// `service` must outlive the server.
+  QueryServer(QueryService& service, std::uint16_t port);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// True once a client issued SHUTDOWN (the host's cue to stop ingest,
+  /// stop() the server, and exit).
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Stop accepting, close every client connection, join all threads.
+  /// Idempotent; also runs from the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_client(int fd);
+  void session_loop(int fd);
+
+  QueryService& service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_{false};
+  std::mutex clients_mu_;  ///< guards client_fds_/client_threads_
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace perfq::service

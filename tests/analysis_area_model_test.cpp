@@ -1,0 +1,103 @@
+// Unit tests for the §3.3/§4 hardware arithmetic (analysis/area_model.hpp):
+// the paper's headline claims regenerated from the model, and the admission
+// pricing the multi-tenant query service gates attaches with.
+#include <gtest/gtest.h>
+
+#include "analysis/area_model.hpp"
+#include "kvstore/geometry.hpp"
+
+namespace perfq::analysis {
+namespace {
+
+// ---- paper checkpoints -----------------------------------------------------
+
+TEST(AreaModel, Paper32MbitCacheIsUnder2p5PercentOfDie) {
+  const AreaModel m;
+  // 32 Mbit at 7000 Kb/mm^2 on a 200 mm^2 die: the paper's "< 2.5%
+  // additional die area" claim.
+  EXPECT_LT(m.area_fraction(32.0), 0.025);
+  EXPECT_GT(m.area_fraction(32.0), 0.02);  // it is close to the bound
+}
+
+TEST(AreaModel, PaperAllCaidaFlowsOnChipIsTensOfPercent) {
+  const AreaModel m;
+  // 3.8M flows at 128 b/pair needs hundreds of Mbit => ~1/3 of the die;
+  // the infeasibility that motivates the cache + backing store split.
+  const double mbits = AreaModel::required_mbits(3'800'000, 128);
+  EXPECT_GT(mbits, 400.0);
+  EXPECT_GT(m.area_fraction(mbits), 0.30);
+}
+
+TEST(AreaModel, WorkloadModelMatchesPaperRates) {
+  const DatacenterWorkloadModel w;
+  // "22.6M average-sized packets per second".
+  EXPECT_NEAR(w.avg_pkts_per_sec(), 22.6e6, 0.1e6);
+  // Fig. 5's feasibility checkpoint: a 3.55% eviction fraction is ~802K
+  // backing-store writes/s — a few Redis/memcached cores.
+  const double writes = w.evictions_per_sec(0.0355);
+  EXPECT_NEAR(writes, 802e3, 5e3);
+  const BackingStoreCapacity capacity;
+  EXPECT_LT(capacity.cores_needed(writes), 8.0);
+  EXPECT_GT(capacity.cores_needed(writes), 1.0);
+}
+
+// ---- admission pricing -----------------------------------------------------
+
+TEST(AdmissionBudget, BitsPerPairMatchesBenchConvention) {
+  // The bench's kBitsPerPair = 128: an 8-byte key with one 64-bit state word.
+  EXPECT_DOUBLE_EQ(AdmissionBudget::bits_per_pair(8, 1), 128.0);
+  // A 13-byte 5-tuple key with a two-dimensional fold state.
+  EXPECT_DOUBLE_EQ(AdmissionBudget::bits_per_pair(13, 2), 13 * 8 + 128.0);
+}
+
+TEST(AdmissionBudget, PriceAgreesWithAreaModel) {
+  const AdmissionBudget b;
+  // pairs_for_mbits is the inverse path: a cache sized for 8 Mbit at
+  // 128 b/pair must price back to the area fraction of 8 Mbit.
+  const std::uint64_t slots = kv::pairs_for_mbits(8.0, 128);
+  EXPECT_DOUBLE_EQ(b.price(slots, 128.0), b.area.area_fraction(8.0));
+}
+
+TEST(AdmissionBudget, ExactAtBudgetAdmitsEpsilonOverRejects) {
+  AdmissionBudget b;
+  b.max_die_fraction = 0.01;
+  EXPECT_TRUE(b.would_admit(0.01));  // exact at the budget: admitted
+  EXPECT_FALSE(b.would_admit(0.0101));
+  b.charge(0.004);
+  EXPECT_TRUE(b.would_admit(0.006));  // sums exactly to the budget
+  EXPECT_FALSE(b.would_admit(0.0061));
+}
+
+TEST(AdmissionBudget, ChargeReleaseRoundTrip) {
+  AdmissionBudget b;
+  b.max_die_fraction = 0.025;
+  const double f1 = b.price(1u << 15, 128.0);
+  const double f2 = b.price(1u << 14, 168.0);
+  b.charge(f1);
+  b.charge(f2);
+  EXPECT_DOUBLE_EQ(b.used_die_fraction, f1 + f2);
+  b.release(f1);
+  b.release(f2);
+  // release() clamps at zero, so the round trip lands exactly on empty.
+  EXPECT_DOUBLE_EQ(b.used_die_fraction, 0.0);
+  b.release(f1);  // over-release clamps instead of going negative
+  EXPECT_DOUBLE_EQ(b.used_die_fraction, 0.0);
+}
+
+TEST(AdmissionBudget, PerQueryGeometryOverridesChangeThePrice) {
+  const AdmissionBudget b;
+  // The service prices whatever geometry the attach resolves to: a tenant
+  // overriding the default slice up or down pays proportionally.
+  const double small = b.price(kv::CacheGeometry::set_associative(1u << 12, 8)
+                                   .total_slots(),
+                               128.0);
+  const double big = b.price(kv::CacheGeometry::set_associative(1u << 16, 8)
+                                 .total_slots(),
+                             128.0);
+  EXPECT_DOUBLE_EQ(big, small * 16.0);
+  EXPECT_TRUE(b.would_admit(small));
+  EXPECT_FALSE(b.would_admit(big * 8.0));  // 2^19 slots blow the 2.5% budget
+}
+
+}  // namespace
+}  // namespace perfq::analysis
