@@ -281,4 +281,30 @@ std::vector<double> unpack_key(const SwitchQueryPlan& plan, const kv::Key& key) 
   return out;
 }
 
+SwitchQueryPlan SwitchQueryPlan::clone() const {
+  SwitchQueryPlan out;
+  out.query_index = query_index;
+  out.name = name;
+  out.prefilter = prefilter;
+  if (prefilter_ast) out.prefilter_ast = prefilter_ast->clone();
+  out.key = key;
+  out.fast_key_fields = fast_key_fields;
+  out.wire_direct_key = wire_direct_key;
+  out.wire_key_slices = wire_key_slices;
+  out.kernel = kernel;  // shared: kernels are immutable after construction
+  out.value_columns = value_columns;
+  out.linearity = linearity;
+  out.used_fields = used_fields;
+  return out;
+}
+
+CompiledProgram CompiledProgram::clone() const {
+  CompiledProgram out;
+  out.analysis = analysis.clone();
+  out.switch_plans.reserve(switch_plans.size());
+  for (const auto& p : switch_plans) out.switch_plans.push_back(p.clone());
+  out.field_usage = field_usage;
+  return out;
+}
+
 }  // namespace perfq::compiler

@@ -74,6 +74,11 @@ struct SwitchQueryPlan {
     for (const auto& k : key) total += k.bytes;
     return total;
   }
+
+  /// Deep copy (prefilter_ast is an owned AST). The fold kernel is SHARED:
+  /// kernels are immutable after construction, so clones fold through the
+  /// same instance — exactly as the sharded engine's workers already do.
+  [[nodiscard]] SwitchQueryPlan clone() const;
 };
 
 struct CompiledProgram {
@@ -91,6 +96,12 @@ struct CompiledProgram {
     }
     return nullptr;
   }
+
+  /// Deep copy — compiled programs are move-only (owned ASTs inside), and
+  /// one engine consumes one program, so running the SAME program on many
+  /// engines (the federation layer: one engine per switch) clones it per
+  /// engine. Clones share the (immutable) fold kernels.
+  [[nodiscard]] CompiledProgram clone() const;
 };
 
 /// A stream SELECT compiled down to the base table: the composed filter and

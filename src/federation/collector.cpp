@@ -1,0 +1,30 @@
+#include "federation/collector.hpp"
+
+#include "common/error.hpp"
+#include "runtime/collection.hpp"
+
+namespace perfq::federation {
+
+Collector::Collector(const compiler::CompiledProgram& program,
+                     const compiler::SwitchQueryPlan& plan)
+    : program_(&program), plan_(&plan), store_(plan.kernel) {}
+
+void Collector::add(std::uint32_t source, const kv::StoreExport& exported) {
+  if (exported.query != plan_->name) {
+    throw ConfigError{"Collector for '" + plan_->name +
+                      "' fed an export of '" + exported.query + "'"};
+  }
+  store_.absorb(source, exported);
+}
+
+FederatedResult Collector::materialize() const {
+  FederatedResult out;
+  out.table = runtime::materialize_switch_table(*program_, *plan_, store_);
+  out.accuracy = store_.accuracy();
+  out.capability = store_.capability();
+  out.records = store_.records();
+  out.time = store_.time();
+  return out;
+}
+
+}  // namespace perfq::federation

@@ -48,6 +48,17 @@ struct AccuracyStats {
   }
 };
 
+/// One key's merged state lifted out of a store — the cross-store federation
+/// unit (src/kvstore/federated.hpp). `valid` mirrors for_each(): at most one
+/// value segment covers the query window.
+struct ExportedEntry {
+  Key key;
+  StateVector value;
+  std::vector<ValueSegment> segments;  ///< non-linear folds only
+  std::uint64_t packets = 0;
+  bool valid = true;
+};
+
 class BackingStore {
  public:
   explicit BackingStore(std::shared_ptr<const FoldKernel> kernel);
@@ -82,6 +93,18 @@ class BackingStore {
     for (const auto& [key, e] : entries_) {
       fn(key, e.value, e.segments.size() <= 1);
     }
+  }
+
+  /// Lift every entry out of the store for federation. Entry order is
+  /// unspecified (hash-map iteration); consumers sort or re-hash.
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const {
+    std::vector<ExportedEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) {
+      out.push_back(
+          ExportedEntry{key, e.value, e.segments, e.packets, e.segments.size() <= 1});
+    }
+    return out;
   }
 
   [[nodiscard]] const FoldKernel& kernel() const { return *kernel_; }

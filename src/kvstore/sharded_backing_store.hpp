@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -66,6 +67,19 @@ class ShardedBackingStore {
       const std::lock_guard<std::mutex> lock(sub->mu);
       sub->store.for_each(fn);
     }
+  }
+
+  /// Lift every entry out of every sub-store (each sub locked only for its
+  /// own copy). Same per-key consistency caveat as clone().
+  [[nodiscard]] std::vector<ExportedEntry> export_entries() const {
+    std::vector<ExportedEntry> out;
+    for (const auto& sub : subs_) {
+      const std::lock_guard<std::mutex> lock(sub->mu);
+      auto part = sub->store.export_entries();
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
   }
 
  private:

@@ -31,6 +31,8 @@ struct AggregationSpec {
 struct AnalyzedFold {
   FoldDef def;               ///< with free constants folded to literals
   LinearityResult linearity;
+
+  [[nodiscard]] AnalyzedFold clone() const;
 };
 
 struct AnalyzedQuery {
@@ -59,6 +61,8 @@ struct AnalyzedQuery {
     ExprPtr expr;
   };
   std::vector<Projection> projections;
+
+  [[nodiscard]] AnalyzedQuery clone() const;
 };
 
 struct AnalyzedProgram {
@@ -70,6 +74,10 @@ struct AnalyzedProgram {
   [[nodiscard]] int query_index(std::string_view result_name) const;
   /// The last query is the program's primary result.
   [[nodiscard]] const AnalyzedQuery& result() const { return queries.back(); }
+
+  /// Deep copy (the structs hold ExprPtr ASTs, so they are move-only; the
+  /// federation layer clones one compiled program per switch engine).
+  [[nodiscard]] AnalyzedProgram clone() const;
 };
 
 /// Analyze a parsed program. `params` provides values for free constants.

@@ -101,6 +101,43 @@ std::string Network::queue_name(std::uint32_t qid) const {
   return nodes_[p.from].name + "->" + nodes_[p.to].name;
 }
 
+const std::string& Network::node_name(NodeId node) const {
+  return nodes_.at(node).name;
+}
+
+bool Network::node_is_host(NodeId node) const {
+  return nodes_.at(node).is_host;
+}
+
+NodeId Network::queue_owner(std::uint32_t qid) const {
+  return ports_.at(qid).from;
+}
+
+void Network::set_node_telemetry_sink(NodeId node, TelemetrySink sink) {
+  if (node >= nodes_.size()) {
+    throw ConfigError{"Network: no node " + std::to_string(node)};
+  }
+  if (node_taps_.size() < nodes_.size()) node_taps_.resize(nodes_.size());
+  node_taps_[node] = std::move(sink);
+}
+
+void Network::emit_telemetry(std::uint32_t port_id, const Packet& pkt,
+                             Nanos tin, Nanos tout, std::uint32_t qsize) {
+  const NodeId owner = ports_[port_id].from;
+  const TelemetrySink* tap =
+      owner < node_taps_.size() && node_taps_[owner] ? &node_taps_[owner]
+                                                     : nullptr;
+  if (!sink_ && tap == nullptr) return;
+  PacketRecord rec;
+  rec.pkt = pkt;
+  rec.qid = port_id;
+  rec.tin = tin;
+  rec.tout = tout;
+  rec.qsize = qsize;
+  if (sink_) sink_(rec);
+  if (tap != nullptr) (*tap)(rec);
+}
+
 NodeId Network::node_of_ip(std::uint32_t ip) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].is_host && nodes_[i].ip == ip) return static_cast<NodeId>(i);
@@ -123,15 +160,7 @@ void Network::enqueue(std::uint32_t port_id, Packet pkt) {
   port.stats.max_depth = std::max(port.stats.max_depth, depth);
   if (depth >= port.config.queue_capacity_pkts) {
     ++port.stats.dropped;
-    if (sink_) {
-      PacketRecord rec;
-      rec.pkt = pkt;
-      rec.qid = port_id;
-      rec.tin = events_.now();
-      rec.tout = Nanos::infinity();
-      rec.qsize = depth;
-      sink_(rec);
-    }
+    emit_telemetry(port_id, pkt, events_.now(), Nanos::infinity(), depth);
     return;
   }
   pkt.pkt_path = port_id;  // opaque path tag: last queue the packet entered
@@ -148,15 +177,9 @@ void Network::start_transmission(std::uint32_t port_id) {
   port.queue.pop_front();
   const Packet pkt = queued.pkt;
 
-  if (sink_) {
-    PacketRecord rec;
-    rec.pkt = pkt;
-    rec.qid = port_id;
-    rec.tin = queued.tin;
-    rec.tout = events_.now();  // dequeue instant
-    rec.qsize = queued.qsize_at_enqueue;
-    sink_(rec);
-  }
+  // tout is the dequeue instant.
+  emit_telemetry(port_id, pkt, queued.tin, events_.now(),
+                 queued.qsize_at_enqueue);
 
   const Nanos tx = transmission_time(port, pkt.pkt_len);
   events_.schedule_in(tx, [this, port_id] {

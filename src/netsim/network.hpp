@@ -70,6 +70,16 @@ class Network {
   // ---- telemetry ----------------------------------------------------------
   void set_telemetry_sink(TelemetrySink sink) { sink_ = std::move(sink); }
 
+  /// Per-node tap: receives exactly the records whose queue is OWNED by
+  /// `node` (its egress ports) — a switch's local share of the network-wide
+  /// table T. Independent of the global sink; when both are set each record
+  /// goes to the global sink first, then to the owner's tap, so a global
+  /// observer sees the union of all taps in emission order (the federation
+  /// oracle's feed). Pass an empty function to clear.
+  void set_node_telemetry_sink(NodeId node, TelemetrySink sink);
+
+  // ---- introspection ------------------------------------------------------
+
   // ---- applications -------------------------------------------------------
   /// Open-loop UDP: `pkts` packets of `pkt_len` bytes at `rate_pps`
   /// (exponential gaps if `poisson`).
@@ -93,6 +103,12 @@ class Network {
   [[nodiscard]] const FlowStats& flow_stats(const FiveTuple& flow) const;
   [[nodiscard]] NodeId node_of_ip(std::uint32_t ip) const;
   [[nodiscard]] std::string queue_name(std::uint32_t qid) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId node) const;
+  [[nodiscard]] bool node_is_host(NodeId node) const;
+  /// The node whose egress queue `qid` is (records with this qid hit that
+  /// node's tap).
+  [[nodiscard]] NodeId queue_owner(std::uint32_t qid) const;
 
  private:
   struct Queued {  ///< a packet waiting in a queue, with its telemetry
@@ -144,6 +160,11 @@ class Network {
 
   void enqueue(std::uint32_t port_id, Packet pkt);
   void start_transmission(std::uint32_t port_id);
+  /// Build the PacketRecord for one queue traversal (or drop) and fire the
+  /// global sink then the owning node's tap. Does nothing when neither is
+  /// listening — the record is never materialized.
+  void emit_telemetry(std::uint32_t port_id, const Packet& pkt, Nanos tin,
+                      Nanos tout, std::uint32_t qsize);
   void udp_send_one(std::size_t flow_index);
   void deliver(NodeId node, Packet pkt);
   void forward(NodeId node, Packet pkt);
@@ -165,6 +186,7 @@ class Network {
   std::vector<UdpFlow> udp_flows_;
   std::vector<WindowFlow> window_flows_;
   TelemetrySink sink_;
+  std::vector<TelemetrySink> node_taps_;  ///< by node id; lazily sized
   std::uint64_t uniq_ = 0;
   bool routed_ = false;
 };

@@ -124,11 +124,25 @@ void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn) {
   fn("replay_nanos", none, static_cast<double>(m.replay_nanos));
 }
 
-std::string metrics_to_json(const runtime::EngineMetrics& m) {
-  std::string out = "{\"engine\": \"" + escape(m.engine) + "\", \"metrics\": [";
-  bool first = true;
+void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn,
+                   const MetricLabels& base) {
+  if (base.empty()) {
+    visit_metrics(m, fn);
+    return;
+  }
   visit_metrics(m, [&](std::string_view name, const MetricLabels& labels,
                        double value) {
+    MetricLabels scoped = base;
+    scoped.insert(scoped.end(), labels.begin(), labels.end());
+    fn(name, scoped, value);
+  });
+}
+
+std::string samples_to_json(std::string_view engine,
+                            const MetricEmitter& emit) {
+  std::string out = "{\"engine\": \"" + escape(engine) + "\", \"metrics\": [";
+  bool first = true;
+  emit([&](std::string_view name, const MetricLabels& labels, double value) {
     if (!first) out += ", ";
     first = false;
     out += "{\"name\": \"";
@@ -145,11 +159,10 @@ std::string metrics_to_json(const runtime::EngineMetrics& m) {
   return out;
 }
 
-std::string metrics_to_prometheus(const runtime::EngineMetrics& m) {
+std::string samples_to_prometheus(const MetricEmitter& emit) {
   std::string out;
   std::map<std::string, bool, std::less<>> typed;
-  visit_metrics(m, [&](std::string_view name, const MetricLabels& labels,
-                       double value) {
+  emit([&](std::string_view name, const MetricLabels& labels, double value) {
     const std::string full = "perfq_" + std::string{name};
     if (!typed.count(full)) {
       // Gauge is the honest universal type here: counters are monotone but
@@ -169,6 +182,16 @@ std::string metrics_to_prometheus(const runtime::EngineMetrics& m) {
     out += " " + num(value) + "\n";
   });
   return out;
+}
+
+std::string metrics_to_json(const runtime::EngineMetrics& m) {
+  return samples_to_json(m.engine,
+                         [&](const MetricFn& fn) { visit_metrics(m, fn); });
+}
+
+std::string metrics_to_prometheus(const runtime::EngineMetrics& m) {
+  return samples_to_prometheus(
+      [&](const MetricFn& fn) { visit_metrics(m, fn); });
 }
 
 std::string format_metrics(const runtime::EngineMetrics& m) {

@@ -31,6 +31,27 @@ using MetricFn =
 /// Counter values are exact up to 2^53 (they ride in a double).
 void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn);
 
+/// Same enumeration with `base` labels prepended to every sample — how a
+/// multi-engine surface (the federation layer's per-switch metrics) scopes
+/// one engine's metrics, e.g. base = {{"switch", "leaf0"}}.
+void visit_metrics(const runtime::EngineMetrics& m, const MetricFn& fn,
+                   const MetricLabels& base);
+
+/// A producer of metric samples: called with the sink, it may invoke
+/// visit_metrics() any number of times — e.g. once per switch engine with a
+/// distinguishing base label. Lets multi-engine surfaces (federation) render
+/// through the same JSON/Prometheus serializers as a single engine.
+using MetricEmitter = std::function<void(const MetricFn&)>;
+
+/// {"engine": ..., "metrics": [{"name", "labels", "value"}, ...]} over
+/// whatever samples `emit` produces.
+[[nodiscard]] std::string samples_to_json(std::string_view engine,
+                                          const MetricEmitter& emit);
+
+/// Prometheus text exposition of whatever samples `emit` produces:
+/// perfq_<name>{label="value"} value, one # TYPE line per metric family.
+[[nodiscard]] std::string samples_to_prometheus(const MetricEmitter& emit);
+
 /// {"engine": ..., "metrics": [{"name", "labels", "value"}, ...]}
 [[nodiscard]] std::string metrics_to_json(const runtime::EngineMetrics& m);
 

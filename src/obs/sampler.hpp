@@ -53,6 +53,10 @@ class SampledEngine final : public runtime::Engine {
                                                  Nanos now) override {
     return inner_->snapshot(query_name, now);
   }
+  [[nodiscard]] kv::StoreExport export_store(std::string_view query_name,
+                                             Nanos now) override {
+    return inner_->export_store(query_name, now);
+  }
   void attach_query(compiler::CompiledProgram program,
                     const runtime::AttachOptions& options) override {
     inner_->attach_query(std::move(program), options);

@@ -259,6 +259,34 @@ EngineSnapshot QueryEngine::snapshot(std::string_view query_name, Nanos now) {
                                  std::string{query_name} + "'"};
 }
 
+kv::StoreExport QueryEngine::export_store(std::string_view query_name,
+                                          Nanos now) {
+  throw_if_faulted();
+  // Name resolution stays outside the fault machinery, like snapshot().
+  for (auto& sw : switches_) {
+    if (sw.plan->name != query_name) continue;
+    return guarded([&] {
+      kv::StoreExport out;
+      out.query = std::string{query_name};
+      out.records = records_;
+      out.time = now;
+      if (finished_) {
+        // Caches already flushed by finish(); the backing store IS the result.
+        out.entries = sw.store->backing().export_entries();
+      } else {
+        // Mid-run: same record-boundary merge snapshot() performs.
+        kv::BackingStore merged = sw.store->backing();
+        sw.store->cache().snapshot_into(
+            now, [&merged](kv::EvictedValue&& ev) { merged.absorb(ev); });
+        out.entries = merged.export_entries();
+      }
+      return out;
+    });
+  }
+  throw QueryError{"result", "export_store: no on-switch GROUPBY named '" +
+                                 std::string{query_name} + "'"};
+}
+
 void QueryEngine::materialize_switch_tables() {
   for (auto& sw : switches_) {
     if (sw.attached != nullptr) {

@@ -76,6 +76,12 @@ class QueryEngine final : public Engine {
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
                                         Nanos now) override;
 
+  /// Federation export (contract in engine_api.hpp): mid-run, the same
+  /// cache-over-backing-copy merge snapshot() performs; after finish(), the
+  /// final backing store read directly.
+  [[nodiscard]] kv::StoreExport export_store(std::string_view query_name,
+                                             Nanos now) override;
+
   /// Dynamic attach/detach (lifecycle contract in engine_api.hpp): the new
   /// query gets its own key-value store (or stream sink) and starts folding
   /// at the current record boundary; detach flushes, materializes and frees.

@@ -163,6 +163,7 @@
 #include <vector>
 
 #include "compiler/program.hpp"
+#include "kvstore/federated.hpp"
 #include "kvstore/kvstore.hpp"
 #include "obs/metrics.hpp"
 #include "packet/wire_view.hpp"
@@ -441,6 +442,22 @@ class Engine {
                                                 Nanos now) = 0;
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name) {
     return snapshot(query_name, Nanos{0});
+  }
+
+  /// Lift one on-switch GROUPBY's merged store out of the engine as the
+  /// cross-engine federation unit (kvstore/federated.hpp): every key's
+  /// merged value/segments, stamped with the engine's record count and
+  /// `now`. Mid-run it observes the same record boundary as snapshot() —
+  /// live cache contents merged over a copy of the backing store, engine
+  /// unperturbed; after finish() it reads the final backing store directly
+  /// (the one read that works both mid-run and post-finish). Same
+  /// serialization and poisoned-engine rules as snapshot(). The default
+  /// throws ConfigError: engines without a federated surface opt out.
+  [[nodiscard]] virtual kv::StoreExport export_store(std::string_view query_name,
+                                                     Nanos now) {
+    (void)query_name;
+    (void)now;
+    throw ConfigError{"export_store: engine does not support federated export"};
   }
 
   /// Attach one dynamically compiled query mid-stream (see the query

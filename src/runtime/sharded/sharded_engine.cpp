@@ -1023,19 +1023,22 @@ void ShardedEngine::finish(Nanos now) {
   }
 }
 
+std::size_t ShardedEngine::resolve_switch_query(std::string_view query_name,
+                                                const char* what) const {
+  // Name resolution happens before the fault machinery: an unknown query is
+  // a usage error, not an engine fault, and must not poison the pipeline.
+  for (std::size_t q = 0; q < plans_.size(); ++q) {
+    if (plans_[q] != nullptr && plans_[q]->name == query_name) return q;
+  }
+  throw QueryError{"result", std::string{what} +
+                                 ": no on-switch GROUPBY named '" +
+                                 std::string{query_name} + "'"};
+}
+
 EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
   throw_if_faulted();
   check(!finished_, "ShardedEngine: snapshot after finish");
-  // Name resolution happens before the fault machinery: an unknown query is
-  // a usage error, not an engine fault, and must not poison the pipeline.
-  std::size_t query = plans_.size();
-  for (std::size_t q = 0; q < plans_.size(); ++q) {
-    if (plans_[q] != nullptr && plans_[q]->name == query_name) query = q;
-  }
-  if (query == plans_.size()) {
-    throw QueryError{"result", "snapshot: no on-switch GROUPBY named '" +
-                                   std::string{query_name} + "'"};
-  }
+  const std::size_t query = resolve_switch_query(query_name, "snapshot");
   try {
     return snapshot_impl(query, now);
   } catch (const EngineFaultError&) {
@@ -1052,7 +1055,38 @@ EngineSnapshot ShardedEngine::snapshot(std::string_view query_name, Nanos now) {
   }
 }
 
-EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
+kv::StoreExport ShardedEngine::export_store(std::string_view query_name,
+                                            Nanos now) {
+  throw_if_faulted();
+  const std::size_t query = resolve_switch_query(query_name, "export_store");
+  try {
+    kv::StoreExport out;
+    out.query = std::string{query_name};
+    out.records = records_;
+    out.time = now;
+    if (finished_) {
+      // Pipeline joined and flushed; the concurrent store IS the result.
+      out.entries = backings_[query]->export_entries();
+    } else {
+      out.entries = snapshot_merged_store(query, now)->export_entries();
+    }
+    return out;
+  } catch (const EngineFaultError&) {
+    begin_stop();
+    throw;
+  } catch (const std::exception& e) {
+    fault_.record(ThreadRole::kCaller, kNoShard, e.what());
+    begin_stop();
+    fault_.raise();
+  } catch (...) {
+    fault_.record(ThreadRole::kCaller, kNoShard, "unknown exception");
+    begin_stop();
+    fault_.raise();
+  }
+}
+
+std::unique_ptr<kv::ShardedBackingStore> ShardedEngine::snapshot_merged_store(
+    std::size_t query, Nanos now) {
   ++snapshots_;
   // Rendezvous latency tap: steps 1-3 (marker broadcast → every worker at
   // the boundary → eviction drain barrier) are the cost of *reaching* the
@@ -1101,6 +1135,12 @@ EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
   for (auto& shard : shards_) {
     for (TaggedEviction& t : shard->snapshot_out) merged->absorb(t.ev);
   }
+  return merged;
+}
+
+EngineSnapshot ShardedEngine::snapshot_impl(std::size_t query, Nanos now) {
+  const std::unique_ptr<kv::ShardedBackingStore> merged =
+      snapshot_merged_store(query, now);
   const compiler::CompiledProgram& prog = attached_programs_[query] != nullptr
                                               ? *attached_programs_[query]
                                               : program_;

@@ -161,6 +161,13 @@ class ShardedEngine final : public Engine {
   [[nodiscard]] EngineSnapshot snapshot(std::string_view query_name,
                                         Nanos now) override;
 
+  /// Federation export (contract in engine_api.hpp): mid-run it reaches the
+  /// record boundary with the same in-band snapshot rendezvous as snapshot()
+  /// and exports the merged clone; after finish() it reads the final
+  /// concurrent backing store directly.
+  [[nodiscard]] kv::StoreExport export_store(std::string_view query_name,
+                                             Nanos now) override;
+
   /// Dynamic attach/detach without stopping the pipeline's threads
   /// (lifecycle contract in engine_api.hpp). Both quiesce the pipeline at
   /// the current record boundary with an in-band barrier (the snapshot
@@ -396,6 +403,15 @@ class ShardedEngine final : public Engine {
   /// poisoned-state machinery).
   void process_batch_impl(std::span<const PacketRecord> records);
   [[nodiscard]] EngineSnapshot snapshot_impl(std::size_t query, Nanos now);
+  /// Steps 1-4 of the mid-run snapshot: rendezvous at the record boundary,
+  /// drain evictions, overlay every shard's cache copy on a clone of the
+  /// concurrent store. Shared by snapshot_impl and export_store.
+  [[nodiscard]] std::unique_ptr<kv::ShardedBackingStore> snapshot_merged_store(
+      std::size_t query, Nanos now);
+  /// Name → resident query index, or throws QueryError (shared by
+  /// snapshot/export_store name resolution).
+  [[nodiscard]] std::size_t resolve_switch_query(std::string_view query_name,
+                                                 const char* what) const;
   /// Quiesce at the current record boundary: broadcast a kBarrier through
   /// the caller's rings, wait for every worker's ack, then run the eviction
   /// drain barrier — on return nothing is in flight and the backing stores

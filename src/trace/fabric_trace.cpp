@@ -1,0 +1,201 @@
+#include "trace/fabric_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "packet/fivetuple.hpp"
+
+namespace perfq::trace {
+
+void FabricTraceConfig::validate() const {
+  check(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1,
+        "fabric trace: topology dimensions must be >= 1");
+  check(duration > Nanos{0}, "fabric trace: duration must be positive");
+  check(flow_size_alpha > 1.0,
+        "fabric trace: flow_size_alpha must exceed 1 (finite mean)");
+  check(mean_flow_pkts >= 1.0, "fabric trace: mean_flow_pkts must be >= 1");
+  check(max_flow_pkts >= 1, "fabric trace: max_flow_pkts must be >= 1");
+  check(tcp_fraction >= 0.0 && tcp_fraction <= 1.0,
+        "fabric trace: tcp_fraction must be in [0, 1]");
+  check(udp_rate_pps > 0.0, "fabric trace: udp_rate_pps must be positive");
+  check(burst_period == Nanos{0} || (burst_on > 0.0 && burst_on <= 1.0),
+        "fabric trace: burst_on must be in (0, 1]");
+  for (const FabricIncast& inc : incasts) {
+    check(inc.fanin >= 1, "fabric trace: incast fanin must be >= 1");
+    check(inc.target_leaf < leaves && inc.target_host < hosts_per_leaf,
+          "fabric trace: incast target outside the topology");
+    check(leaves >= 2, "fabric trace: incast needs at least two leaves");
+  }
+  for (const FabricHotspot& hs : hotspots) {
+    check(hs.src_leaf < leaves && hs.dst_leaf < leaves,
+          "fabric trace: hotspot leaf outside the topology");
+    check(hs.src_leaf != hs.dst_leaf,
+          "fabric trace: hotspot must cross leaves");
+    check(hs.duration > Nanos{0}, "fabric trace: hotspot duration must be positive");
+    check(hs.load_factor > 0.0, "fabric trace: hotspot load_factor must be positive");
+  }
+}
+
+net::LeafSpine build_fabric(net::Network& net, const FabricTraceConfig& config) {
+  config.validate();
+  return net::build_leaf_spine(net, config.leaves, config.spines,
+                               config.hosts_per_leaf, config.edge,
+                               config.fabric_links);
+}
+
+namespace {
+
+/// Bounded Pareto flow size with mean ~= mean_pkts (unbounded mean; the cap
+/// trims elephants): xm chosen so E[Pareto(xm, alpha)] = mean_pkts.
+std::uint64_t draw_flow_pkts(Rng& rng, const FabricTraceConfig& c) {
+  const double xm = c.mean_flow_pkts * (c.flow_size_alpha - 1.0) / c.flow_size_alpha;
+  const double drawn = rng.pareto(std::max(1.0, xm), c.flow_size_alpha);
+  const auto pkts = static_cast<std::uint64_t>(std::llround(drawn));
+  return std::clamp<std::uint64_t>(pkts, 1, c.max_flow_pkts);
+}
+
+/// Bimodal packet length: control-sized with probability 0.3, else uniform
+/// around mean_pkt_len, clamped to a sane MTU range.
+std::uint32_t draw_pkt_len(Rng& rng, const FabricTraceConfig& c) {
+  if (rng.chance(0.3)) return 64;
+  const std::uint32_t lo = std::max<std::uint32_t>(256, c.mean_pkt_len / 2);
+  const std::uint32_t hi =
+      std::clamp<std::uint32_t>(c.mean_pkt_len + c.mean_pkt_len / 2, lo, 1500);
+  return static_cast<std::uint32_t>(rng.between(lo, hi));
+}
+
+/// Uniform arrival over [0, duration), optionally compressed into the first
+/// burst_on fraction of each burst_period (on/off arrival modulation: the
+/// same arrival mass lands in 1/burst_on the time).
+Nanos draw_arrival(Rng& rng, const FabricTraceConfig& c) {
+  const double span = static_cast<double>(c.duration.count());
+  double t = rng.uniform() * span;
+  if (c.burst_period > Nanos{0}) {
+    const double period = static_cast<double>(c.burst_period.count());
+    const double phase = std::fmod(t, period);
+    t = (t - phase) + phase * c.burst_on;
+  }
+  return Nanos{static_cast<std::int64_t>(t)};
+}
+
+struct HostPicker {
+  const FabricTraceConfig* config;
+
+  [[nodiscard]] std::uint32_t ip(std::uint32_t leaf, std::uint32_t host) const {
+    return net::leaf_spine_ip(leaf, host);
+  }
+  /// Uniform host under one leaf.
+  [[nodiscard]] std::uint32_t under(Rng& rng, std::uint32_t leaf) const {
+    return ip(leaf, static_cast<std::uint32_t>(rng.below(config->hosts_per_leaf)));
+  }
+  /// Uniform host anywhere.
+  [[nodiscard]] std::uint32_t any(Rng& rng) const {
+    return under(rng, static_cast<std::uint32_t>(rng.below(config->leaves)));
+  }
+};
+
+struct FlowInstaller {
+  net::Network* net;
+  const FabricTraceConfig* config;
+  std::uint64_t installed = 0;
+
+  void install(Rng& rng, std::uint32_t src_ip, std::uint32_t dst_ip,
+               Nanos start, std::uint64_t pkts) {
+    FiveTuple flow;
+    flow.src_ip = src_ip;
+    flow.dst_ip = dst_ip;
+    flow.src_port = static_cast<std::uint16_t>(1024 + rng.below(50'000));
+    flow.dst_port = static_cast<std::uint16_t>(1024 + rng.below(50'000));
+    const bool tcp = rng.chance(config->tcp_fraction);
+    const std::uint32_t len = draw_pkt_len(rng, *config);
+    if (tcp) {
+      flow.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+      const auto window = static_cast<std::uint32_t>(rng.between(8, 32));
+      net->add_window_flow(flow, start, pkts, len, window, Nanos{5'000'000});
+    } else {
+      flow.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+      net->add_udp_flow(flow, start, pkts, len, config->udp_rate_pps,
+                        /*poisson=*/true);
+    }
+    ++installed;
+  }
+};
+
+}  // namespace
+
+std::uint64_t install_fabric_flows(net::Network& net,
+                                   const net::LeafSpine& fabric,
+                                   const FabricTraceConfig& config) {
+  config.validate();
+  (void)fabric;  // topology must match config; addressing is leaf_spine_ip
+  const Rng root{config.seed};
+  // Independent streams per concern: adding an episode never perturbs the
+  // baseline population's draws (split-stream reproducibility).
+  Rng baseline = root.split(1);
+  Rng hotspot_rng = root.split(2);
+  Rng incast_rng = root.split(3);
+
+  const HostPicker hosts{&config};
+  FlowInstaller installer{&net, &config};
+
+  // Baseline heavy-tailed population over random host pairs.
+  for (std::uint64_t f = 0; f < config.num_flows; ++f) {
+    const std::uint32_t src = hosts.any(baseline);
+    std::uint32_t dst = hosts.any(baseline);
+    while (dst == src) dst = hosts.any(baseline);
+    installer.install(baseline, src, dst, draw_arrival(baseline, config),
+                      draw_flow_pkts(baseline, config));
+  }
+
+  // Hotspot episodes: extra cross-leaf flows during their windows.
+  const std::uint64_t leaf_pairs =
+      std::max<std::uint64_t>(1, std::uint64_t{config.leaves} * config.leaves);
+  for (const FabricHotspot& hs : config.hotspots) {
+    const auto extra = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               hs.load_factor * static_cast<double>(config.num_flows) /
+               static_cast<double>(leaf_pairs))));
+    for (std::uint64_t f = 0; f < extra; ++f) {
+      const std::uint32_t src = hosts.under(hotspot_rng, hs.src_leaf);
+      const std::uint32_t dst = hosts.under(hotspot_rng, hs.dst_leaf);
+      const Nanos start =
+          hs.start + Nanos{static_cast<std::int64_t>(
+                         hotspot_rng.uniform() *
+                         static_cast<double>(hs.duration.count()))};
+      installer.install(hotspot_rng, src, dst, start,
+                        draw_flow_pkts(hotspot_rng, config));
+    }
+  }
+
+  // Incast episodes: synchronized open-loop bursts into one target host.
+  // Senders rotate over the OTHER leaves so the fan-in converges on the
+  // target's edge queue through the fabric.
+  for (const FabricIncast& inc : config.incasts) {
+    const std::uint32_t target = hosts.ip(inc.target_leaf, inc.target_host);
+    std::uint32_t next_leaf = 0;
+    for (std::uint32_t s = 0; s < inc.fanin; ++s) {
+      if (next_leaf == inc.target_leaf) next_leaf = (next_leaf + 1) % config.leaves;
+      const std::uint32_t sender = hosts.under(incast_rng, next_leaf);
+      next_leaf = (next_leaf + 1) % config.leaves;
+      FiveTuple flow;
+      flow.src_ip = sender;
+      flow.dst_ip = target;
+      flow.src_port = static_cast<std::uint16_t>(1024 + incast_rng.below(50'000));
+      flow.dst_port = 4791;  // one service port: the fan-in converges
+      flow.proto = static_cast<std::uint8_t>(IpProto::kUdp);
+      // Back-to-back burst (non-Poisson, near line rate) with sub-us jitter
+      // so senders collide at the target queue instead of serializing.
+      const Nanos start = inc.start + Nanos{static_cast<std::int64_t>(
+                                          incast_rng.below(1000))};
+      net.add_udp_flow(flow, start, inc.pkts_per_sender, inc.pkt_len,
+                       2'000'000.0, /*poisson=*/false);
+      ++installer.installed;
+    }
+  }
+
+  return installer.installed;
+}
+
+}  // namespace perfq::trace

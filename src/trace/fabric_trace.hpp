@@ -1,0 +1,99 @@
+// Seeded fabric-scale workload generator: the netsim-driven counterpart of
+// the FlowSessionGenerator trace. Where flow_session.hpp synthesizes a
+// single bottleneck queue, this builds a REAL leaf-spine fabric and installs
+// a deterministic flow population on it — heavy-tailed (bounded-Pareto) flow
+// sizes, a TCP/UDP mix, bursty arrival modulation, plus scheduled incast and
+// hotspot episodes that concentrate loss on specific queues. The network's
+// own queues/ECMP/retransmissions then produce the record streams, so every
+// switch sees exactly its share of the network-wide table T.
+//
+// Everything is derived from one seed through Rng::split, so a config is a
+// complete reproducible experiment: the same config produces the same flows,
+// the same drops, and (through the per-node taps) the same federated tables
+// on every run. Scales from test-sized (hundreds of flows) to fabric-sized
+// (10^6+ concurrent flows) by num_flows alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace perfq::trace {
+
+/// A synchronized fan-in: `fanin` senders (one per other leaf, round-robin)
+/// each fire a burst at one target host at `start` — the classic incast
+/// episode that overflows the target's edge queue.
+struct FabricIncast {
+  std::uint32_t fanin = 8;
+  std::uint32_t target_leaf = 0;
+  std::uint32_t target_host = 0;
+  Nanos start{0};
+  std::uint64_t pkts_per_sender = 64;
+  std::uint32_t pkt_len = 1500;
+};
+
+/// A transient leaf-to-leaf traffic surge: extra flows from hosts under
+/// `src_leaf` to hosts under `dst_leaf` during [start, start + duration).
+struct FabricHotspot {
+  std::uint32_t src_leaf = 0;
+  std::uint32_t dst_leaf = 1;
+  Nanos start{0};
+  Nanos duration{0};
+  /// Extra flows as a multiple of the baseline per-leaf-pair flow count.
+  double load_factor = 2.0;
+};
+
+struct FabricTraceConfig {
+  std::uint64_t seed = 1;
+
+  // ---- topology ------------------------------------------------------------
+  std::uint32_t leaves = 2;
+  std::uint32_t spines = 2;
+  std::uint32_t hosts_per_leaf = 4;
+  net::LinkConfig edge{10.0, 1000_ns, 64};
+  net::LinkConfig fabric_links{40.0, 2000_ns, 64};
+
+  // ---- baseline flow population ---------------------------------------------
+  /// Flow arrivals spread over [0, duration); flows may outlive it.
+  Nanos duration{2'000'000};
+  std::uint64_t num_flows = 200;
+  /// Bounded-Pareto flow sizes: shape alpha (heavier tail as alpha -> 1),
+  /// mean mean_flow_pkts, hard cap max_flow_pkts (elephants).
+  double flow_size_alpha = 1.2;
+  double mean_flow_pkts = 12.0;
+  std::uint64_t max_flow_pkts = 4096;
+  /// Bimodal packet lengths (ACK-sized vs MTU-sized), the classic datacenter
+  /// mix; mean_pkt_len steers the large mode.
+  std::uint32_t mean_pkt_len = 1000;
+  /// Fraction of flows using the window-limited reliable sender (the rest
+  /// are open-loop Poisson UDP).
+  double tcp_fraction = 0.5;
+  /// Open-loop sender packet rate.
+  double udp_rate_pps = 200'000.0;
+
+  // ---- bursty arrivals ------------------------------------------------------
+  /// Arrival times are modulated by an on/off square wave of period
+  /// burst_period: a fraction burst_on of each period carries ALL arrivals
+  /// of that period (burst_factor-fold compression). burst_period zero
+  /// disables (uniform arrivals).
+  Nanos burst_period{0};
+  double burst_on = 0.25;
+
+  // ---- episodes -------------------------------------------------------------
+  std::vector<FabricIncast> incasts;
+  std::vector<FabricHotspot> hotspots;
+
+  void validate() const;
+};
+
+/// Build the leaf-spine topology of `config` (routes finalized).
+net::LeafSpine build_fabric(net::Network& net, const FabricTraceConfig& config);
+
+/// Install the full deterministic flow population of `config` on a fabric
+/// previously built by build_fabric: baseline mix + hotspots + incasts.
+/// Returns the number of flows installed.
+std::uint64_t install_fabric_flows(net::Network& net, const net::LeafSpine& fabric,
+                                   const FabricTraceConfig& config);
+
+}  // namespace perfq::trace

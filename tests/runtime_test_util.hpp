@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/table.hpp"
+#include "trace/fabric_trace.hpp"
 #include "trace/flow_session.hpp"
 
 namespace perfq::runtime {
@@ -25,6 +26,40 @@ inline std::vector<PacketRecord> test_workload(std::uint64_t seed = 77,
   c.num_flows = num_flows;
   c.mean_flow_pkts = mean_flow_pkts;
   return trace::generate_all(c);
+}
+
+/// The fabric equivalence workload: a leaf-spine network with a heavy-tailed
+/// flow mix, bursty arrivals, one incast and one hotspot episode —
+/// test-sized (the netsim/federation/codegen suites share it; scale
+/// num_flows up for fabric-sized runs). Deterministic by seed.
+inline trace::FabricTraceConfig fabric_test_config(std::uint64_t seed = 77,
+                                                   std::uint32_t leaves = 2,
+                                                   std::uint32_t spines = 2) {
+  trace::FabricTraceConfig c;
+  c.seed = seed;
+  c.leaves = leaves;
+  c.spines = spines;
+  c.hosts_per_leaf = 4;
+  c.duration = Nanos{2'000'000};
+  c.num_flows = 160;
+  c.mean_flow_pkts = 10.0;
+  c.tcp_fraction = 0.5;
+  c.burst_period = Nanos{250'000};
+  c.burst_on = 0.25;
+  c.edge.queue_capacity_pkts = 24;  // small queues: real drops to localize
+  c.fabric_links.queue_capacity_pkts = 24;
+  c.incasts.push_back(trace::FabricIncast{8, 0, 0, Nanos{500'000}, 48, 1500});
+  c.hotspots.push_back(
+      trace::FabricHotspot{0, leaves - 1, Nanos{1'000'000}, Nanos{400'000}, 1.5});
+  return c;
+}
+
+/// Build the topology and install the flows of `config` in one step.
+inline net::LeafSpine build_test_fabric(net::Network& net,
+                                        const trace::FabricTraceConfig& config) {
+  net::LeafSpine fabric = trace::build_fabric(net, config);
+  trace::install_fabric_flows(net, fabric, config);
+  return fabric;
 }
 
 /// Exact double equality, cell by cell: the engines under comparison must
